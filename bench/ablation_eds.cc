@@ -1,0 +1,89 @@
+// Ablation: the value of the ∃-dominance machinery and of the EDS edge
+// policy (not in the paper; motivated by the design choices of Section
+// III-B).
+//
+// Rows compare, at the default setting (d = 4, k = 10):
+//   * no-fine     -- fine layers disabled: the structure degenerates to
+//                    a Dominant Graph (coarse ∀-edges only);
+//   * single-facet -- one qualifying EDS facet per tuple (the default:
+//                    minimal in-edges, latest unlock);
+//   * all-facets  -- edges from every qualifying facet (more in-edges
+//                    unlock tuples earlier, so cost can only grow).
+//
+// Expected shape: no-fine >> single-facet, all-facets >= single-facet.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "benchmark/benchmark.h"
+
+#include "bench/bench_util.h"
+#include "core/dual_layer.h"
+
+namespace {
+
+using drli::Distribution;
+using drli::DualLayerIndex;
+using drli::DualLayerOptions;
+
+const DualLayerIndex& GetVariant(const std::string& variant,
+                                 Distribution dist, std::size_t n,
+                                 std::size_t d) {
+  static auto* cache = new std::map<std::string, std::unique_ptr<DualLayerIndex>>();
+  const std::string key =
+      variant + "/" + drli::DistributionName(dist) + std::to_string(n);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    DualLayerOptions options;
+    if (variant == "no-fine") {
+      options.enable_fine_layers = false;
+    } else if (variant == "all-facets") {
+      options.eds_policy = drli::EdsPolicy::kAllFacets;
+    }
+    options.name = variant;
+    it = cache->emplace(key,
+                        std::make_unique<DualLayerIndex>(DualLayerIndex::Build(
+                            drli::bench_util::GetDataset(dist, n, d),
+                            options)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = drli::bench_util::DefaultN();
+  const std::size_t d = 4;
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAnticorrelated}) {
+    for (const char* variant : {"no-fine", "single-facet", "all-facets"}) {
+      for (std::size_t k : {10u, 50u}) {
+        const std::string name = std::string("ablation_eds/") +
+                                 drli::DistributionName(dist) + "/" +
+                                 variant + "/k:" + std::to_string(k);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [variant = std::string(variant), dist, n, d,
+             k](benchmark::State& state) {
+              const DualLayerIndex& index = GetVariant(variant, dist, n, d);
+              drli::bench_util::CostSample sample;
+              for (auto _ : state) {
+                sample = drli::bench_util::AverageCost(index, d, k, 97 + k);
+              }
+              state.counters["tuples"] = sample.avg_tuples;
+              state.counters["fine_edges"] = static_cast<double>(
+                  index.build_stats().num_fine_edges);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

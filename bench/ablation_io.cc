@@ -1,0 +1,133 @@
+// Ablation: disk I/O under the paper's layer-clustered storage
+// discussion ("tuples in the same layer are stored in the same disk
+// block"). For each index the query access trace is replayed against a
+// page layout that packs its own layers into fixed-size pages, and
+// against a scattered (shuffled heap file) layout.
+//
+// Counters: "pages" = distinct pages touched (cold reads), "lru" =
+// fetches under a small LRU buffer pool, "scattered" = distinct pages
+// under the shuffled layout. Expected shape: clustered layouts touch
+// far fewer pages than scattered ones, and DL/DL+ touch the fewest,
+// tracking their lower tuple-access cost.
+
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include "benchmark/benchmark.h"
+
+#include "bench/bench_util.h"
+#include "baselines/dominant_graph.h"
+#include "baselines/hybrid_layer.h"
+#include "baselines/onion.h"
+#include "common/random.h"
+#include "core/dual_layer.h"
+#include "storage/page_layout.h"
+
+namespace {
+
+using drli::Distribution;
+using drli::PageLayout;
+using drli::PointSet;
+using drli::TupleId;
+
+constexpr std::size_t kTuplesPerPage = 128;
+constexpr std::size_t kBufferFrames = 8;
+
+PageLayout ScatteredLayout(std::size_t n) {
+  std::vector<TupleId> shuffled(n);
+  std::iota(shuffled.begin(), shuffled.end(), 0);
+  drli::Rng rng(5);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.Index(i)]);
+  }
+  return PageLayout({shuffled}, kTuplesPerPage);
+}
+
+struct Subject {
+  const drli::TopKIndex* index;
+  std::unique_ptr<PageLayout> clustered;
+};
+
+Subject MakeSubject(const std::string& kind, Distribution dist,
+                    std::size_t n, std::size_t d) {
+  Subject subject;
+  subject.index = &drli::bench_util::GetIndex(kind, dist, n, d);
+  if (kind == "dl" || kind == "dl+") {
+    const auto* dl =
+        dynamic_cast<const drli::DualLayerIndex*>(subject.index);
+    subject.clustered =
+        std::make_unique<PageLayout>(dl->LayerGroups(), kTuplesPerPage);
+  } else if (kind == "dg" || kind == "dg+") {
+    const auto* dg =
+        dynamic_cast<const drli::DominantGraphIndex*>(subject.index);
+    subject.clustered =
+        std::make_unique<PageLayout>(dg->layers(), kTuplesPerPage);
+  } else if (kind == "onion") {
+    const auto* onion = dynamic_cast<const drli::OnionIndex*>(subject.index);
+    subject.clustered =
+        std::make_unique<PageLayout>(onion->layers(), kTuplesPerPage);
+  } else {
+    const auto* hl =
+        dynamic_cast<const drli::HybridLayerIndex*>(subject.index);
+    subject.clustered =
+        std::make_unique<PageLayout>(hl->layers(), kTuplesPerPage);
+  }
+  return subject;
+}
+
+void Register(const std::string& kind, Distribution dist, std::size_t n,
+              std::size_t d) {
+  const std::string name = std::string("ablation_io/") +
+                           drli::DistributionName(dist) + "/" + kind;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [kind, dist, n, d](benchmark::State& state) {
+        const Subject subject = MakeSubject(kind, dist, n, d);
+        const PageLayout scattered = ScatteredLayout(n);
+        double pages = 0, lru = 0, scattered_pages = 0, tuples = 0;
+        drli::Rng rng(17);
+        const std::size_t q = drli::bench_util::NumQueries();
+        for (auto _ : state) {
+          pages = lru = scattered_pages = tuples = 0;
+          for (std::size_t i = 0; i < q; ++i) {
+            drli::TopKQuery query;
+            query.weights = rng.SimplexWeight(d);
+            query.k = 10;
+            const drli::TopKResult result = subject.index->Query(query);
+            tuples += static_cast<double>(result.stats.tuples_evaluated);
+            pages += static_cast<double>(
+                subject.clustered->DistinctPages(result.accessed));
+            lru += static_cast<double>(
+                subject.clustered->LruFetches(result.accessed,
+                                              kBufferFrames));
+            scattered_pages += static_cast<double>(
+                scattered.DistinctPages(result.accessed));
+          }
+        }
+        const double dq = static_cast<double>(q);
+        state.counters["tuples"] = tuples / dq;
+        state.counters["pages"] = pages / dq;
+        state.counters["lru"] = lru / dq;
+        state.counters["scattered"] = scattered_pages / dq;
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = drli::bench_util::DefaultN();
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAnticorrelated}) {
+    for (const char* kind : {"onion", "hl+", "dg", "dg+", "dl", "dl+"}) {
+      Register(kind, dist, n, /*d=*/4);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

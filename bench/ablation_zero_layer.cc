@@ -1,0 +1,91 @@
+// Ablation: zero-layer cluster count (Section V-B leaves the k-means
+// cluster count to "the instructions in [5]"; the library defaults to
+// ceil(sqrt(|L1|))). Sweeps explicit cluster counts and the flat
+// (DG+-style, no fine split) variant at d = 4, k = 10.
+//
+// Expected shape: a broad sweet spot -- too few clusters make loose
+// pseudo-tuple corners that unlock most of L1 anyway; too many approach
+// one pseudo-tuple per tuple (virtual evaluations grow). The fine split
+// of L0 (DL+ proper) should not lose to the flat variant.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "benchmark/benchmark.h"
+
+#include "bench/bench_util.h"
+#include "core/dual_layer.h"
+
+namespace {
+
+using drli::Distribution;
+using drli::DualLayerIndex;
+using drli::DualLayerOptions;
+
+const DualLayerIndex& GetVariant(std::size_t clusters, bool fine_split,
+                                 Distribution dist, std::size_t n,
+                                 std::size_t d) {
+  static auto* cache =
+      new std::map<std::string, std::unique_ptr<DualLayerIndex>>();
+  const std::string key = std::to_string(clusters) +
+                          (fine_split ? "s" : "f") +
+                          drli::DistributionName(dist) + std::to_string(n);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    DualLayerOptions options;
+    options.build_zero_layer = true;
+    options.zero_layer_clusters = clusters;
+    options.zero_layer_fine_split = fine_split;
+    it = cache->emplace(key,
+                        std::make_unique<DualLayerIndex>(DualLayerIndex::Build(
+                            drli::bench_util::GetDataset(dist, n, d),
+                            options)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Register(std::size_t clusters, bool fine_split, Distribution dist,
+              std::size_t n, std::size_t d) {
+  const std::string label =
+      clusters == 0 ? std::string("sqrt") : std::to_string(clusters);
+  const std::string name = std::string("ablation_zero/") +
+                           drli::DistributionName(dist) + "/clusters:" +
+                           label + (fine_split ? "/split" : "/flat");
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [clusters, fine_split, dist, n, d](benchmark::State& state) {
+        const DualLayerIndex& index =
+            GetVariant(clusters, fine_split, dist, n, d);
+        drli::bench_util::CostSample sample;
+        for (auto _ : state) {
+          sample = drli::bench_util::AverageCost(index, d, /*k=*/10, 131);
+        }
+        state.counters["tuples"] = sample.avg_tuples;
+        state.counters["virtual"] = sample.avg_virtual;
+        state.counters["pseudo"] =
+            static_cast<double>(index.build_stats().num_virtual);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = drli::bench_util::DefaultN();
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAnticorrelated}) {
+    for (std::size_t clusters : {4u, 16u, 64u, 256u, 0u}) {
+      Register(clusters, /*fine_split=*/true, dist, n, /*d=*/4);
+    }
+    // DG+-style flat zero layer at the default cluster count.
+    Register(/*clusters=*/0, /*fine_split=*/false, dist, n, /*d=*/4);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

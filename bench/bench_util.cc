@@ -1,0 +1,107 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "benchmark/benchmark.h"
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace drli {
+namespace bench_util {
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+constexpr std::uint64_t kDataSeed = 20120401;  // ICDE 2012
+
+}  // namespace
+
+std::size_t DefaultN() {
+  static const std::size_t n = EnvSize("DRLI_BENCH_N", 10000);
+  return n;
+}
+
+std::size_t NumQueries() {
+  static const std::size_t q = EnvSize("DRLI_BENCH_QUERIES", 30);
+  return q;
+}
+
+const PointSet& GetDataset(Distribution dist, std::size_t n, std::size_t d) {
+  static std::map<std::string, std::unique_ptr<PointSet>>* cache =
+      new std::map<std::string, std::unique_ptr<PointSet>>();
+  const std::string key = std::string(DistributionName(dist)) + "/" +
+                          std::to_string(n) + "/" + std::to_string(d);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, std::make_unique<PointSet>(
+                                 Generate(dist, n, d, kDataSeed)))
+             .first;
+  }
+  return *it->second;
+}
+
+const TopKIndex& GetIndex(const std::string& kind, Distribution dist,
+                          std::size_t n, std::size_t d) {
+  static std::map<std::string, std::unique_ptr<TopKIndex>>* cache =
+      new std::map<std::string, std::unique_ptr<TopKIndex>>();
+  const std::string key = kind + "/" + DistributionName(dist) + "/" +
+                          std::to_string(n) + "/" + std::to_string(d);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    IndexBuildConfig config;
+    config.kind = kind;
+    auto built = BuildIndex(config, GetDataset(dist, n, d));
+    DRLI_CHECK(built.ok()) << built.status().ToString();
+    it = cache->emplace(key, std::move(built).value()).first;
+  }
+  return *it->second;
+}
+
+CostSample AverageCost(const TopKIndex& index, std::size_t d, std::size_t k,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  CostSample sample;
+  const std::size_t q = NumQueries();
+  for (std::size_t i = 0; i < q; ++i) {
+    TopKQuery query;
+    query.weights = rng.SimplexWeight(d);
+    query.k = k;
+    const TopKResult result = index.Query(query);
+    sample.avg_tuples += static_cast<double>(result.stats.tuples_evaluated);
+    sample.avg_virtual +=
+        static_cast<double>(result.stats.virtual_evaluated);
+  }
+  sample.avg_tuples /= static_cast<double>(q);
+  sample.avg_virtual /= static_cast<double>(q);
+  return sample;
+}
+
+void RegisterCostBenchmark(const std::string& name, const std::string& kind,
+                           Distribution dist, std::size_t n, std::size_t d,
+                           std::size_t k) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [kind, dist, n, d, k](benchmark::State& state) {
+        const TopKIndex& index = GetIndex(kind, dist, n, d);
+        CostSample sample;
+        for (auto _ : state) {
+          sample = AverageCost(index, d, k, /*seed=*/k * 7919 + d);
+        }
+        state.counters["tuples"] = sample.avg_tuples;
+        state.counters["virtual"] = sample.avg_virtual;
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace bench_util
+}  // namespace drli

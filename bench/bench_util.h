@@ -1,0 +1,63 @@
+// Shared plumbing for the benchmark harness that regenerates the
+// paper's tables and figures (Section VI).
+//
+// Conventions:
+//  * The cost metric is the paper's Definition 9 -- the number of
+//    relation tuples evaluated by the scoring function -- exposed as
+//    the "tuples" counter on every benchmark row. Wall-clock time is
+//    reported too but is not the headline number.
+//  * Dataset sizes scale with the DRLI_BENCH_N environment variable
+//    (default 10000; the paper uses 200000 -- set DRLI_BENCH_N=200000
+//    to run at paper scale). DRLI_BENCH_QUERIES (default 30) controls
+//    how many random weight vectors are averaged.
+//  * Indexes are built once per (kind, distribution, n, d) and shared
+//    across benchmark registrations within a binary.
+
+#ifndef DRLI_BENCH_BENCH_UTIL_H_
+#define DRLI_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/index_registry.h"
+#include "data/generator.h"
+#include "topk/query.h"
+
+namespace drli {
+namespace bench_util {
+
+// DRLI_BENCH_N (default 10000).
+std::size_t DefaultN();
+
+// DRLI_BENCH_QUERIES (default 30).
+std::size_t NumQueries();
+
+// Lazily built, cached index. `kind` as in IndexBuildConfig.
+const TopKIndex& GetIndex(const std::string& kind, Distribution dist,
+                          std::size_t n, std::size_t d);
+
+struct CostSample {
+  double avg_tuples = 0.0;    // Definition 9, averaged over queries
+  double avg_virtual = 0.0;   // zero-layer pseudo-tuple evaluations
+};
+
+// Runs NumQueries() random top-k queries (deterministic from `seed`)
+// and averages the access cost.
+CostSample AverageCost(const TopKIndex& index, std::size_t d, std::size_t k,
+                       std::uint64_t seed);
+
+// The shared dataset the cached indexes are built on.
+const PointSet& GetDataset(Distribution dist, std::size_t n, std::size_t d);
+
+// Registers one benchmark row named `name` that reports the average
+// access cost of index `kind` for top-k queries on (dist, n, d) as the
+// "tuples" counter (and zero-layer pseudo-tuple accesses as
+// "virtual"). The index is built outside the timed region.
+void RegisterCostBenchmark(const std::string& name, const std::string& kind,
+                           Distribution dist, std::size_t n, std::size_t d,
+                           std::size_t k);
+
+}  // namespace bench_util
+}  // namespace drli
+
+#endif  // DRLI_BENCH_BENCH_UTIL_H_

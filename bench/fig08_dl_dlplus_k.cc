@@ -1,0 +1,9 @@
+// Fig. 8: DL vs DL+ with varying retrieval size k (d = 4). Expected shape: DL+ accesses ~2x fewer tuples than DL at every k; cost grows roughly linearly with k.
+
+namespace {
+constexpr const char* kFigureName = "fig08";
+}  // namespace
+#define kKinds \
+  { "dl", "dl+" }
+#define kSweepAxis SweepAxis::kK
+#include "bench/sweep_main.inc"

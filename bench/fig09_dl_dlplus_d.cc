@@ -1,0 +1,9 @@
+// Fig. 9: DL vs DL+ with varying dimensionality d (k = 10). Expected shape: the DL+/DL gap widens as d grows (about 3x fewer accesses at d = 5).
+
+namespace {
+constexpr const char* kFigureName = "fig09";
+}  // namespace
+#define kKinds \
+  { "dl", "dl+" }
+#define kSweepAxis SweepAxis::kD
+#include "bench/sweep_main.inc"

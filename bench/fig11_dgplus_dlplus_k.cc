@@ -1,0 +1,9 @@
+// Fig. 11: DG+ vs DL+ with varying retrieval size k (d = 4). Expected shape: DL+ consistently below DG+, mirroring Fig. 10 with zero layers on both sides.
+
+namespace {
+constexpr const char* kFigureName = "fig11";
+}  // namespace
+#define kKinds \
+  { "dg+", "dl+" }
+#define kSweepAxis SweepAxis::kK
+#include "bench/sweep_main.inc"

@@ -1,0 +1,9 @@
+// Fig. 12: HL+ vs DL+ with varying retrieval size k (d = 4). Expected shape: DL+ far below HL+, and the gap widens with k (about an order of magnitude at k = 50 on anti-correlated data).
+
+namespace {
+constexpr const char* kFigureName = "fig12";
+}  // namespace
+#define kKinds \
+  { "hl+", "dl+" }
+#define kSweepAxis SweepAxis::kK
+#include "bench/sweep_main.inc"

@@ -1,0 +1,9 @@
+// Fig. 13: DG vs DL with varying dimensionality d (k = 10). Expected shape: the gap grows with d (about 2.5x at d = 5 on anti-correlated data).
+
+namespace {
+constexpr const char* kFigureName = "fig13";
+}  // namespace
+#define kKinds \
+  { "dg", "dl" }
+#define kSweepAxis SweepAxis::kD
+#include "bench/sweep_main.inc"

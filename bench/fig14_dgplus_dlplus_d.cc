@@ -1,0 +1,9 @@
+// Fig. 14: DG+ vs DL+ with varying dimensionality d (k = 10). Expected shape: as Fig. 13 with zero layers on both sides.
+
+namespace {
+constexpr const char* kFigureName = "fig14";
+}  // namespace
+#define kKinds \
+  { "dg+", "dl+" }
+#define kSweepAxis SweepAxis::kD
+#include "bench/sweep_main.inc"

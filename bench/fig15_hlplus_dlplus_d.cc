@@ -1,0 +1,9 @@
+// Fig. 15: HL+ vs DL+ with varying dimensionality d (k = 10). Expected shape: DL+ one to two orders of magnitude below HL+ at d = 5 on anti-correlated data.
+
+namespace {
+constexpr const char* kFigureName = "fig15";
+}  // namespace
+#define kKinds \
+  { "hl+", "dl+" }
+#define kSweepAxis SweepAxis::kD
+#include "bench/sweep_main.inc"

@@ -1,0 +1,36 @@
+// Fig. 16: DG+ vs DL+ with varying cardinality n (k = 10, d = 4).
+// The paper sweeps 100K..500K around the 200K default; this harness
+// sweeps {0.5, 1.0, 1.5, 2.0, 2.5} x DRLI_BENCH_N.
+//
+// Expected shape: both algorithms are far less sensitive to n than to
+// k or d (access cost is roughly flat as n grows), with DL+ always
+// below DG+.
+
+#include <string>
+
+#include "benchmark/benchmark.h"
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using drli::Distribution;
+  const std::size_t base = drli::bench_util::DefaultN();
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAnticorrelated}) {
+    for (std::size_t factor : {1u, 2u, 3u, 4u, 5u}) {
+      const std::size_t n = base * factor / 2;
+      for (const char* kind : {"dg+", "dl+"}) {
+        const std::string name = std::string("fig16/") +
+                                 drli::DistributionName(dist) + "/" + kind +
+                                 "/n:" + std::to_string(n);
+        drli::bench_util::RegisterCostBenchmark(name, kind, dist, n, /*d=*/4,
+                                                /*k=*/10);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Extension: the related-work families of Section VII -- list-based
+// (FA/TA/NRA) and view-based (PREFER/LPTA) -- against the layer-based
+// indexes on the same workload. Not a paper figure, but it completes
+// the taxonomy: list algorithms degrade on anti-correlated lists and
+// view reuse depends on how close a materialized view is, while the
+// dual-resolution layers stay selective.
+
+#include <string>
+
+#include "benchmark/benchmark.h"
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using drli::Distribution;
+  const std::size_t n = drli::bench_util::DefaultN();
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAnticorrelated}) {
+    for (std::size_t k : {10u, 50u}) {
+      for (const char* kind :
+           {"fa", "ta", "nra", "prefer", "lpta", "pli", "hl+", "dl+"}) {
+        const std::string name = std::string("list_baselines/") +
+                                 drli::DistributionName(dist) + "/" + kind +
+                                 "/k:" + std::to_string(k);
+        drli::bench_util::RegisterCostBenchmark(name, kind, dist, n, /*d=*/4,
+                                                k);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

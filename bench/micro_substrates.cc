@@ -1,0 +1,167 @@
+// Microbenchmarks for the substrates underneath the indexes: convex
+// hull construction, convex-skyline extraction, the EDS feasibility LP,
+// k-means, the Section V-A weight-table lookup, and the 2-d kinetic
+// rank sweep. These are timing benchmarks proper (google-benchmark
+// loops), unlike the figure harnesses whose headline is the access
+// counter.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+
+#include "bench/bench_util.h"
+#include "cluster/kmeans.h"
+#include "common/random.h"
+#include "core/eds.h"
+#include "core/rank_sweep_2d.h"
+#include "core/zero_layer.h"
+#include "data/generator.h"
+#include "geometry/convex_hull.h"
+#include "geometry/convex_hull_2d.h"
+#include "geometry/convex_skyline.h"
+
+namespace {
+
+using drli::Distribution;
+using drli::PointSet;
+
+void BM_ConvexHull(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const PointSet& pts =
+      drli::bench_util::GetDataset(Distribution::kIndependent, n, d);
+  std::size_t facets = 0;
+  for (auto _ : state) {
+    drli::ConvexHull hull;
+    drli::ConvexHullOptions options;
+    const auto status = drli::ComputeConvexHull(pts, options, &hull);
+    benchmark::DoNotOptimize(status);
+    facets = hull.facets.size();
+  }
+  state.counters["facets"] = static_cast<double>(facets);
+}
+BENCHMARK(BM_ConvexHull)
+    ->Args({1000, 2})
+    ->Args({1000, 3})
+    ->Args({1000, 4})
+    ->Args({1000, 5})
+    ->Args({5000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConvexSkyline(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const PointSet& pts =
+      drli::bench_util::GetDataset(Distribution::kAnticorrelated, n, d);
+  std::size_t members = 0;
+  for (auto _ : state) {
+    const drli::ConvexSkylineResult csky = drli::ComputeConvexSkyline(pts);
+    benchmark::DoNotOptimize(csky.members.data());
+    members = csky.members.size();
+  }
+  state.counters["members"] = static_cast<double>(members);
+}
+BENCHMARK(BM_ConvexSkyline)
+    ->Args({2000, 2})
+    ->Args({2000, 3})
+    ->Args({2000, 4})
+    ->Args({2000, 5})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LowerLeftChain2D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const PointSet& pts =
+      drli::bench_util::GetDataset(Distribution::kAnticorrelated, n, 2);
+  for (auto _ : state) {
+    const auto chain = drli::LowerLeftChain2D(pts);
+    benchmark::DoNotOptimize(chain.data());
+  }
+}
+BENCHMARK(BM_LowerLeftChain2D)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EdsFacetTest(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const PointSet pts = drli::GenerateIndependent(256, d, 3);
+  drli::Rng rng(4);
+  // Pre-draw facet/target pairs.
+  std::vector<std::vector<drli::TupleId>> facets;
+  std::vector<drli::TupleId> targets;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<drli::TupleId> facet;
+    while (facet.size() < d) {
+      const auto id = static_cast<drli::TupleId>(rng.Index(pts.size()));
+      if (std::find(facet.begin(), facet.end(), id) == facet.end()) {
+        facet.push_back(id);
+      }
+    }
+    facets.push_back(facet);
+    targets.push_back(static_cast<drli::TupleId>(rng.Index(pts.size())));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bool eds =
+        drli::FacetIsEds(pts, facets[i & 63], pts[targets[i & 63]]);
+    benchmark::DoNotOptimize(eds);
+    ++i;
+  }
+}
+BENCHMARK(BM_EdsFacetTest)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_KMeans(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const PointSet& pts =
+      drli::bench_util::GetDataset(Distribution::kIndependent, n, 4);
+  for (auto _ : state) {
+    drli::KMeansOptions options;
+    options.num_clusters = 64;
+    const drli::KMeansResult result = drli::KMeans(pts, options);
+    benchmark::DoNotOptimize(result.centroids.data());
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_WeightTableLookup(benchmark::State& state) {
+  const PointSet& pts =
+      drli::bench_util::GetDataset(Distribution::kAnticorrelated, 100000, 2);
+  const auto chain32 = drli::LowerLeftChain2D(pts);
+  std::vector<drli::TupleId> chain(chain32.begin(), chain32.end());
+  const drli::WeightRangeTable table =
+      drli::WeightRangeTable::Build(pts, chain);
+  drli::Rng rng(5);
+  std::vector<double> w1s(1024);
+  for (double& w : w1s) w = rng.Uniform(0.001, 0.999);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Lookup(w1s[i & 1023]));
+    ++i;
+  }
+  state.counters["chain"] = static_cast<double>(table.size());
+}
+BENCHMARK(BM_WeightTableLookup);
+
+void BM_RankSweep2D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const PointSet& pts =
+      drli::bench_util::GetDataset(Distribution::kAnticorrelated, n, 2);
+  std::size_t intervals = 0;
+  for (auto _ : state) {
+    const drli::RankSweepResult sweep = drli::SweepTopKSets2D(pts, k);
+    benchmark::DoNotOptimize(sweep.topk_sets.data());
+    intervals = sweep.topk_sets.size();
+  }
+  state.counters["intervals"] = static_cast<double>(intervals);
+}
+BENCHMARK(BM_RankSweep2D)
+    ->Args({500, 10})
+    ->Args({2000, 10})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table IV: index construction time of each algorithm (seconds) at the
+// default setting (paper: k = 10, d = 4, n = 200K; here n scales with
+// DRLI_BENCH_N).
+//
+// Expected shape: HL and HL+ share one build; DG+ and DL+ add a
+// negligible zero-layer cost (< 1%) over DG and DL; DL costs more than
+// DG because it computes convex skylines on top of the skylines.
+// (Absolute ordering of HL vs DG depends on the hull / skyline
+// implementations; see EXPERIMENTS.md.)
+
+#include <string>
+
+#include "benchmark/benchmark.h"
+
+#include "bench/bench_util.h"
+#include "core/index_registry.h"
+
+namespace {
+
+void RegisterBuild(const std::string& kind, drli::Distribution dist) {
+  const std::size_t n = drli::bench_util::DefaultN();
+  const std::string name = std::string("table4/") +
+                           drli::DistributionName(dist) + "/" + kind;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [kind, dist, n](benchmark::State& state) {
+        const drli::PointSet& points =
+            drli::bench_util::GetDataset(dist, n, /*d=*/4);
+        std::size_t size = 0;
+        for (auto _ : state) {
+          drli::IndexBuildConfig config;
+          config.kind = kind;
+          auto index = drli::BuildIndex(config, points);
+          benchmark::DoNotOptimize(index);
+          size = index.value()->size();
+        }
+        state.counters["n"] = static_cast<double>(size);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kSecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (drli::Distribution dist : {drli::Distribution::kIndependent,
+                                  drli::Distribution::kAnticorrelated}) {
+    for (const char* kind : {"hl", "hl+", "dg", "dg+", "dl", "dl+"}) {
+      RegisterBuild(kind, dist);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Layer anatomy across distributions and dimensionalities: how many
+// coarse layers and fine sublayers the dual-resolution decomposition
+// produces, how big the critical first layers are, and why
+// anti-correlated high-dimensional data is the regime where the paper's
+// fine split pays off (Section VI-E's "curse of dimensionality"
+// discussion).
+//
+//   $ build/examples/layer_explorer [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dual_layer.h"
+#include "data/generator.h"
+
+namespace {
+
+void Explore(drli::Distribution dist, std::size_t n, std::size_t d) {
+  using namespace drli;
+  PointSet points = Generate(dist, n, d, /*seed=*/77);
+  const DualLayerIndex index = DualLayerIndex::Build(points);
+  const DualLayerBuildStats& stats = index.build_stats();
+  const auto groups = index.LayerGroups();
+
+  // First coarse layer = skyline; first group = L^11 (convex skyline).
+  std::size_t layer1 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (index.coarse_layer_of(static_cast<DualLayerIndex::NodeId>(i)) == 0) {
+      ++layer1;
+    }
+  }
+  const std::size_t l11 = groups.empty() ? 0 : groups[0].size();
+
+  std::printf("%3s d=%zu | coarse %3zu  fine %4zu | |L1|=%5zu (%4.1f%%)  "
+              "|L11|=%4zu | fine/coarse ratio %.1f\n",
+              DistributionName(dist), d, stats.num_coarse_layers,
+              stats.num_fine_layers, layer1,
+              100.0 * static_cast<double>(layer1) / static_cast<double>(n),
+              l11,
+              static_cast<double>(stats.num_fine_layers) /
+                  static_cast<double>(stats.num_coarse_layers));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  std::printf("layer anatomy at n = %zu\n", n);
+  std::printf("the gap |L1| vs |L11| is exactly what the dual resolution "
+              "exploits:\nDG must touch all of L1, DL only L11 plus "
+              "unlocked tuples.\n\n");
+  for (drli::Distribution dist :
+       {drli::Distribution::kCorrelated, drli::Distribution::kIndependent,
+        drli::Distribution::kAnticorrelated}) {
+    for (std::size_t d = 2; d <= 5; ++d) {
+      Explore(dist, n, d);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

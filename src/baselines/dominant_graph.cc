@@ -1,0 +1,139 @@
+#include "baselines/dominant_graph.h"
+
+#include <queue>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/zero_layer.h"
+#include "skyline/skyline_layers.h"
+
+namespace drli {
+
+DominantGraphIndex DominantGraphIndex::Build(
+    PointSet points, const DominantGraphOptions& options) {
+  Stopwatch timer;
+  DominantGraphIndex index;
+  index.points_ = std::move(points);
+  index.virtual_points_ = PointSet(index.points_.dim());
+  index.name_ = options.name.empty()
+                    ? (options.build_zero_layer ? "DG+" : "DG")
+                    : options.name;
+
+  const std::size_t n = index.points_.size();
+  index.out_.assign(n, {});
+  index.in_degree_.assign(n, 0);
+
+  if (n > 0) {
+    LayerDecomposition decomposition =
+        BuildSkylineLayers(index.points_, options.skyline_algorithm);
+    index.layers_ = std::move(decomposition.layers);
+    index.stats_.num_layers = index.layers_.size();
+
+    for (std::size_t i = 0; i + 1 < index.layers_.size(); ++i) {
+      ForEachDominancePair(index.points_, index.layers_[i],
+                           index.layers_[i + 1],
+                           [&](TupleId source, TupleId target) {
+                             index.out_[source].push_back(target);
+                             ++index.in_degree_[target];
+                             ++index.stats_.num_edges;
+                           });
+    }
+
+    if (options.build_zero_layer) {
+      const ClusteredZeroLayer zero = BuildClusteredZeroLayer(
+          index.points_, index.layers_[0], options.zero_layer_clusters,
+          options.zero_layer_seed);
+      if (!zero.pseudo.empty()) {
+        index.virtual_points_ = zero.pseudo;
+        const std::size_t v = index.virtual_points_.size();
+        index.stats_.num_virtual = v;
+        index.out_.resize(n + v);
+        index.in_degree_.resize(n + v, 0);
+        for (TupleId target : index.layers_[0]) {
+          const PointView tp = index.points_[target];
+          for (std::size_t i = 0; i < v; ++i) {
+            if (WeaklyDominates(index.virtual_points_[i], tp)) {
+              index.out_[n + i].push_back(target);
+              ++index.in_degree_[target];
+              ++index.stats_.num_edges;
+            }
+          }
+          DRLI_CHECK(index.in_degree_[target] > 0);
+        }
+      }
+    }
+  }
+
+  for (std::size_t node = 0; node < index.num_nodes(); ++node) {
+    if (index.in_degree_[node] == 0) {
+      index.initial_.push_back(static_cast<NodeId>(node));
+    }
+  }
+  index.stats_.build_seconds = timer.ElapsedSeconds();
+  return index;
+}
+
+TopKResult DominantGraphIndex::Query(const TopKQuery& query) const {
+  ValidateQuery(query, points_.dim());
+  // Copy the weights so the scorer does not dangle on the span.
+  const Point weights = query.weights;
+  return QueryMonotone(
+      [weights](PointView p) { return Score(weights, p); }, query.k);
+}
+
+TopKResult DominantGraphIndex::QueryMonotone(const MonotoneScorer& scorer,
+                                             std::size_t k) const {
+  DRLI_CHECK_GE(k, 1u);
+  const std::size_t total = num_nodes();
+
+  TopKResult result;
+  if (total == 0) return result;
+
+  enum : std::uint8_t { kBlocked = 0, kQueued = 1, kPopped = 2 };
+  std::vector<std::uint32_t> remaining = in_degree_;
+  std::vector<std::uint8_t> state(total, kBlocked);
+
+  struct Entry {
+    double score;
+    NodeId node;
+  };
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score > b.score;
+      return a.node > b.node;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Greater> queue;
+
+  auto try_enqueue = [&](NodeId node) {
+    if (state[node] != kBlocked || remaining[node] != 0) return;
+    const double score = scorer(node_point(node));
+    if (is_virtual(node)) {
+      ++result.stats.virtual_evaluated;
+    } else {
+      ++result.stats.tuples_evaluated;
+      result.accessed.push_back(node);
+    }
+    state[node] = kQueued;
+    queue.push(Entry{score, node});
+  };
+
+  for (NodeId node : initial_) try_enqueue(node);
+
+  while (result.items.size() < k && !queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    state[top.node] = kPopped;
+    if (!is_virtual(top.node)) {
+      result.items.push_back(ScoredTuple{top.node, top.score});
+      if (result.items.size() == k) break;
+    }
+    for (const NodeId succ : out_[top.node]) {
+      DRLI_DCHECK(remaining[succ] > 0);
+      if (--remaining[succ] == 0) try_enqueue(succ);
+    }
+  }
+  return result;
+}
+
+}  // namespace drli

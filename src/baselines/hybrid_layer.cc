@@ -1,0 +1,73 @@
+#include "baselines/hybrid_layer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "skyline/skyline_layers.h"
+#include "topk/threshold_algorithm.h"
+
+namespace drli {
+
+HybridLayerIndex HybridLayerIndex::Build(PointSet points,
+                                         const HybridLayerOptions& options) {
+  Stopwatch timer;
+  HybridLayerIndex index;
+  index.points_ = std::move(points);
+  index.tight_threshold_ = options.tight_threshold;
+  index.name_ = options.name.empty()
+                    ? (options.tight_threshold ? "HL+" : "HL")
+                    : options.name;
+  if (!index.points_.empty()) {
+    ConvexLayerDecomposition decomposition = BuildConvexLayers(
+        index.points_, options.max_layers, options.skyline_algorithm);
+    index.layers_ = std::move(decomposition.layers);
+    index.stats_.truncated = decomposition.truncated;
+    index.lists_.reserve(index.layers_.size());
+    for (const std::vector<TupleId>& layer : index.layers_) {
+      index.lists_.emplace_back(index.points_, layer);
+    }
+  }
+  index.stats_.num_layers = index.layers_.size();
+  index.stats_.build_seconds = timer.ElapsedSeconds();
+  return index;
+}
+
+TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
+  ValidateQuery(query, points_.dim());
+  const PointView w(query.weights);
+
+  TopKResult result;
+  if (points_.empty()) return result;
+  if (stats_.truncated) {
+    DRLI_CHECK(query.k < layers_.size())
+        << "k exceeds the peeled layer budget of this HL index";
+  }
+
+  TopKHeap heap(query.k);
+  std::size_t layers_scanned = 0;
+  // Strictly increasing lower bound on the minimum score of every
+  // still-unscanned layer (HL+ only): convex-layer minima increase
+  // layer over layer, so the previous layer's minimum bounds them all.
+  double chain_bound = -std::numeric_limits<double>::infinity();
+  for (const SortedLists& layer_lists : lists_) {
+    if (layers_scanned == query.k) break;  // k-layer guarantee
+    if (tight_threshold_ &&
+        std::max(chain_bound, LayerScoreLowerBound(layer_lists, w)) >=
+            heap.KthScore()) {
+      // No tuple in this or any later layer can enter the top-k.
+      break;
+    }
+    double layer_min_bound = 0.0;
+    TaScanLayer(points_, layer_lists, w, &heap,
+                &result.stats.tuples_evaluated, &layer_min_bound,
+                &result.accessed);
+    chain_bound = std::max(chain_bound, layer_min_bound);
+    ++layers_scanned;
+  }
+  result.items = heap.SortedAscending();
+  return result;
+}
+
+}  // namespace drli

@@ -1,0 +1,208 @@
+#include "baselines/list_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "topk/threshold_algorithm.h"
+
+namespace drli {
+
+namespace {
+
+std::vector<TupleId> AllIds(std::size_t n) {
+  std::vector<TupleId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+}  // namespace
+
+ListIndex::ListIndex(PointSet points, ListAlgorithm algorithm)
+    : points_(std::move(points)),
+      algorithm_(algorithm),
+      lists_(points_, AllIds(points_.size())) {}
+
+ListIndex ListIndex::Build(PointSet points, ListAlgorithm algorithm) {
+  return ListIndex(std::move(points), algorithm);
+}
+
+std::string ListIndex::name() const {
+  switch (algorithm_) {
+    case ListAlgorithm::kFa:
+      return "FA";
+    case ListAlgorithm::kTa:
+      return "TA";
+    case ListAlgorithm::kNra:
+      return "NRA";
+  }
+  return "LIST";
+}
+
+TopKResult ListIndex::Query(const TopKQuery& query) const {
+  ValidateQuery(query, points_.dim());
+  switch (algorithm_) {
+    case ListAlgorithm::kFa:
+      return QueryFa(query);
+    case ListAlgorithm::kTa:
+      return QueryTa(query);
+    case ListAlgorithm::kNra:
+      return QueryNra(query);
+  }
+  DRLI_CHECK(false) << "unreachable";
+  return TopKResult{};
+}
+
+TopKResult ListIndex::QueryFa(const TopKQuery& query) const {
+  const std::size_t d = points_.dim();
+  const std::size_t n = points_.size();
+  TopKResult result;
+  if (n == 0) return result;
+
+  // Phase 1: sorted access until k tuples were seen in every list.
+  std::unordered_map<TupleId, std::size_t> seen_count;
+  seen_count.reserve(4 * query.k * d);
+  std::size_t fully_seen = 0;
+  for (std::size_t pos = 0; pos < n && fully_seen < query.k; ++pos) {
+    for (std::size_t attr = 0; attr < d; ++attr) {
+      if (++seen_count[lists_.At(attr, pos).id] == d) ++fully_seen;
+    }
+  }
+
+  // Phase 2: random access to complete every tuple seen anywhere.
+  TopKHeap heap(query.k);
+  for (const auto& [id, count] : seen_count) {
+    heap.Push(ScoredTuple{id, Score(query.weights, points_[id])});
+    ++result.stats.tuples_evaluated;
+    result.accessed.push_back(id);
+  }
+  result.items = heap.SortedAscending();
+  return result;
+}
+
+TopKResult ListIndex::QueryTa(const TopKQuery& query) const {
+  TopKResult result;
+  if (points_.empty()) return result;
+  TopKHeap heap(query.k);
+  TaScanLayer(points_, lists_, query.weights, &heap,
+              &result.stats.tuples_evaluated, /*layer_min_bound=*/nullptr,
+              &result.accessed);
+  result.items = heap.SortedAscending();
+  return result;
+}
+
+TopKResult ListIndex::QueryNra(const TopKQuery& query) const {
+  const std::size_t d = points_.dim();
+  const std::size_t n = points_.size();
+  TopKResult result;
+  if (n == 0) return result;
+  const std::size_t k = std::min(query.k, n);
+  const PointView w(query.weights);
+
+  // Per-attribute domain maxima tighten the upper bounds.
+  std::vector<double> attr_max(d);
+  for (std::size_t attr = 0; attr < d; ++attr) {
+    attr_max[attr] = lists_.At(attr, n - 1).value;
+  }
+
+  struct Partial {
+    std::uint32_t known_mask = 0;
+    double known_sum = 0.0;
+  };
+  std::unordered_map<TupleId, Partial> seen;
+  seen.reserve(16 * k);
+  std::vector<double> frontier(d, 0.0);
+
+  auto bounds_of = [&](const Partial& p) {
+    double lower = p.known_sum, upper = p.known_sum;
+    for (std::size_t attr = 0; attr < d; ++attr) {
+      if (p.known_mask & (1u << attr)) continue;
+      // An attribute not yet seen in list `attr` is at or beyond the
+      // frontier, and at most the list maximum.
+      lower += w[attr] * frontier[attr];
+      upper += w[attr] * attr_max[attr];
+    }
+    return std::make_pair(lower, upper);
+  };
+
+  std::vector<std::pair<double, TupleId>> winners;  // (upper, id)
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    for (std::size_t attr = 0; attr < d; ++attr) {
+      const SortedLists::Entry& e = lists_.At(attr, pos);
+      frontier[attr] = e.value;
+      Partial& p = seen[e.id];
+      if (!(p.known_mask & (1u << attr))) {
+        p.known_mask |= (1u << attr);
+        p.known_sum += w[attr] * e.value;
+      }
+    }
+
+    // Periodic stop check (the bound scan is linear in |seen|, so the
+    // check runs every 64 sorted-access rounds to keep the whole query
+    // near-linear).
+    if ((pos & 63) != 63 && pos + 1 != n) continue;
+    if (seen.size() < k) continue;
+
+    // k smallest upper bounds among seen tuples.
+    std::vector<std::pair<double, TupleId>> uppers;
+    uppers.reserve(seen.size());
+    double min_other_lower = std::numeric_limits<double>::infinity();
+    for (const auto& [id, partial] : seen) {
+      uppers.push_back({bounds_of(partial).second, id});
+    }
+    std::nth_element(uppers.begin(), uppers.begin() + (k - 1), uppers.end());
+    const double kth_upper = uppers[k - 1].first;
+    std::unordered_set<TupleId> candidate_ids;
+    candidate_ids.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) candidate_ids.insert(uppers[i].second);
+    for (const auto& [id, partial] : seen) {
+      if (candidate_ids.count(id)) continue;
+      min_other_lower =
+          std::min(min_other_lower, bounds_of(partial).first);
+    }
+    // Tuples never seen in any list score at least the frontier sum.
+    if (seen.size() < n) {
+      double unseen_lower = 0.0;
+      for (std::size_t attr = 0; attr < d; ++attr) {
+        unseen_lower += w[attr] * frontier[attr];
+      }
+      min_other_lower = std::min(min_other_lower, unseen_lower);
+    }
+    if (kth_upper <= min_other_lower) {
+      winners.assign(uppers.begin(), uppers.begin() + k);
+      break;
+    }
+  }
+  if (winners.empty()) {
+    // Exhausted the lists: every tuple is fully known.
+    std::vector<std::pair<double, TupleId>> uppers;
+    for (const auto& [id, partial] : seen) {
+      uppers.push_back({bounds_of(partial).second, id});
+    }
+    std::nth_element(uppers.begin(), uppers.begin() + (k - 1), uppers.end());
+    winners.assign(uppers.begin(), uppers.begin() + k);
+  }
+
+  // NRA's cost: tuples whose partial information was materialized.
+  result.stats.tuples_evaluated = seen.size();
+  result.accessed.reserve(seen.size());
+  for (const auto& [id, partial] : seen) result.accessed.push_back(id);
+  // Report exact scores for the winning set (the set itself is already
+  // exact: its upper bounds beat every other lower bound).
+  result.items.reserve(winners.size());
+  for (const auto& [upper, id] : winners) {
+    result.items.push_back(ScoredTuple{id, Score(w, points_[id])});
+  }
+  std::sort(result.items.begin(), result.items.end(),
+            [](const ScoredTuple& a, const ScoredTuple& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.id < b.id;
+            });
+  return result;
+}
+
+}  // namespace drli

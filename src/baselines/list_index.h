@@ -1,0 +1,64 @@
+// List-based top-k processing (Section VII-B): d sorted attribute lists
+// over the whole relation, queried with one of the classic middleware
+// algorithms. Included as the non-layer baseline family the paper
+// positions itself against.
+//
+//  * FA  (Fagin, PODS'96): round-robin sorted access until k tuples
+//    have been seen in every list, then random access to everything
+//    seen. Simple, but access cost grows quickly.
+//  * TA  (Fagin, Lotem & Naor): sorted access with immediate random
+//    access; stops when the frontier threshold reaches the k-th best
+//    score. Instance-optimal among random-access algorithms.
+//  * NRA (no random access): maintains score intervals from partial
+//    attribute knowledge only; stops when k tuples' upper bounds beat
+//    every other tuple's lower bound.
+//
+// Cost accounting: FA/TA count distinct tuples scored (Definition 9);
+// NRA never computes full scores, so it counts distinct tuples whose
+// partial information was materialized.
+
+#ifndef DRLI_BASELINES_LIST_INDEX_H_
+#define DRLI_BASELINES_LIST_INDEX_H_
+
+#include <string>
+
+#include "common/point.h"
+#include "topk/query.h"
+#include "topk/sorted_lists.h"
+
+namespace drli {
+
+enum class ListAlgorithm {
+  kFa,
+  kTa,
+  kNra,
+};
+
+class ListIndex final : public TopKIndex {
+ public:
+  static ListIndex Build(PointSet points, ListAlgorithm algorithm);
+
+  ListIndex(ListIndex&&) = default;
+  ListIndex& operator=(ListIndex&&) = default;
+
+  std::string name() const override;
+  std::size_t size() const override { return points_.size(); }
+  TopKResult Query(const TopKQuery& query) const override;
+
+  ListAlgorithm algorithm() const { return algorithm_; }
+
+ private:
+  ListIndex(PointSet points, ListAlgorithm algorithm);
+
+  TopKResult QueryFa(const TopKQuery& query) const;
+  TopKResult QueryTa(const TopKQuery& query) const;
+  TopKResult QueryNra(const TopKQuery& query) const;
+
+  PointSet points_;
+  ListAlgorithm algorithm_;
+  SortedLists lists_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_BASELINES_LIST_INDEX_H_

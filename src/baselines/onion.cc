@@ -1,0 +1,63 @@
+#include "baselines/onion.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "skyline/skyline_layers.h"
+#include "topk/threshold_algorithm.h"
+
+namespace drli {
+
+OnionIndex OnionIndex::Build(PointSet points, const OnionOptions& options) {
+  Stopwatch timer;
+  OnionIndex index;
+  index.points_ = std::move(points);
+  index.name_ = options.name;
+  index.early_stop_ = options.early_stop;
+  if (!index.points_.empty()) {
+    ConvexLayerDecomposition decomposition = BuildConvexLayers(
+        index.points_, options.max_layers, options.skyline_algorithm);
+    index.layers_ = std::move(decomposition.layers);
+    index.stats_.truncated = decomposition.truncated;
+  }
+  index.stats_.num_layers = index.layers_.size();
+  index.stats_.build_seconds = timer.ElapsedSeconds();
+  return index;
+}
+
+TopKResult OnionIndex::Query(const TopKQuery& query) const {
+  ValidateQuery(query, points_.dim());
+  const PointView w(query.weights);
+
+  TopKResult result;
+  if (points_.empty()) return result;
+  if (stats_.truncated) {
+    // The tail layer breaks the k-layer guarantee beyond the cap.
+    DRLI_CHECK(query.k < layers_.size())
+        << "k exceeds the peeled layer budget of this Onion index";
+  }
+
+  TopKHeap heap(query.k);
+  std::size_t layers_scanned = 0;
+  for (const std::vector<TupleId>& layer : layers_) {
+    if (layers_scanned == query.k) break;  // k-layer guarantee
+    double layer_min = std::numeric_limits<double>::infinity();
+    for (TupleId id : layer) {
+      const double score = Score(w, points_[id]);
+      ++result.stats.tuples_evaluated;
+      result.accessed.push_back(id);
+      heap.Push(ScoredTuple{id, score});
+      layer_min = std::min(layer_min, score);
+    }
+    ++layers_scanned;
+    // Layer minima strictly increase, so once the k-th best is at or
+    // below this layer's minimum no later layer can improve the result.
+    if (early_stop_ && heap.KthScore() <= layer_min) break;
+  }
+  result.items = heap.SortedAscending();
+  return result;
+}
+
+}  // namespace drli

@@ -1,0 +1,204 @@
+#include "baselines/view_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "geometry/simplex_lp.h"
+#include "topk/threshold_algorithm.h"
+
+namespace drli {
+
+namespace {
+
+double CosineSimilarity(PointView a, PointView b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const double denom = std::sqrt(na * nb);
+  return denom > 0 ? dot / denom : 0.0;
+}
+
+}  // namespace
+
+double MinQueryScoreGivenViewBound(PointView query_weights,
+                                   PointView view_weights,
+                                   double threshold) {
+  const std::size_t d = query_weights.size();
+  DRLI_DCHECK(view_weights.size() == d);
+  if (threshold <= 0.0) return 0.0;
+  // Fractional knapsack: buy view-score units at the cheapest
+  // query-score price q_i / v_i first.
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    // v_i == 0 dims cannot help meet the constraint; push them last.
+    const double ra = view_weights[a] > 0
+                          ? query_weights[a] / view_weights[a]
+                          : std::numeric_limits<double>::infinity();
+    const double rb = view_weights[b] > 0
+                          ? query_weights[b] / view_weights[b]
+                          : std::numeric_limits<double>::infinity();
+    return ra < rb;
+  });
+  double remaining = threshold;
+  double cost = 0.0;
+  for (std::size_t i : order) {
+    if (view_weights[i] <= 0.0) break;
+    const double take = std::min(1.0, remaining / view_weights[i]);
+    cost += query_weights[i] * take;
+    remaining -= view_weights[i] * take;
+    if (remaining <= 1e-12) return cost;
+  }
+  return std::numeric_limits<double>::infinity();  // box cannot reach it
+}
+
+ViewIndex ViewIndex::Build(PointSet points, const ViewIndexOptions& options) {
+  Stopwatch timer;
+  ViewIndex index;
+  index.points_ = std::move(points);
+  index.options_ = options;
+  index.name_ = options.name.empty()
+                    ? (options.algorithm == ViewAlgorithm::kPrefer
+                           ? "PREFER"
+                           : "LPTA")
+                    : options.name;
+
+  const std::size_t d = index.points_.dim();
+  const std::size_t num_views = std::max<std::size_t>(1, options.num_views);
+  Rng rng(options.seed);
+  index.view_weights_.push_back(Point(d, 1.0 / static_cast<double>(d)));
+  while (index.view_weights_.size() < num_views) {
+    index.view_weights_.push_back(rng.SimplexWeight(d));
+  }
+
+  index.views_.reserve(num_views);
+  for (const Point& w : index.view_weights_) {
+    std::vector<ViewEntry> view;
+    view.reserve(index.points_.size());
+    for (std::size_t i = 0; i < index.points_.size(); ++i) {
+      view.push_back(ViewEntry{Score(w, index.points_[i]),
+                               static_cast<TupleId>(i)});
+    }
+    std::sort(view.begin(), view.end(),
+              [](const ViewEntry& a, const ViewEntry& b) {
+                if (a.score != b.score) return a.score < b.score;
+                return a.id < b.id;
+              });
+    index.views_.push_back(std::move(view));
+  }
+  index.stats_.num_views = index.views_.size();
+  index.stats_.build_seconds = timer.ElapsedSeconds();
+  return index;
+}
+
+std::vector<std::size_t> ViewIndex::SelectViews(PointView weights,
+                                                std::size_t count) const {
+  std::vector<std::size_t> order(view_weights_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> similarity(view_weights_.size());
+  for (std::size_t v = 0; v < view_weights_.size(); ++v) {
+    similarity[v] = CosineSimilarity(weights, view_weights_[v]);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (similarity[a] != similarity[b]) return similarity[a] > similarity[b];
+    return a < b;
+  });
+  order.resize(std::min(count, order.size()));
+  return order;
+}
+
+TopKResult ViewIndex::Query(const TopKQuery& query) const {
+  ValidateQuery(query, points_.dim());
+  if (options_.algorithm == ViewAlgorithm::kPrefer) {
+    return QueryPrefer(query);
+  }
+  return QueryLpta(query);
+}
+
+TopKResult ViewIndex::QueryPrefer(const TopKQuery& query) const {
+  TopKResult result;
+  if (points_.empty()) return result;
+  const PointView q(query.weights);
+  const std::size_t best_view = SelectViews(q, 1)[0];
+  const std::vector<ViewEntry>& view = views_[best_view];
+  const PointView v(view_weights_[best_view]);
+
+  TopKHeap heap(query.k);
+  for (std::size_t pos = 0; pos < view.size(); ++pos) {
+    const ViewEntry& entry = view[pos];
+    const double score = Score(q, points_[entry.id]);
+    ++result.stats.tuples_evaluated;
+    result.accessed.push_back(entry.id);
+    heap.Push(ScoredTuple{entry.id, score});
+    // Watermark: every unseen tuple has view score >= entry.score, so
+    // its query score is at least the knapsack bound.
+    if (MinQueryScoreGivenViewBound(q, v, entry.score) >= heap.KthScore()) {
+      break;
+    }
+  }
+  result.items = heap.SortedAscending();
+  return result;
+}
+
+TopKResult ViewIndex::QueryLpta(const TopKQuery& query) const {
+  TopKResult result;
+  if (points_.empty()) return result;
+  const PointView q(query.weights);
+  const std::size_t d = points_.dim();
+  const std::vector<std::size_t> selected =
+      SelectViews(q, std::max<std::size_t>(1, options_.views_per_query));
+
+  TopKHeap heap(query.k);
+  std::unordered_set<TupleId> seen;
+  seen.reserve(64);
+  const std::size_t n = points_.size();
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    for (const std::size_t view_id : selected) {
+      const ViewEntry& entry = views_[view_id][pos];
+      if (seen.insert(entry.id).second) {
+        const double score = Score(q, points_[entry.id]);
+        ++result.stats.tuples_evaluated;
+        result.accessed.push_back(entry.id);
+        heap.Push(ScoredTuple{entry.id, score});
+      }
+    }
+    // Unseen tuples satisfy f_{v_j}(x) >= frontier_j for every
+    // consulted view; the exact best-case query score is an LP over
+    // the unit box. Checked every few rounds (the LP dominates cost).
+    if ((pos & 3) != 3 && pos + 1 != n) continue;
+    if (heap.size() < heap.k()) continue;
+    LinearProgram lp(d);
+    std::vector<double> row(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      std::fill(row.begin(), row.end(), 0.0);
+      row[j] = 1.0;
+      lp.AddConstraint(row, LpRelation::kLessEq, 1.0);  // x_j <= 1
+    }
+    for (const std::size_t view_id : selected) {
+      const Point& vw = view_weights_[view_id];
+      lp.AddConstraint(vw, LpRelation::kGreaterEq,
+                       views_[view_id][pos].score);
+    }
+    std::vector<double> objective(q.begin(), q.end());
+    lp.SetMinimize(objective);
+    const LpResult bound = lp.Solve();
+    if (bound.status == LpStatus::kInfeasible ||
+        (bound.status == LpStatus::kOptimal &&
+         bound.objective >= heap.KthScore())) {
+      break;
+    }
+  }
+  result.items = heap.SortedAscending();
+  return result;
+}
+
+}  // namespace drli

@@ -1,0 +1,99 @@
+// View-based top-k processing (Section VII-C): pre-computed ranked
+// views (materialized top-k queries) reused to answer new queries.
+//
+//  * PREFER (Hristidis et al., SIGMOD'01): pick the single materialized
+//    view whose weight vector is most similar to the query, scan it in
+//    view-rank order, and stop at the watermark -- the point where the
+//    best possible query score of any unseen tuple (min f_q(x) subject
+//    to f_v(x) >= current view score, x in [0,1]^d, a fractional
+//    knapsack) cannot beat the current k-th best.
+//  * LPTA (Das et al., VLDB'06): scan the r most similar views in
+//    round-robin; the unseen-score bound intersects ALL view
+//    constraints, solved exactly with the library's simplex LP.
+//
+// Views are rankings of the full relation under fixed weight vectors
+// (the classic "materialized preference view" setting). The cost metric
+// counts distinct tuples scored under the query function.
+
+#ifndef DRLI_BASELINES_VIEW_INDEX_H_
+#define DRLI_BASELINES_VIEW_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "topk/query.h"
+
+namespace drli {
+
+enum class ViewAlgorithm {
+  kPrefer,  // single best view + knapsack watermark
+  kLpta,    // multiple views + LP bound
+};
+
+struct ViewIndexOptions {
+  ViewAlgorithm algorithm = ViewAlgorithm::kPrefer;
+  // Number of materialized views; their weight vectors are drawn
+  // uniformly from the open simplex (plus the uniform weight vector).
+  std::size_t num_views = 16;
+  // Views consulted per query (LPTA only; PREFER always uses 1).
+  std::size_t views_per_query = 2;
+  std::uint64_t seed = 17;
+  std::string name;  // empty = "PREFER" / "LPTA"
+};
+
+struct ViewIndexBuildStats {
+  std::size_t num_views = 0;
+  double build_seconds = 0.0;
+};
+
+class ViewIndex final : public TopKIndex {
+ public:
+  static ViewIndex Build(PointSet points,
+                         const ViewIndexOptions& options = {});
+
+  ViewIndex(ViewIndex&&) = default;
+  ViewIndex& operator=(ViewIndex&&) = default;
+
+  std::string name() const override { return name_; }
+  std::size_t size() const override { return points_.size(); }
+  TopKResult Query(const TopKQuery& query) const override;
+
+  const ViewIndexBuildStats& build_stats() const { return stats_; }
+  const std::vector<Point>& view_weights() const { return view_weights_; }
+
+  // Indices of the `count` views most similar to `weights` (cosine
+  // similarity), most similar first. Exposed for tests.
+  std::vector<std::size_t> SelectViews(PointView weights,
+                                       std::size_t count) const;
+
+ private:
+  ViewIndex() : points_(1) {}
+
+  struct ViewEntry {
+    double score;  // under the view's weight vector
+    TupleId id;
+  };
+
+  TopKResult QueryPrefer(const TopKQuery& query) const;
+  TopKResult QueryLpta(const TopKQuery& query) const;
+
+  std::string name_;
+  ViewIndexOptions options_;
+  ViewIndexBuildStats stats_;
+  PointSet points_;
+  std::vector<Point> view_weights_;
+  std::vector<std::vector<ViewEntry>> views_;  // ascending by score
+};
+
+// Exact minimum of q . x over {x in [0,1]^d : v . x >= threshold}, the
+// PREFER watermark bound: a fractional knapsack filled in increasing
+// q_i / v_i order. Returns +infinity when the constraint is infeasible
+// within the unit box. Exposed for tests.
+double MinQueryScoreGivenViewBound(PointView query_weights,
+                                   PointView view_weights, double threshold);
+
+}  // namespace drli
+
+#endif  // DRLI_BASELINES_VIEW_INDEX_H_

@@ -1,0 +1,21 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace drli {
+namespace internal_check {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[DRLI CHECK FAILED] %s:%d: %s", file, line, expr);
+  if (!message.empty()) {
+    std::fprintf(stderr, " -- %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace drli

@@ -1,0 +1,67 @@
+// Lightweight CHECK macros in the spirit of glog/absl.
+//
+// DRLI_CHECK(cond) aborts the process with a diagnostic when `cond` is
+// false; it is always on. DRLI_DCHECK compiles away in NDEBUG builds and
+// is used on hot paths. Both are for programming errors (broken
+// invariants), not for recoverable conditions -- those use Status.
+
+#ifndef DRLI_COMMON_CHECK_H_
+#define DRLI_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace drli {
+namespace internal_check {
+
+// Prints `message` with source location to stderr and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Stream collector so call sites can write DRLI_CHECK(x) << "detail".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace drli
+
+#define DRLI_CHECK(cond)                                               \
+  while (!(cond))                                                      \
+  ::drli::internal_check::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define DRLI_CHECK_EQ(a, b) DRLI_CHECK((a) == (b))
+#define DRLI_CHECK_NE(a, b) DRLI_CHECK((a) != (b))
+#define DRLI_CHECK_LT(a, b) DRLI_CHECK((a) < (b))
+#define DRLI_CHECK_LE(a, b) DRLI_CHECK((a) <= (b))
+#define DRLI_CHECK_GT(a, b) DRLI_CHECK((a) > (b))
+#define DRLI_CHECK_GE(a, b) DRLI_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DRLI_DCHECK(cond) \
+  while (false && !(cond)) \
+  ::drli::internal_check::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+#else
+#define DRLI_DCHECK(cond) DRLI_CHECK(cond)
+#endif
+
+#endif  // DRLI_COMMON_CHECK_H_

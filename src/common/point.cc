@@ -1,0 +1,95 @@
+#include "common/point.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace drli {
+
+bool Dominates(PointView a, PointView b) {
+  DRLI_DCHECK(a.size() == b.size());
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+bool WeaklyDominates(PointView a, PointView b) {
+  DRLI_DCHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+DomRel Compare(PointView a, PointView b) {
+  DRLI_DCHECK(a.size() == b.size());
+  bool a_better = false;
+  bool b_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) {
+      a_better = true;
+    } else if (a[i] > b[i]) {
+      b_better = true;
+    }
+    if (a_better && b_better) return DomRel::kIncomparable;
+  }
+  if (a_better) return DomRel::kDominates;
+  if (b_better) return DomRel::kDominatedBy;
+  return DomRel::kEqual;
+}
+
+double Score(PointView weights, PointView point) {
+  DRLI_DCHECK(weights.size() == point.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    s += weights[i] * point[i];
+  }
+  return s;
+}
+
+PointSet::PointSet(std::size_t dim) : dim_(dim) {
+  DRLI_CHECK(dim >= 1) << "PointSet requires dim >= 1";
+}
+
+TupleId PointSet::Add(PointView p) {
+  DRLI_CHECK_EQ(p.size(), dim_);
+  const TupleId id = static_cast<TupleId>(size());
+  data_.insert(data_.end(), p.begin(), p.end());
+  return id;
+}
+
+TupleId PointSet::Add(std::initializer_list<double> p) {
+  return Add(PointView(p.begin(), p.size()));
+}
+
+Point PointSet::Materialize(std::size_t i) const {
+  PointView v = (*this)[i];
+  return Point(v.begin(), v.end());
+}
+
+PointSet PointSet::Subset(const std::vector<TupleId>& ids) const {
+  PointSet out(dim_);
+  out.Reserve(ids.size());
+  for (TupleId id : ids) {
+    DRLI_DCHECK(id < size());
+    out.Add((*this)[id]);
+  }
+  return out;
+}
+
+std::string ToString(PointView p) {
+  std::string out = "(";
+  char buf[32];
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%g", p[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace drli

@@ -1,0 +1,107 @@
+// Core data model: tuples as d-dimensional points in [0,1]^d and the
+// dominance predicates of Section II of the paper.
+//
+// Storage is a flat row-major buffer (PointSet) so that layer peeling,
+// skyline computation and hull construction stay cache friendly; code
+// passes around PointView (a std::span) and TupleId indexes.
+
+#ifndef DRLI_COMMON_POINT_H_
+#define DRLI_COMMON_POINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drli {
+
+// Index of a tuple within its PointSet / relation.
+using TupleId = std::uint32_t;
+inline constexpr TupleId kInvalidTupleId =
+    std::numeric_limits<TupleId>::max();
+
+// Read-only view of one tuple's attribute values.
+using PointView = std::span<const double>;
+
+// Owned point, used where a materialized value is required
+// (pseudo-tuples of the zero layer, generators, tests).
+using Point = std::vector<double>;
+
+// Outcome of a pairwise dominance comparison (Definition 2).
+enum class DomRel {
+  kDominates,     // a ≺ b
+  kDominatedBy,   // b ≺ a
+  kEqual,         // identical in every attribute
+  kIncomparable,  // neither dominates
+};
+
+// Returns true iff a ≺ b: a_i <= b_i for all i and a_j < b_j for some j
+// (Definition 2; lower values are better throughout the library).
+bool Dominates(PointView a, PointView b);
+
+// Returns true iff a_i <= b_i for all i (a ≺ b or a == b). Used for the
+// zero layer, where a pseudo-tuple built from cluster minima may
+// coincide with a real tuple.
+bool WeaklyDominates(PointView a, PointView b);
+
+// Full three-way-style comparison; one pass over the attributes.
+DomRel Compare(PointView a, PointView b);
+
+// Linear score F(t) = sum_i w_i * t_i (Section II).
+double Score(PointView weights, PointView point);
+
+// Flat row-major container of n points of fixed dimensionality.
+class PointSet {
+ public:
+  // An empty set of `dim`-dimensional points; dim >= 1.
+  explicit PointSet(std::size_t dim);
+
+  // Copyable and movable: a PointSet is a plain value.
+  PointSet(const PointSet&) = default;
+  PointSet& operator=(const PointSet&) = default;
+  PointSet(PointSet&&) = default;
+  PointSet& operator=(PointSet&&) = default;
+
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return data_.size() / dim_; }
+  bool empty() const { return data_.empty(); }
+
+  // Appends a point; returns its TupleId (= insertion index).
+  TupleId Add(PointView p);
+  TupleId Add(std::initializer_list<double> p);
+
+  PointView operator[](std::size_t i) const {
+    return PointView(data_.data() + i * dim_, dim_);
+  }
+  double At(std::size_t i, std::size_t attr) const {
+    return data_[i * dim_ + attr];
+  }
+  void Set(std::size_t i, std::size_t attr, double value) {
+    data_[i * dim_ + attr] = value;
+  }
+
+  // Materializes point i as an owned vector.
+  Point Materialize(std::size_t i) const;
+
+  // Underlying flat buffer, for serialization.
+  const std::vector<double>& raw() const { return data_; }
+
+  void Reserve(std::size_t n) { data_.reserve(n * dim_); }
+  void Clear() { data_.clear(); }
+
+  // Returns the subset selected by `ids`, in order.
+  PointSet Subset(const std::vector<TupleId>& ids) const;
+
+ private:
+  std::size_t dim_;
+  std::vector<double> data_;
+};
+
+// Debug formatting, e.g. "(0.25, 0.75)".
+std::string ToString(PointView p);
+
+}  // namespace drli
+
+#endif  // DRLI_COMMON_POINT_H_

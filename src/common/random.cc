@@ -1,0 +1,49 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace drli {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::size_t Rng::Index(std::size_t n) {
+  DRLI_DCHECK(n > 0);
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+Point Rng::SimplexWeight(std::size_t dim, double min_weight) {
+  DRLI_CHECK(dim >= 1);
+  Point w(dim);
+  double total = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    // Exponential spacings: normalizing i.i.d. Exp(1) samples yields a
+    // uniform draw from the simplex.
+    double e = -std::log(std::max(Uniform(), 1e-300));
+    w[i] = e;
+    total += e;
+  }
+  for (double& wi : w) wi /= total;
+  // Clamp components away from zero and renormalize, so the strict
+  // condition 0 < w_i < 1 holds even under floating-point underflow.
+  double clamped_total = 0.0;
+  for (double& wi : w) {
+    wi = std::max(wi, min_weight);
+    clamped_total += wi;
+  }
+  for (double& wi : w) wi /= clamped_total;
+  return w;
+}
+
+}  // namespace drli

@@ -1,0 +1,43 @@
+// Seeded random utilities shared by the data generators, k-means and the
+// benchmark/query drivers. A thin wrapper over std::mt19937_64 so every
+// experiment is reproducible from a single seed.
+
+#ifndef DRLI_COMMON_RANDOM_H_
+#define DRLI_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  // Standard normal scaled by `stddev` around `mean`.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  // Uniform integer in [0, n).
+  std::size_t Index(std::size_t n);
+
+  // A weight vector sampled uniformly from the open probability simplex:
+  // w_i > 0, sum w_i = 1 (Section VI-A). Uses the exponential-spacings
+  // construction, clamped away from 0 by `min_weight` to match the
+  // paper's strict inequality 0 < w_i < 1.
+  Point SimplexWeight(std::size_t dim, double min_weight = 1e-6);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_COMMON_RANDOM_H_

@@ -1,0 +1,99 @@
+// Minimal Status/StatusOr types for recoverable errors at API
+// boundaries (file I/O, malformed inputs). Internal invariant violations
+// use DRLI_CHECK instead.
+
+#ifndef DRLI_COMMON_STATUS_H_
+#define DRLI_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace drli {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kInternal,
+};
+
+// Returns a short human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. `value()` CHECK-fails when not ok.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return Status::...;` -- mirrors absl::StatusOr ergonomics.
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DRLI_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DRLI_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DRLI_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DRLI_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_COMMON_STATUS_H_

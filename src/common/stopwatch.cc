@@ -1,0 +1,10 @@
+#include "common/stopwatch.h"
+
+namespace drli {
+
+double Stopwatch::ElapsedSeconds() const {
+  const auto delta = Clock::now() - start_;
+  return std::chrono::duration<double>(delta).count();
+}
+
+}  // namespace drli

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the construction-time benchmarks
+// (Table IV) and examples.
+
+#ifndef DRLI_COMMON_STOPWATCH_H_
+#define DRLI_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace drli {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const;
+
+  // Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_COMMON_STOPWATCH_H_

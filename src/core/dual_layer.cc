@@ -1,0 +1,297 @@
+#include "core/dual_layer.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/eds.h"
+#include "skyline/skyline_layers.h"
+
+namespace drli {
+
+DualLayerIndex DualLayerIndex::Build(PointSet points,
+                                     const DualLayerOptions& options) {
+  Stopwatch timer;
+  DualLayerIndex index;
+  index.options_ = options;
+  index.points_ = std::move(points);
+  index.virtual_points_ = PointSet(index.points_.dim());
+  index.name_ = options.name.empty()
+                    ? (options.build_zero_layer ? "DL+" : "DL")
+                    : options.name;
+
+  const std::size_t n = index.points_.size();
+  index.coarse_of_.assign(n, 0);
+  index.fine_of_.assign(n, kNoFineLayer);
+  index.coarse_out_.assign(n, {});
+  index.coarse_in_degree_.assign(n, 0);
+  index.fine_out_.assign(n, {});
+  index.has_fine_in_.assign(n, 0);
+  index.chain_pos_.assign(n, kNoFineLayer);
+
+  if (n > 0) {
+    index.BuildCoarseLayers();
+    index.BuildFineLayers();
+    index.BuildCoarseEdges();
+    if (options.build_zero_layer) index.BuildZeroLayer();
+  }
+  index.FinalizeInitialNodes();
+  index.stats_.build_seconds = timer.ElapsedSeconds();
+  return index;
+}
+
+void DualLayerIndex::BuildCoarseLayers() {
+  LayerDecomposition decomposition =
+      BuildSkylineLayers(points_, options_.skyline_algorithm);
+  coarse_layers_ = std::move(decomposition.layers);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    coarse_of_[i] = static_cast<std::uint32_t>(decomposition.layer_of[i]);
+  }
+  stats_.num_coarse_layers = coarse_layers_.size();
+}
+
+void DualLayerIndex::PeelFineLayers(const std::vector<NodeId>& node_ids,
+                                    const PointSet& pool,
+                                    const std::vector<TupleId>& pool_ids) {
+  DRLI_CHECK_EQ(node_ids.size(), pool_ids.size());
+  // remaining[i] indexes into node_ids/pool_ids.
+  std::vector<std::size_t> remaining(node_ids.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+
+  std::uint32_t fine = 0;
+  // Facets of the previous sublayer, as node ids.
+  std::vector<std::vector<NodeId>> prev_facets;
+  // The previous sublayer lives in `pool`; the EDS LP needs pool-local
+  // coordinates, so keep a parallel pool-id version of the facets.
+  std::vector<std::vector<TupleId>> prev_facets_pool;
+
+  while (!remaining.empty()) {
+    std::vector<TupleId> local_pool_ids;
+    local_pool_ids.reserve(remaining.size());
+    PointSet subset(pool.dim());
+    subset.Reserve(remaining.size());
+    for (std::size_t r : remaining) {
+      local_pool_ids.push_back(pool_ids[r]);
+      subset.Add(pool[pool_ids[r]]);
+    }
+    const ConvexSkylineResult csky =
+        ComputeConvexSkyline(subset, options_.csky);
+    if (!csky.exact) ++stats_.csky_fallbacks;
+    DRLI_CHECK(!csky.members.empty());
+
+    // Map sublayer members and facets back to node / pool ids.
+    std::vector<NodeId> member_nodes;
+    member_nodes.reserve(csky.members.size());
+    std::vector<bool> is_member(remaining.size(), false);
+    for (TupleId local : csky.members) {
+      is_member[local] = true;
+      const NodeId node = node_ids[remaining[local]];
+      member_nodes.push_back(node);
+      fine_of_[node] = fine;
+    }
+    std::vector<std::vector<NodeId>> facets;
+    std::vector<std::vector<TupleId>> facets_pool;
+    facets.reserve(csky.facets.size());
+    facets_pool.reserve(csky.facets.size());
+    for (const auto& facet : csky.facets) {
+      std::vector<NodeId> f_nodes;
+      std::vector<TupleId> f_pool;
+      f_nodes.reserve(facet.size());
+      f_pool.reserve(facet.size());
+      for (TupleId local : facet) {
+        f_nodes.push_back(node_ids[remaining[local]]);
+        f_pool.push_back(pool_ids[remaining[local]]);
+      }
+      facets.push_back(std::move(f_nodes));
+      facets_pool.push_back(std::move(f_pool));
+    }
+
+    // ∃-edges from sublayer fine-1 into this sublayer (Section III-B).
+    if (fine > 0) {
+      for (std::size_t m = 0; m < member_nodes.size(); ++m) {
+        const NodeId target_node = member_nodes[m];
+        const PointView target = pool[local_pool_ids[csky.members[m]]];
+        bool covered = false;
+        for (std::size_t f = 0; f < prev_facets.size(); ++f) {
+          if (!FacetIsEds(pool, prev_facets_pool[f], target)) continue;
+          for (const NodeId source : prev_facets[f]) {
+            fine_out_[source].push_back(target_node);
+            ++stats_.num_fine_edges;
+          }
+          has_fine_in_[target_node] = 1;
+          covered = true;
+          if (options_.eds_policy == EdsPolicy::kSingleFacet) break;
+        }
+        if (!covered) ++stats_.eds_uncovered;
+      }
+    }
+
+    prev_facets = std::move(facets);
+    prev_facets_pool = std::move(facets_pool);
+
+    // Remove the sublayer from the remaining pool.
+    std::vector<std::size_t> next;
+    next.reserve(remaining.size() - csky.members.size());
+    for (std::size_t local = 0; local < remaining.size(); ++local) {
+      if (!is_member[local]) next.push_back(remaining[local]);
+    }
+    remaining = std::move(next);
+    ++fine;
+    ++stats_.num_fine_layers;
+  }
+}
+
+void DualLayerIndex::BuildFineLayers() {
+  for (const std::vector<TupleId>& layer : coarse_layers_) {
+    if (!options_.enable_fine_layers) {
+      for (TupleId id : layer) fine_of_[id] = 0;
+      ++stats_.num_fine_layers;
+      continue;
+    }
+    std::vector<NodeId> node_ids(layer.begin(), layer.end());
+    PeelFineLayers(node_ids, points_, layer);
+  }
+}
+
+void DualLayerIndex::BuildCoarseEdges() {
+  // ∀-edges between adjacent coarse layers (Lemma 1): t -> t' iff t ≺ t'.
+  for (std::size_t i = 0; i + 1 < coarse_layers_.size(); ++i) {
+    ForEachDominancePair(points_, coarse_layers_[i], coarse_layers_[i + 1],
+                         [&](TupleId source, TupleId target) {
+                           coarse_out_[source].push_back(target);
+                           ++coarse_in_degree_[target];
+                           ++stats_.num_coarse_edges;
+                         });
+    for (TupleId target : coarse_layers_[i + 1]) {
+      DRLI_DCHECK(coarse_in_degree_[target] > 0)
+          << "every tuple below layer 1 has a dominator one layer up";
+    }
+  }
+}
+
+void DualLayerIndex::BuildZeroLayer() {
+  const std::vector<TupleId>& layer1 = coarse_layers_[0];
+
+  if (points_.dim() == 2 && options_.enable_fine_layers) {
+    // Section V-A: exact weight-range table over L^{11}. The chain is
+    // the first fine sublayer of coarse layer 1, ordered by x.
+    std::vector<TupleId> chain;
+    for (TupleId id : layer1) {
+      if (fine_of_[id] == 0) chain.push_back(id);
+    }
+    std::sort(chain.begin(), chain.end(), [&](TupleId a, TupleId b) {
+      return points_.At(a, 0) < points_.At(b, 0);
+    });
+    weight_table_ = WeightRangeTable::Build(points_, chain);
+    use_weight_table_ = true;
+    for (std::size_t pos = 0; pos < chain.size(); ++pos) {
+      chain_pos_[chain[pos]] = static_cast<std::uint32_t>(pos);
+    }
+    return;
+  }
+
+  // Section V-B: clustered pseudo-tuples with their own fine split.
+  ClusteredZeroLayer zero =
+      BuildClusteredZeroLayer(points_, layer1, options_.zero_layer_clusters,
+                              options_.zero_layer_seed);
+  if (zero.pseudo.empty()) return;
+  virtual_points_ = std::move(zero.pseudo);
+  const std::size_t n = points_.size();
+  const std::size_t v = virtual_points_.size();
+  stats_.num_virtual = v;
+
+  coarse_of_.resize(n + v, 0);
+  fine_of_.resize(n + v, kNoFineLayer);
+  coarse_out_.resize(n + v);
+  coarse_in_degree_.resize(n + v, 0);
+  fine_out_.resize(n + v);
+  has_fine_in_.resize(n + v, 0);
+  chain_pos_.resize(n + v, kNoFineLayer);
+
+  std::vector<NodeId> virtual_nodes(v);
+  std::vector<TupleId> virtual_ids(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    virtual_nodes[i] = static_cast<NodeId>(n + i);
+    virtual_ids[i] = static_cast<TupleId>(i);
+  }
+  if (options_.zero_layer_fine_split) {
+    PeelFineLayers(virtual_nodes, virtual_points_, virtual_ids);
+  } else {
+    for (NodeId node : virtual_nodes) fine_of_[node] = 0;
+  }
+
+  // ∀-edges L0 -> L1: a pseudo-tuple precedes every first-layer tuple
+  // it weakly dominates (its own cluster members at minimum).
+  for (TupleId target : layer1) {
+    const PointView tp = points_[target];
+    for (std::size_t i = 0; i < v; ++i) {
+      if (WeaklyDominates(virtual_points_[i], tp)) {
+        coarse_out_[n + i].push_back(target);
+        ++coarse_in_degree_[target];
+        ++stats_.num_coarse_edges;
+      }
+    }
+    DRLI_CHECK(coarse_in_degree_[target] > 0)
+        << "zero layer must cover every first-layer tuple";
+  }
+}
+
+std::vector<std::vector<TupleId>> DualLayerIndex::LayerGroups() const {
+  std::vector<std::vector<TupleId>> groups;
+  for (const std::vector<TupleId>& layer : coarse_layers_) {
+    // Bucket the coarse layer by fine sublayer, preserving fine order.
+    std::uint32_t max_fine = 0;
+    for (TupleId id : layer) max_fine = std::max(max_fine, fine_of_[id]);
+    const std::size_t base = groups.size();
+    groups.resize(base + max_fine + 1);
+    for (TupleId id : layer) {
+      groups[base + fine_of_[id]].push_back(id);
+    }
+  }
+  return groups;
+}
+
+void DualLayerIndex::FinalizeInitialNodes() {
+  initial_.clear();
+  for (std::size_t node = 0; node < num_nodes(); ++node) {
+    if (coarse_in_degree_[node] == 0 && !has_fine_in_[node]) {
+      initial_.push_back(static_cast<NodeId>(node));
+    }
+  }
+}
+
+std::vector<LayerAccessRow> ExplainAccess(const DualLayerIndex& index,
+                                          const TopKResult& result) {
+  // (coarse, fine) -> row index, in layer order.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> row_of;
+  std::vector<LayerAccessRow> rows;
+  for (std::size_t i = 0; i < index.points().size(); ++i) {
+    const auto node = static_cast<DualLayerIndex::NodeId>(i);
+    const auto key = std::make_pair(index.coarse_layer_of(node),
+                                    index.fine_layer_of(node));
+    auto it = row_of.find(key);
+    if (it == row_of.end()) {
+      it = row_of.emplace(key, rows.size()).first;
+      rows.push_back(LayerAccessRow{key.first, key.second, 0, 0});
+    }
+    ++rows[it->second].layer_size;
+  }
+  for (TupleId id : result.accessed) {
+    if (id >= index.points().size()) continue;  // pseudo-tuple
+    const auto node = static_cast<DualLayerIndex::NodeId>(id);
+    const auto key = std::make_pair(index.coarse_layer_of(node),
+                                    index.fine_layer_of(node));
+    ++rows[row_of.at(key)].accessed;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const LayerAccessRow& a, const LayerAccessRow& b) {
+              if (a.coarse != b.coarse) return a.coarse < b.coarse;
+              return a.fine < b.fine;
+            });
+  return rows;
+}
+
+}  // namespace drli

@@ -1,0 +1,198 @@
+// The dual-resolution layer index (Sections III-V): the paper's
+// contribution.
+//
+// Structure
+//   * Coarse layers: iterated skylines; adjacent layers are connected
+//     by ∀-dominance edges (classic dominance, Lemma 1).
+//   * Fine sublayers: iterated convex skylines inside each coarse
+//     layer; adjacent sublayers are connected by ∃-dominance edges
+//     derived from hull facets (Lemma 2): each tuple of sublayer j+1
+//     receives the members of one facet of sublayer j whose simplex
+//     intersects its dominance box.
+//   * Optional zero layer L0 (Section V): an exact weight-range table
+//     in 2-d, clustered pseudo-tuples (with their own dual-resolution
+//     split) in higher dimensions.
+//
+// Query processing (Algorithm 2) is best-first graph traversal: a tuple
+// is scored only once it is ∀-dominance-free (all coarse in-neighbours
+// popped) and ∃-dominance-free (some fine in-neighbour popped). The
+// number of scored relation tuples is the paper's cost metric
+// (Definition 9) and is reported in TopKResult::stats.
+
+#ifndef DRLI_CORE_DUAL_LAYER_H_
+#define DRLI_CORE_DUAL_LAYER_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "core/zero_layer.h"
+#include "geometry/convex_skyline.h"
+#include "skyline/skyline.h"
+#include "topk/query.h"
+
+namespace drli {
+
+// How many qualifying EDS facets feed edges into each tuple.
+// kSingleFacet is the minimal (and cheapest-to-query) choice: one facet
+// guarantees Lemma 2, and extra in-edges can only unlock tuples earlier.
+// kAllFacets exists for the ablation benchmark.
+enum class EdsPolicy {
+  kSingleFacet,
+  kAllFacets,
+};
+
+struct DualLayerOptions {
+  SkylineAlgorithm skyline_algorithm = SkylineAlgorithm::kSkyTree;
+  ConvexSkylineOptions csky;
+  EdsPolicy eds_policy = EdsPolicy::kSingleFacet;
+
+  // Ablation switch: with fine layers disabled each coarse layer is one
+  // sublayer with no ∃-edges, reducing the index to a Dominant Graph.
+  bool enable_fine_layers = true;
+
+  // DL+ when true (Section V).
+  bool build_zero_layer = false;
+  // 0 = ceil(sqrt(|L1|)). Ignored for the 2-d weight-range table.
+  std::size_t zero_layer_clusters = 0;
+  // DL+ splits L0 into fine sublayers; DG+-style flat layer when false.
+  bool zero_layer_fine_split = true;
+  std::uint64_t zero_layer_seed = 7;
+
+  // Display name; empty = "DL" / "DL+".
+  std::string name;
+};
+
+struct DualLayerBuildStats {
+  std::size_t num_coarse_layers = 0;
+  std::size_t num_fine_layers = 0;
+  std::size_t num_coarse_edges = 0;
+  std::size_t num_fine_edges = 0;
+  // Tuples in sublayer j+1 for which no facet of sublayer j passed the
+  // EDS test; they are left ∃-dominance-free (correct, less pruning).
+  std::size_t eds_uncovered = 0;
+  // Fine peels that used the conservative all-remaining fallback.
+  std::size_t csky_fallbacks = 0;
+  std::size_t num_virtual = 0;
+  double build_seconds = 0.0;
+};
+
+class DualLayerIndex final : public TopKIndex {
+ public:
+  // Node ids: [0, n) real tuples, [n, n + num_virtual) pseudo-tuples.
+  using NodeId = std::uint32_t;
+  static constexpr std::uint32_t kNoFineLayer =
+      std::numeric_limits<std::uint32_t>::max();
+
+  static DualLayerIndex Build(PointSet points,
+                              const DualLayerOptions& options = {});
+
+  DualLayerIndex(DualLayerIndex&&) = default;
+  DualLayerIndex& operator=(DualLayerIndex&&) = default;
+
+  std::string name() const override { return name_; }
+  std::size_t size() const override { return points_.size(); }
+  TopKResult Query(const TopKQuery& query) const override;
+
+  // --- introspection (tests, serialization, examples) ---
+  const PointSet& points() const { return points_; }
+  const PointSet& virtual_points() const { return virtual_points_; }
+  const DualLayerOptions& options() const { return options_; }
+  const DualLayerBuildStats& build_stats() const { return stats_; }
+
+  std::size_t num_nodes() const {
+    return points_.size() + virtual_points_.size();
+  }
+  bool is_virtual(NodeId node) const { return node >= points_.size(); }
+  PointView node_point(NodeId node) const {
+    return is_virtual(node) ? virtual_points_[node - points_.size()]
+                            : points_[node];
+  }
+
+  // 0-based coarse / fine layer of a node. Virtual nodes report coarse
+  // layer 0 of the virtual space.
+  std::uint32_t coarse_layer_of(NodeId node) const {
+    return coarse_of_[node];
+  }
+  std::uint32_t fine_layer_of(NodeId node) const { return fine_of_[node]; }
+
+  const std::vector<std::vector<NodeId>>& coarse_out() const {
+    return coarse_out_;
+  }
+  const std::vector<std::vector<NodeId>>& fine_out() const {
+    return fine_out_;
+  }
+  const std::vector<std::uint32_t>& coarse_in_degree() const {
+    return coarse_in_degree_;
+  }
+  const std::vector<std::uint8_t>& has_fine_in() const {
+    return has_fine_in_;
+  }
+  const std::vector<NodeId>& initial_nodes() const { return initial_; }
+  // Real tuples grouped by (coarse layer, fine sublayer), in layer
+  // order -- the disk clustering unit for storage/page_layout.
+  std::vector<std::vector<TupleId>> LayerGroups() const;
+  bool uses_weight_table() const { return use_weight_table_; }
+  const WeightRangeTable& weight_table() const { return weight_table_; }
+
+ private:
+  friend class DualLayerSerializer;
+
+  DualLayerIndex() : points_(1), virtual_points_(1) {}
+
+  void BuildCoarseLayers();
+  void BuildFineLayers();
+  void BuildCoarseEdges();
+  void BuildZeroLayer();
+  void FinalizeInitialNodes();
+
+  // Splits one node subset (real coarse layer or the virtual layer)
+  // into fine sublayers with ∃-edges. `node_ids` are node-space ids;
+  // `pool` is the PointSet they live in with `pool_ids` the matching
+  // in-pool indices.
+  void PeelFineLayers(const std::vector<NodeId>& node_ids,
+                      const PointSet& pool,
+                      const std::vector<TupleId>& pool_ids);
+
+  std::string name_;
+  DualLayerOptions options_;
+  DualLayerBuildStats stats_;
+
+  PointSet points_;
+  PointSet virtual_points_;
+
+  std::vector<std::uint32_t> coarse_of_;
+  std::vector<std::uint32_t> fine_of_;
+  std::vector<std::vector<NodeId>> coarse_out_;
+  std::vector<std::uint32_t> coarse_in_degree_;
+  std::vector<std::vector<NodeId>> fine_out_;
+  std::vector<std::uint8_t> has_fine_in_;
+  std::vector<NodeId> initial_;
+  std::vector<std::vector<TupleId>> coarse_layers_;
+
+  // 2-d zero layer (Section V-A).
+  bool use_weight_table_ = false;
+  WeightRangeTable weight_table_;
+  // Position of a node in the weight-table chain, kNoFineLayer if none.
+  std::vector<std::uint32_t> chain_pos_;
+};
+
+// Observability: how a query's accesses distribute over the
+// dual-resolution structure. One row per (coarse, fine) sublayer that
+// holds at least one tuple, in layer order.
+struct LayerAccessRow {
+  std::uint32_t coarse = 0;
+  std::uint32_t fine = 0;
+  std::size_t layer_size = 0;  // tuples in the sublayer
+  std::size_t accessed = 0;    // of which this query evaluated
+};
+
+// Breaks down `result.accessed` (from index.Query) by sublayer.
+std::vector<LayerAccessRow> ExplainAccess(const DualLayerIndex& index,
+                                          const TopKResult& result);
+
+}  // namespace drli
+
+#endif  // DRLI_CORE_DUAL_LAYER_H_

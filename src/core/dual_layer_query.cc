@@ -1,0 +1,117 @@
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "core/dual_layer.h"
+
+namespace drli {
+
+namespace {
+
+// Node lifecycle during one query.
+enum NodeState : std::uint8_t {
+  kBlocked = 0,
+  kQueued = 1,
+  kPopped = 2,
+};
+
+struct QueueEntry {
+  double score;
+  DualLayerIndex::NodeId node;
+};
+
+struct QueueEntryGreater {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node > b.node;
+  }
+};
+
+}  // namespace
+
+TopKResult DualLayerIndex::Query(const TopKQuery& query) const {
+  ValidateQuery(query, points_.dim());
+  const PointView w(query.weights);
+  const std::size_t total = num_nodes();
+
+  TopKResult result;
+  if (total == 0) return result;
+
+  std::vector<std::uint32_t> remaining = coarse_in_degree_;
+  std::vector<std::uint8_t> state(total, kBlocked);
+  std::vector<std::uint8_t> fine_free(total, 0);
+  for (std::size_t i = 0; i < total; ++i) fine_free[i] = !has_fine_in_[i];
+  // With the 2-d weight table, L^{11} chain tuples other than the
+  // looked-up top-1 candidate start locked and unlock along the chain.
+  std::vector<std::uint8_t> chain_locked(total, 0);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      QueueEntryGreater>
+      queue;
+
+  auto try_enqueue = [&](NodeId node) {
+    if (state[node] != kBlocked) return;
+    if (remaining[node] != 0 || !fine_free[node] || chain_locked[node]) {
+      return;
+    }
+    const double score = Score(w, node_point(node));
+    if (is_virtual(node)) {
+      ++result.stats.virtual_evaluated;
+    } else {
+      ++result.stats.tuples_evaluated;
+      result.accessed.push_back(node);
+    }
+    state[node] = kQueued;
+    queue.push(QueueEntry{score, node});
+  };
+
+  if (use_weight_table_ && !weight_table_.empty()) {
+    const std::size_t top1 = weight_table_.Lookup(query.weights[0]);
+    const std::vector<TupleId>& chain = weight_table_.chain();
+    for (std::size_t pos = 0; pos < chain.size(); ++pos) {
+      if (pos != top1) chain_locked[chain[pos]] = 1;
+    }
+  }
+  for (NodeId node : initial_) try_enqueue(node);
+
+  while (result.items.size() < query.k && !queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const NodeId node = top.node;
+    state[node] = kPopped;
+
+    if (!is_virtual(node)) {
+      result.items.push_back(ScoredTuple{node, top.score});
+      if (result.items.size() == query.k) break;
+    }
+
+    // ∀-successors: free once every coarse in-neighbour popped.
+    for (const NodeId succ : coarse_out_[node]) {
+      DRLI_DCHECK(remaining[succ] > 0);
+      if (--remaining[succ] == 0) try_enqueue(succ);
+    }
+    // ∃-successors: free once any fine in-neighbour popped.
+    for (const NodeId succ : fine_out_[node]) {
+      if (!fine_free[succ]) {
+        fine_free[succ] = 1;
+        try_enqueue(succ);
+      }
+    }
+    // Chain neighbours (2-d zero layer).
+    if (use_weight_table_ && chain_pos_[node] != kNoFineLayer) {
+      const std::vector<TupleId>& chain = weight_table_.chain();
+      const std::size_t pos = chain_pos_[node];
+      if (pos > 0 && chain_locked[chain[pos - 1]]) {
+        chain_locked[chain[pos - 1]] = 0;
+        try_enqueue(chain[pos - 1]);
+      }
+      if (pos + 1 < chain.size() && chain_locked[chain[pos + 1]]) {
+        chain_locked[chain[pos + 1]] = 0;
+        try_enqueue(chain[pos + 1]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace drli

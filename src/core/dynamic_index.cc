@@ -1,0 +1,162 @@
+#include "core/dynamic_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace drli {
+
+DynamicDualLayerIndex::DynamicDualLayerIndex(
+    std::size_t dim, const DynamicIndexOptions& options)
+    : DynamicDualLayerIndex(PointSet(dim), options) {}
+
+DynamicDualLayerIndex::DynamicDualLayerIndex(
+    PointSet initial, const DynamicIndexOptions& options)
+    : dim_(initial.dim()),
+      options_(options),
+      base_(DualLayerIndex::Build(initial, options.base)),
+      delta_(initial.dim()) {
+  const std::size_t n = base_.size();
+  base_ids_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base_ids_[i] = next_id_;
+    base_position_.emplace(next_id_, static_cast<TupleId>(i));
+    ++next_id_;
+  }
+}
+
+std::size_t DynamicDualLayerIndex::size() const {
+  return base_.size() - tombstones_.size() + delta_.size();
+}
+
+bool DynamicDualLayerIndex::Contains(TupleId id) const {
+  if (tombstones_.count(id)) return false;
+  if (base_position_.count(id)) return true;
+  return std::find(delta_ids_.begin(), delta_ids_.end(), id) !=
+         delta_ids_.end();
+}
+
+PointView DynamicDualLayerIndex::Get(TupleId id) const {
+  DRLI_CHECK(!tombstones_.count(id)) << "tuple " << id << " deleted";
+  const auto it = base_position_.find(id);
+  if (it != base_position_.end()) return base_.points()[it->second];
+  const auto pos = std::find(delta_ids_.begin(), delta_ids_.end(), id);
+  DRLI_CHECK(pos != delta_ids_.end()) << "unknown tuple " << id;
+  return delta_[static_cast<std::size_t>(pos - delta_ids_.begin())];
+}
+
+TupleId DynamicDualLayerIndex::Insert(PointView tuple) {
+  DRLI_CHECK_EQ(tuple.size(), dim_);
+  const TupleId id = next_id_++;
+  delta_ids_.push_back(id);
+  delta_.Add(tuple);
+  MaybeRebuild();
+  return id;
+}
+
+bool DynamicDualLayerIndex::Erase(TupleId id) {
+  if (tombstones_.count(id)) return false;
+  if (base_position_.count(id)) {
+    tombstones_.insert(id);
+    MaybeRebuild();
+    return true;
+  }
+  const auto pos_it = std::find(delta_ids_.begin(), delta_ids_.end(), id);
+  if (pos_it == delta_ids_.end()) return false;
+  // Swap-remove from the delta buffer.
+  const std::size_t pos =
+      static_cast<std::size_t>(pos_it - delta_ids_.begin());
+  const std::size_t last = delta_.size() - 1;
+  if (pos != last) {
+    const Point moved = delta_.Materialize(last);
+    for (std::size_t j = 0; j < dim_; ++j) delta_.Set(pos, j, moved[j]);
+    delta_ids_[pos] = delta_ids_[last];
+  }
+  delta_ids_.pop_back();
+  // PointSet has no pop; rebuild the buffer without the last row.
+  PointSet rebuilt(dim_);
+  rebuilt.Reserve(last);
+  for (std::size_t i = 0; i < last; ++i) rebuilt.Add(delta_[i]);
+  delta_ = std::move(rebuilt);
+  return true;
+}
+
+void DynamicDualLayerIndex::Compact() {
+  PointSet live(dim_);
+  live.Reserve(size());
+  std::vector<TupleId> live_ids;
+  live_ids.reserve(size());
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    const TupleId id = base_ids_[i];
+    if (tombstones_.count(id)) continue;
+    live.Add(base_.points()[i]);
+    live_ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < delta_.size(); ++i) {
+    live.Add(delta_[i]);
+    live_ids.push_back(delta_ids_[i]);
+  }
+
+  base_ = DualLayerIndex::Build(std::move(live), options_.base);
+  base_ids_ = std::move(live_ids);
+  base_position_.clear();
+  for (std::size_t i = 0; i < base_ids_.size(); ++i) {
+    base_position_.emplace(base_ids_[i], static_cast<TupleId>(i));
+  }
+  delta_ = PointSet(dim_);
+  delta_ids_.clear();
+  tombstones_.clear();
+  ++rebuilds_;
+}
+
+void DynamicDualLayerIndex::MaybeRebuild() {
+  const double base_n = static_cast<double>(base_.size());
+  const double delta_cap =
+      std::max(64.0, options_.rebuild_delta_fraction * base_n);
+  const double tombstone_cap =
+      std::max(64.0, options_.rebuild_tombstone_fraction * base_n);
+  if (static_cast<double>(delta_.size()) > delta_cap ||
+      static_cast<double>(tombstones_.size()) > tombstone_cap) {
+    Compact();
+  }
+}
+
+TopKResult DynamicDualLayerIndex::Query(const TopKQuery& query) const {
+  ValidateQuery(query, dim_);
+  TopKResult result;
+
+  // Base index: over-fetch to survive tombstone filtering.
+  std::vector<ScoredTuple> candidates;
+  if (base_.size() > 0) {
+    TopKQuery base_query = query;
+    base_query.k = std::min(base_.size(), query.k + tombstones_.size());
+    const TopKResult base_result = base_.Query(base_query);
+    result.stats.Merge(base_result.stats);
+    for (const ScoredTuple& item : base_result.items) {
+      const TupleId stable = base_ids_[item.id];
+      if (tombstones_.count(stable)) continue;
+      candidates.push_back(ScoredTuple{stable, item.score});
+    }
+    for (TupleId pos : base_result.accessed) {
+      result.accessed.push_back(base_ids_[pos]);
+    }
+  }
+  // Delta buffer: full scan (it is small by construction).
+  for (std::size_t i = 0; i < delta_.size(); ++i) {
+    candidates.push_back(
+        ScoredTuple{delta_ids_[i], Score(query.weights, delta_[i])});
+    ++result.stats.tuples_evaluated;
+    result.accessed.push_back(delta_ids_[i]);
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ScoredTuple& a, const ScoredTuple& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.id < b.id;
+            });
+  if (candidates.size() > query.k) candidates.resize(query.k);
+  result.items = std::move(candidates);
+  return result;
+}
+
+}  // namespace drli

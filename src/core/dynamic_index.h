@@ -1,0 +1,96 @@
+// Dynamic maintenance around the (static, pre-materialized)
+// dual-resolution index. The paper builds DL offline; real deployments
+// also need inserts and deletes without a full rebuild. This wrapper
+// uses the classic differential design:
+//
+//  * inserts land in an unindexed delta buffer, scanned at query time
+//    and merged into the answer (cost += |delta|);
+//  * deletes become tombstones; the static index is queried for
+//    k + |tombstones| answers and tombstoned tuples are filtered out;
+//  * when either side exceeds its rebuild threshold the base index is
+//    reconstructed over the live tuples.
+//
+// Answers are therefore always exact w.r.t. the current logical
+// relation, and between rebuilds the paper's access-cost advantage is
+// preserved up to the delta overhead (reported separately in
+// QueryStats via the usual counters).
+
+#ifndef DRLI_CORE_DYNAMIC_INDEX_H_
+#define DRLI_CORE_DYNAMIC_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/point.h"
+#include "core/dual_layer.h"
+#include "topk/query.h"
+
+namespace drli {
+
+struct DynamicIndexOptions {
+  DualLayerOptions base;
+  // Rebuild when |delta buffer| exceeds this fraction of the base size
+  // (minimum 64 tuples).
+  double rebuild_delta_fraction = 0.1;
+  // Rebuild when tombstones exceed this fraction of the base size.
+  double rebuild_tombstone_fraction = 0.1;
+};
+
+// A top-k index over a mutable relation. Tuples are addressed by
+// stable user-visible ids assigned by Insert (never reused).
+class DynamicDualLayerIndex final : public TopKIndex {
+ public:
+  explicit DynamicDualLayerIndex(std::size_t dim,
+                                 const DynamicIndexOptions& options = {});
+  DynamicDualLayerIndex(PointSet initial,
+                        const DynamicIndexOptions& options = {});
+
+  std::string name() const override { return "DL+dyn"; }
+  // Number of live tuples.
+  std::size_t size() const override;
+  TopKResult Query(const TopKQuery& query) const override;
+
+  // Adds a tuple; returns its stable id.
+  TupleId Insert(PointView tuple);
+  // Removes a tuple by stable id; false if unknown or already deleted.
+  bool Erase(TupleId id);
+  // True iff the id refers to a live tuple.
+  bool Contains(TupleId id) const;
+  // The live tuple's attributes (CHECKs Contains).
+  PointView Get(TupleId id) const;
+
+  // Forces the differential state into the base index now.
+  void Compact();
+
+  // Introspection for tests.
+  std::size_t delta_size() const { return delta_.size(); }
+  std::size_t tombstone_count() const { return tombstones_.size(); }
+  std::size_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  void MaybeRebuild();
+
+  std::size_t dim_;
+  DynamicIndexOptions options_;
+
+  // Base (static) index over base_points_; base_ids_[i] = stable id of
+  // base tuple i.
+  DualLayerIndex base_;
+  std::vector<TupleId> base_ids_;
+  // Stable id -> position in base (kInvalidTupleId when in delta).
+  std::unordered_map<TupleId, TupleId> base_position_;
+
+  // Delta buffer: stable id -> attributes.
+  std::vector<TupleId> delta_ids_;
+  PointSet delta_;
+
+  std::unordered_set<TupleId> tombstones_;  // stable ids
+  TupleId next_id_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_CORE_DYNAMIC_INDEX_H_

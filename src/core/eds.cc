@@ -1,0 +1,47 @@
+#include "core/eds.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geometry/simplex_lp.h"
+
+namespace drli {
+
+bool FacetIsEds(const PointSet& points, const std::vector<TupleId>& facet,
+                PointView target) {
+  DRLI_CHECK(!facet.empty());
+  const std::size_t d = points.dim();
+  DRLI_CHECK_EQ(target.size(), d);
+
+  // Fast path: a single member weakly dominating the target already
+  // certifies the facet (the virtual tuple is the member itself).
+  for (TupleId id : facet) {
+    if (WeaklyDominates(points[id], target)) return true;
+  }
+
+  // Necessary condition: the componentwise minimum of the facet must
+  // weakly dominate the target, otherwise no convex combination can.
+  for (std::size_t j = 0; j < d; ++j) {
+    double lo = points[facet[0]][j];
+    for (std::size_t m = 1; m < facet.size(); ++m) {
+      lo = std::min(lo, points[facet[m]][j]);
+    }
+    if (lo > target[j]) return false;
+  }
+  if (facet.size() == 1) return false;  // single point already checked
+
+  // LP feasibility over the barycentric weights lambda >= 0:
+  //   sum_m lambda_m = 1,  sum_m lambda_m * t^m_j <= target_j  (all j).
+  LinearProgram lp(facet.size());
+  std::vector<double> row(facet.size(), 1.0);
+  lp.AddConstraint(row, LpRelation::kEqual, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t m = 0; m < facet.size(); ++m) {
+      row[m] = points[facet[m]][j];
+    }
+    lp.AddConstraint(row, LpRelation::kLessEq, target[j]);
+  }
+  return lp.IsFeasible();
+}
+
+}  // namespace drli

@@ -1,0 +1,26 @@
+// ∃-dominance sets (Definitions 5 and 6). A facet F = {t^1..t^d} of the
+// convex hull of fine sublayer L^{ij} is an EDS of a tuple t' iff some
+// virtual tuple on the facet's hyperplane segment dominates t' -- i.e.
+// iff the simplex conv(F) intersects the dominance box {x : x <= t'}.
+// When it does, every member of F ∃-dominates t', and at least one
+// member scores below t' under every strictly positive linear scoring
+// function (Lemma 2).
+
+#ifndef DRLI_CORE_EDS_H_
+#define DRLI_CORE_EDS_H_
+
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+// True iff conv{points[id] : id in facet} intersects {x : x <= target}
+// componentwise. Exact up to LP tolerance; facets of any size >= 1 are
+// accepted (degenerate fallback facets included).
+bool FacetIsEds(const PointSet& points, const std::vector<TupleId>& facet,
+                PointView target);
+
+}  // namespace drli
+
+#endif  // DRLI_CORE_EDS_H_

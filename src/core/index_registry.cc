@@ -1,0 +1,94 @@
+#include "core/index_registry.h"
+
+#include <algorithm>
+
+#include "baselines/dominant_graph.h"
+#include "baselines/hybrid_layer.h"
+#include "baselines/list_index.h"
+#include "baselines/onion.h"
+#include "baselines/partitioned_layer.h"
+#include "baselines/view_index.h"
+#include "core/dual_layer.h"
+#include "topk/scan.h"
+
+namespace drli {
+
+namespace {
+
+std::string Lowered(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> KnownIndexKinds() {
+  return {"scan", "fa",  "ta",  "nra", "prefer", "lpta", "onion",
+          "pli",  "dg",  "dg+", "hl",  "hl+",    "dl",   "dl+"};
+}
+
+StatusOr<std::unique_ptr<TopKIndex>> BuildIndex(const IndexBuildConfig& config,
+                                                PointSet points) {
+  const std::string kind = Lowered(config.kind);
+  if (kind == "scan") {
+    return std::unique_ptr<TopKIndex>(
+        std::make_unique<FullScanIndex>(std::move(points)));
+  }
+  if (kind == "fa" || kind == "ta" || kind == "nra") {
+    const ListAlgorithm algorithm = kind == "fa"   ? ListAlgorithm::kFa
+                                    : kind == "ta" ? ListAlgorithm::kTa
+                                                   : ListAlgorithm::kNra;
+    return std::unique_ptr<TopKIndex>(std::make_unique<ListIndex>(
+        ListIndex::Build(std::move(points), algorithm)));
+  }
+  if (kind == "prefer" || kind == "lpta") {
+    ViewIndexOptions options;
+    options.algorithm =
+        kind == "prefer" ? ViewAlgorithm::kPrefer : ViewAlgorithm::kLpta;
+    return std::unique_ptr<TopKIndex>(std::make_unique<ViewIndex>(
+        ViewIndex::Build(std::move(points), options)));
+  }
+  if (kind == "onion") {
+    OnionOptions options;
+    options.skyline_algorithm = config.skyline_algorithm;
+    options.max_layers = config.convex_max_layers;
+    return std::unique_ptr<TopKIndex>(std::make_unique<OnionIndex>(
+        OnionIndex::Build(std::move(points), options)));
+  }
+  if (kind == "pli") {
+    PartitionedLayerOptions options;
+    options.skyline_algorithm = config.skyline_algorithm;
+    options.max_layers_per_partition = config.convex_max_layers;
+    return std::unique_ptr<TopKIndex>(
+        std::make_unique<PartitionedLayerIndex>(
+            PartitionedLayerIndex::Build(std::move(points), options)));
+  }
+  if (kind == "dg" || kind == "dg+") {
+    DominantGraphOptions options;
+    options.skyline_algorithm = config.skyline_algorithm;
+    options.build_zero_layer = (kind == "dg+");
+    options.zero_layer_clusters = config.zero_layer_clusters;
+    return std::unique_ptr<TopKIndex>(std::make_unique<DominantGraphIndex>(
+        DominantGraphIndex::Build(std::move(points), options)));
+  }
+  if (kind == "hl" || kind == "hl+") {
+    HybridLayerOptions options;
+    options.skyline_algorithm = config.skyline_algorithm;
+    options.max_layers = config.convex_max_layers;
+    options.tight_threshold = (kind == "hl+");
+    return std::unique_ptr<TopKIndex>(std::make_unique<HybridLayerIndex>(
+        HybridLayerIndex::Build(std::move(points), options)));
+  }
+  if (kind == "dl" || kind == "dl+") {
+    DualLayerOptions options;
+    options.skyline_algorithm = config.skyline_algorithm;
+    options.build_zero_layer = (kind == "dl+");
+    options.zero_layer_clusters = config.zero_layer_clusters;
+    return std::unique_ptr<TopKIndex>(std::make_unique<DualLayerIndex>(
+        DualLayerIndex::Build(std::move(points), options)));
+  }
+  return Status::InvalidArgument("unknown index kind: " + config.kind);
+}
+
+}  // namespace drli

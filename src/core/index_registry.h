@@ -1,0 +1,38 @@
+// Builds any of the library's indexes by name -- the glue used by the
+// examples and the benchmark harness.
+
+#ifndef DRLI_CORE_INDEX_REGISTRY_H_
+#define DRLI_CORE_INDEX_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "common/status.h"
+#include "skyline/skyline.h"
+#include "topk/query.h"
+
+namespace drli {
+
+struct IndexBuildConfig {
+  // One of: scan, fa, ta, nra, prefer, lpta, onion, pli, dg, dg+,
+  // hl, hl+, dl, dl+ (case-insensitive).
+  std::string kind = "dl+";
+  SkylineAlgorithm skyline_algorithm = SkylineAlgorithm::kSkyTree;
+  // Convex-layer cap for onion/hl/hl+ (k must stay below it).
+  std::size_t convex_max_layers = 256;
+  // Zero-layer cluster count for dg+/dl+ (0 = ceil(sqrt(|L1|))).
+  std::size_t zero_layer_clusters = 0;
+};
+
+// All kinds accepted by BuildIndex.
+std::vector<std::string> KnownIndexKinds();
+
+// Builds the index over `points`. Unknown kind => InvalidArgument.
+StatusOr<std::unique_ptr<TopKIndex>> BuildIndex(const IndexBuildConfig& config,
+                                                PointSet points);
+
+}  // namespace drli
+
+#endif  // DRLI_CORE_INDEX_REGISTRY_H_

@@ -1,0 +1,166 @@
+#include "core/rank_sweep_2d.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace drli {
+
+namespace {
+
+constexpr double kWeightTol = 1e-13;
+
+struct SwapEvent {
+  double w;            // crossing weight
+  TupleId upper;       // currently ranked just above (better)
+  TupleId lower;       // currently ranked just below
+};
+
+struct EventLater {
+  bool operator()(const SwapEvent& a, const SwapEvent& b) const {
+    if (a.w != b.w) return a.w > b.w;
+    if (a.upper != b.upper) return a.upper > b.upper;
+    return a.lower > b.lower;
+  }
+};
+
+}  // namespace
+
+const std::vector<TupleId>& RankSweepResult::SetAt(double w1) const {
+  DRLI_CHECK(!topk_sets.empty());
+  const auto it =
+      std::upper_bound(breakpoints.begin(), breakpoints.end(), w1);
+  return topk_sets[static_cast<std::size_t>(it - breakpoints.begin())];
+}
+
+RankSweepResult SweepTopKSets2D(const PointSet& points, std::size_t k) {
+  DRLI_CHECK_EQ(points.dim(), 2u);
+  DRLI_CHECK_GE(k, 1u);
+  const std::size_t n = points.size();
+  RankSweepResult result;
+  if (n == 0) {
+    result.topk_sets.push_back({});
+    return result;
+  }
+  k = std::min(k, n);
+
+  // Score line of tuple t: f_t(w) = intercept_t + w * slope_t.
+  auto intercept = [&](TupleId t) { return points.At(t, 1); };
+  auto slope = [&](TupleId t) {
+    return points.At(t, 0) - points.At(t, 1);
+  };
+  // Initial order just right of w = 0: by intercept, slope-tiebreak.
+  std::vector<TupleId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](TupleId a, TupleId b) {
+    if (intercept(a) != intercept(b)) return intercept(a) < intercept(b);
+    if (slope(a) != slope(b)) return slope(a) < slope(b);
+    return a < b;
+  });
+  std::vector<std::size_t> position(n);
+  for (std::size_t i = 0; i < n; ++i) position[order[i]] = i;
+
+  // Crossing weight of an adjacent pair, or a sentinel > 1 when the
+  // pair never swaps at or after `after` inside (0, 1). `after` is
+  // passed slightly below the sweep position so that cascades of
+  // crossings at one weight (concurrent lines) are not lost.
+  auto crossing = [&](TupleId upper, TupleId lower, double after) {
+    const double slope_diff = slope(upper) - slope(lower);
+    if (slope_diff <= 0.0) return 2.0;  // upper stays at or below
+    const double w = (intercept(lower) - intercept(upper)) / slope_diff;
+    if (w < after || w >= 1.0) return 2.0;
+    return w;
+  };
+
+  std::priority_queue<SwapEvent, std::vector<SwapEvent>, EventLater> events;
+  auto schedule = [&](std::size_t pos, double after) {
+    if (pos + 1 >= n) return;
+    const TupleId upper = order[pos];
+    const TupleId lower = order[pos + 1];
+    const double w = crossing(upper, lower, after);
+    if (w <= 1.0) events.push(SwapEvent{w, upper, lower});
+  };
+  for (std::size_t pos = 0; pos + 1 < n; ++pos) schedule(pos, kWeightTol);
+
+  auto snapshot = [&]() {
+    std::vector<TupleId> set(order.begin(), order.begin() + k);
+    std::sort(set.begin(), set.end());
+    return set;
+  };
+  result.topk_sets.push_back(snapshot());
+
+  double current_w = 0.0;
+  while (!events.empty()) {
+    const SwapEvent event = events.top();
+    events.pop();
+    // Stale events: the pair is no longer adjacent in this order. A
+    // pair crosses at most once, so adjacency in the original
+    // orientation plus a positive slope difference means the swap is
+    // genuine.
+    const std::size_t pos = position[event.upper];
+    if (pos + 1 >= n || order[pos + 1] != event.lower) continue;
+    if (crossing(event.upper, event.lower, current_w - kWeightTol) > 1.0) {
+      continue;
+    }
+
+    current_w = std::max(current_w, event.w);
+    std::swap(order[pos], order[pos + 1]);
+    position[event.upper] = pos + 1;
+    position[event.lower] = pos;
+
+    // New adjacencies around the swapped pair; allow crossings at the
+    // current weight so same-weight cascades are scheduled.
+    if (pos > 0) schedule(pos - 1, current_w - kWeightTol);
+    schedule(pos, current_w - kWeightTol);
+    schedule(pos + 1, current_w - kWeightTol);
+
+    // Only a swap across the k-boundary changes the top-k set.
+    if (pos + 1 == k) {
+      if (!result.breakpoints.empty() &&
+          event.w <= result.breakpoints.back() + kWeightTol) {
+        // Cascade at (numerically) the same weight: update in place.
+        result.topk_sets.back() = snapshot();
+      } else {
+        result.breakpoints.push_back(event.w);
+        result.topk_sets.push_back(snapshot());
+      }
+    }
+  }
+
+  // Drop no-op intervals (a tuple can leave and re-enter within one
+  // cascade).
+  std::vector<double> bps;
+  std::vector<std::vector<TupleId>> sets;
+  sets.push_back(std::move(result.topk_sets.front()));
+  for (std::size_t i = 0; i < result.breakpoints.size(); ++i) {
+    if (result.topk_sets[i + 1] == sets.back()) continue;
+    bps.push_back(result.breakpoints[i]);
+    sets.push_back(std::move(result.topk_sets[i + 1]));
+  }
+  result.breakpoints = std::move(bps);
+  result.topk_sets = std::move(sets);
+
+  return result;
+}
+
+std::vector<std::pair<double, double>> ReverseTopKIntervals2D(
+    const RankSweepResult& sweep, TupleId target) {
+  std::vector<std::pair<double, double>> intervals;
+  const std::size_t m = sweep.topk_sets.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& set = sweep.topk_sets[i];
+    if (!std::binary_search(set.begin(), set.end(), target)) continue;
+    const double lo = i == 0 ? 0.0 : sweep.breakpoints[i - 1];
+    const double hi = i + 1 == m ? 1.0 : sweep.breakpoints[i];
+    if (!intervals.empty() && intervals.back().second >= lo) {
+      intervals.back().second = hi;  // merge adjacent intervals
+    } else {
+      intervals.emplace_back(lo, hi);
+    }
+  }
+  return intervals;
+}
+
+}  // namespace drli

@@ -1,0 +1,50 @@
+// Exact 2-d weight-space analysis: the Section V-A construction pushed
+// from top-1 to top-k.
+//
+// For d = 2 the weight space is the segment w1 in (0,1) and every
+// tuple's score f_t(w1) = t_2 + w1 (t_1 - t_2) is a line, so the rank
+// order changes only where adjacent score lines cross. A kinetic sweep
+// maintains the full order from w1 -> 0+ to w1 -> 1- and records every
+// weight where the top-k SET changes. Two applications:
+//
+//  * the exact partition of the weight space by top-k answer set (the
+//    top-1 case is the paper's weight-range table);
+//  * monochromatic reverse top-k queries (Vlachou et al., ICDE'10 --
+//    the paper's reference [32]): for which weights is a given tuple
+//    among the top-k?
+
+#ifndef DRLI_CORE_RANK_SWEEP_2D_H_
+#define DRLI_CORE_RANK_SWEEP_2D_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+struct RankSweepResult {
+  // Strictly increasing interior breakpoints 0 < b_1 < ... < b_m < 1
+  // at which the top-k set changes.
+  std::vector<double> breakpoints;
+  // topk_sets[i] = the top-k set (sorted ids) on the i-th interval
+  // (b_{i-1}, b_i); size = breakpoints.size() + 1. Exact score ties at
+  // interval boundaries make either neighbouring set a valid answer.
+  std::vector<std::vector<TupleId>> topk_sets;
+
+  // The set valid at a specific weight (binary search).
+  const std::vector<TupleId>& SetAt(double w1) const;
+};
+
+// Sweeps all weights for a 2-d relation. O((n + S) log n) where S is
+// the number of adjacent rank swaps.
+RankSweepResult SweepTopKSets2D(const PointSet& points, std::size_t k);
+
+// The w1-intervals (merged, ascending) on which `target` belongs to
+// the top-k. Endpoints are the sweep breakpoints (or 0/1).
+std::vector<std::pair<double, double>> ReverseTopKIntervals2D(
+    const RankSweepResult& sweep, TupleId target);
+
+}  // namespace drli
+
+#endif  // DRLI_CORE_RANK_SWEEP_2D_H_

@@ -1,0 +1,204 @@
+#include "core/serialization.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace drli {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x494c5244;  // "DRLI"
+constexpr std::uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteDoubles(std::ostream& out, const std::vector<double>& v) {
+  WriteU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+template <typename T>
+void WriteIds(std::ostream& out, const std::vector<T>& v) {
+  static_assert(sizeof(T) == sizeof(std::uint32_t));
+  WriteU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+template <typename T>
+void WriteAdjacency(std::ostream& out, const std::vector<std::vector<T>>& v) {
+  WriteU64(out, v.size());
+  for (const auto& list : v) WriteIds(out, list);
+}
+
+bool ReadU32(std::istream& in, std::uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return bool(in);
+}
+bool ReadU64(std::istream& in, std::uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return bool(in);
+}
+bool ReadDoubles(std::istream& in, std::vector<double>* v) {
+  std::uint64_t n = 0;
+  if (!ReadU64(in, &n)) return false;
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  return bool(in);
+}
+bool ReadString(std::istream& in, std::string* s) {
+  std::uint64_t n = 0;
+  if (!ReadU64(in, &n)) return false;
+  s->resize(n);
+  in.read(s->data(), static_cast<std::streamsize>(n));
+  return bool(in);
+}
+template <typename T>
+bool ReadIds(std::istream& in, std::vector<T>* v) {
+  static_assert(sizeof(T) == sizeof(std::uint32_t));
+  std::uint64_t n = 0;
+  if (!ReadU64(in, &n)) return false;
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return bool(in);
+}
+template <typename T>
+bool ReadAdjacency(std::istream& in, std::vector<std::vector<T>>* v) {
+  std::uint64_t n = 0;
+  if (!ReadU64(in, &n)) return false;
+  v->resize(n);
+  for (auto& list : *v) {
+    if (!ReadIds(in, &list)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// Friend of DualLayerIndex: reads/writes its private representation.
+class DualLayerSerializer {
+ public:
+  static Status Save(const DualLayerIndex& index, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status::IoError("cannot open " + path + " for writing");
+
+    WriteU32(out, kMagic);
+    WriteU32(out, kVersion);
+    WriteString(out, index.name_);
+    WriteU32(out, static_cast<std::uint32_t>(index.points_.dim()));
+    WriteDoubles(out, index.points_.raw());
+    WriteDoubles(out, index.virtual_points_.raw());
+    WriteIds(out, index.coarse_of_);
+    WriteIds(out, index.fine_of_);
+    WriteAdjacency(out, index.coarse_out_);
+    WriteAdjacency(out, index.fine_out_);
+    WriteAdjacency(out, index.coarse_layers_);
+    WriteU32(out, index.use_weight_table_ ? 1 : 0);
+    WriteIds(out, index.weight_table_.chain());
+
+    if (!out) return Status::IoError("write failure on " + path);
+    return Status::Ok();
+  }
+
+  static StatusOr<DualLayerIndex> Load(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IoError("cannot open " + path);
+
+    std::uint32_t magic = 0, version = 0;
+    if (!ReadU32(in, &magic) || magic != kMagic) {
+      return Status::Corruption("bad magic in " + path);
+    }
+    if (!ReadU32(in, &version) || version != kVersion) {
+      return Status::Corruption("unsupported version in " + path);
+    }
+
+    DualLayerIndex index;
+    std::uint32_t dim = 0;
+    std::vector<double> points_raw;
+    std::vector<double> virtual_raw;
+    std::uint32_t use_table = 0;
+    std::vector<TupleId> chain;
+    if (!ReadString(in, &index.name_) || !ReadU32(in, &dim) || dim == 0 ||
+        !ReadDoubles(in, &points_raw) || !ReadDoubles(in, &virtual_raw) ||
+        !ReadIds(in, &index.coarse_of_) || !ReadIds(in, &index.fine_of_) ||
+        !ReadAdjacency(in, &index.coarse_out_) ||
+        !ReadAdjacency(in, &index.fine_out_) ||
+        !ReadAdjacency(in, &index.coarse_layers_) ||
+        !ReadU32(in, &use_table) || !ReadIds(in, &chain)) {
+      return Status::Corruption("truncated index file " + path);
+    }
+    if (points_raw.size() % dim != 0 || virtual_raw.size() % dim != 0) {
+      return Status::Corruption("point buffer not divisible by dim");
+    }
+
+    index.points_ = PointSet(dim);
+    for (std::size_t i = 0; i < points_raw.size(); i += dim) {
+      index.points_.Add(PointView(points_raw.data() + i, dim));
+    }
+    index.virtual_points_ = PointSet(dim);
+    for (std::size_t i = 0; i < virtual_raw.size(); i += dim) {
+      index.virtual_points_.Add(PointView(virtual_raw.data() + i, dim));
+    }
+
+    const std::size_t total = index.num_nodes();
+    if (index.coarse_of_.size() != total || index.fine_of_.size() != total ||
+        index.coarse_out_.size() != total ||
+        index.fine_out_.size() != total) {
+      return Status::Corruption("node array size mismatch");
+    }
+
+    // Derived state is recomputed rather than stored.
+    index.coarse_in_degree_.assign(total, 0);
+    index.has_fine_in_.assign(total, 0);
+    for (const auto& edges : index.coarse_out_) {
+      for (const auto target : edges) {
+        if (target >= total) return Status::Corruption("edge out of range");
+        ++index.coarse_in_degree_[target];
+      }
+    }
+    for (const auto& edges : index.fine_out_) {
+      for (const auto target : edges) {
+        if (target >= total) return Status::Corruption("edge out of range");
+        index.has_fine_in_[target] = 1;
+      }
+    }
+    index.chain_pos_.assign(total, DualLayerIndex::kNoFineLayer);
+    if (use_table != 0) {
+      index.use_weight_table_ = true;
+      for (std::size_t pos = 0; pos < chain.size(); ++pos) {
+        if (chain[pos] >= index.points_.size()) {
+          return Status::Corruption("chain id out of range");
+        }
+        index.chain_pos_[chain[pos]] = static_cast<std::uint32_t>(pos);
+      }
+      index.weight_table_ =
+          WeightRangeTable::Build(index.points_, std::move(chain));
+    }
+    index.FinalizeInitialNodes();
+
+    index.stats_.num_coarse_layers = index.coarse_layers_.size();
+    index.stats_.num_virtual = index.virtual_points_.size();
+    return index;
+  }
+};
+
+Status SaveDualLayerIndex(const DualLayerIndex& index,
+                          const std::string& path) {
+  return DualLayerSerializer::Save(index, path);
+}
+
+StatusOr<DualLayerIndex> LoadDualLayerIndex(const std::string& path) {
+  return DualLayerSerializer::Load(path);
+}
+
+}  // namespace drli

@@ -1,0 +1,27 @@
+// Binary save/load of a built DualLayerIndex, so the pre-materialized
+// structure can be constructed once and reused across sessions -- the
+// operating model of a layer-based index (built offline, queried for
+// many weight vectors).
+
+#ifndef DRLI_CORE_SERIALIZATION_H_
+#define DRLI_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/dual_layer.h"
+
+namespace drli {
+
+// Writes the full index (points, layers, edges, zero layer) to `path`.
+// Note: only the query-relevant structure is persisted; the loaded
+// index reports default build options() and zeroed build timings.
+Status SaveDualLayerIndex(const DualLayerIndex& index,
+                          const std::string& path);
+
+// Reads an index previously written by SaveDualLayerIndex.
+StatusOr<DualLayerIndex> LoadDualLayerIndex(const std::string& path);
+
+}  // namespace drli
+
+#endif  // DRLI_CORE_SERIALIZATION_H_

@@ -1,0 +1,95 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace drli {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    // Trim surrounding whitespace.
+    std::size_t b = field.find_first_not_of(" \t\r");
+    std::size_t e = field.find_last_not_of(" \t\r");
+    fields.push_back(b == std::string::npos
+                         ? std::string()
+                         : field.substr(b, e - b + 1));
+  }
+  if (!line.empty() && line.back() == ',') fields.push_back("");
+  return fields;
+}
+
+}  // namespace
+
+StatusOr<Dataset> ParseCsv(const std::string& content) {
+  std::stringstream ss(content);
+  std::string line;
+  if (!std::getline(ss, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  std::vector<std::string> names = SplitCsvLine(line);
+  if (names.empty()) {
+    return Status::InvalidArgument("CSV header has no columns");
+  }
+  Dataset dataset(names);
+  Point row(names.size());
+  std::size_t line_no = 1;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != names.size()) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": got " +
+                                std::to_string(fields.size()) +
+                                " fields, expected " +
+                                std::to_string(names.size()));
+    }
+    for (std::size_t j = 0; j < fields.size(); ++j) {
+      char* end = nullptr;
+      row[j] = std::strtod(fields[j].c_str(), &end);
+      if (end == fields[j].c_str() || *end != '\0') {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": non-numeric field '" + fields[j] + "'");
+      }
+    }
+    dataset.mutable_points().Add(row);
+  }
+  return dataset;
+}
+
+StatusOr<Dataset> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const auto& names = dataset.attribute_names();
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    if (j) out << ',';
+    out << names[j];
+  }
+  out << '\n';
+  char buf[64];
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    for (std::size_t j = 0; j < dataset.dim(); ++j) {
+      if (j) out << ',';
+      std::snprintf(buf, sizeof(buf), "%.17g", dataset.points().At(i, j));
+      out << buf;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+}  // namespace drli

@@ -1,0 +1,25 @@
+// CSV import/export for Dataset: a header row of attribute names
+// followed by one numeric row per tuple. Used by the example programs.
+
+#ifndef DRLI_DATA_CSV_H_
+#define DRLI_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace drli {
+
+// Parses a CSV file with header. Non-numeric columns are rejected.
+StatusOr<Dataset> LoadCsv(const std::string& path);
+
+// Parses CSV from an in-memory string (same format).
+StatusOr<Dataset> ParseCsv(const std::string& content);
+
+// Writes `dataset` to `path`.
+Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace drli
+
+#endif  // DRLI_DATA_CSV_H_

@@ -1,0 +1,50 @@
+// A relation for top-k querying: a PointSet plus attribute metadata and
+// preprocessing helpers (min-max normalization, direction flips). All
+// indexes in the library assume minimization over [0,1]^d (Section II);
+// Dataset is where raw application data is massaged into that form.
+
+#ifndef DRLI_DATA_DATASET_H_
+#define DRLI_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+class Dataset {
+ public:
+  // An empty relation with the given attribute names (d = names size).
+  explicit Dataset(std::vector<std::string> attribute_names);
+  // Wraps an existing PointSet with generic names "a0", "a1", ...
+  explicit Dataset(PointSet points);
+  Dataset(PointSet points, std::vector<std::string> attribute_names);
+
+  std::size_t dim() const { return points_.dim(); }
+  std::size_t size() const { return points_.size(); }
+  const PointSet& points() const { return points_; }
+  PointSet& mutable_points() { return points_; }
+  const std::vector<std::string>& attribute_names() const { return names_; }
+
+  // Index of the named attribute, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t AttributeIndex(const std::string& name) const;
+
+  // Rescales every attribute to [0, 1] by min-max normalization.
+  // Constant attributes map to 0.
+  void NormalizeMinMax();
+
+  // Replaces attribute `attr` by (max - value): use for attributes
+  // where larger raw values are better (e.g. a hotel rating), since the
+  // library minimizes.
+  void InvertAttribute(std::size_t attr);
+
+ private:
+  PointSet points_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_DATA_DATASET_H_

@@ -1,0 +1,121 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace drli {
+
+namespace {
+
+constexpr double kMargin = 1e-6;  // keeps values strictly inside (0, 1)
+
+double Clamp01(double x) {
+  return std::min(1.0 - kMargin, std::max(kMargin, x));
+}
+
+// Truncated normal in (0, 1).
+double TruncatedGaussian(Rng& rng, double mean, double stddev) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = rng.Gaussian(mean, stddev);
+    if (v > kMargin && v < 1.0 - kMargin) return v;
+  }
+  return Clamp01(mean);
+}
+
+}  // namespace
+
+const char* DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      return "ind";
+    case Distribution::kAnticorrelated:
+      return "ant";
+    case Distribution::kCorrelated:
+      return "cor";
+  }
+  return "unknown";
+}
+
+PointSet GenerateIndependent(std::size_t n, std::size_t d,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  PointSet out(d);
+  out.Reserve(n);
+  Point p(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) p[j] = rng.Uniform(kMargin, 1.0);
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateAnticorrelated(std::size_t n, std::size_t d,
+                                std::uint64_t seed) {
+  // Börzsönyi et al.-style anti-correlation: every point lies close to
+  // an anti-diagonal hyperplane sum(x) = d * v with v ~ N(0.5, 0.05).
+  // A uniform cube sample is projected onto the plane (rejecting draws
+  // that leave the cube), so good values in one attribute come with bad
+  // values in others -- the pairwise correlation is strongly negative
+  // and skylines/layers blow up, the paper's hard case.
+  Rng rng(seed);
+  PointSet out(d);
+  out.Reserve(n);
+  Point p(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool accepted = false;
+    for (int attempt = 0; attempt < 128 && !accepted; ++attempt) {
+      const double v = TruncatedGaussian(rng, 0.5, 0.05);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        p[j] = rng.Uniform(0.0, 1.0);
+        sum += p[j];
+      }
+      const double shift = (d * v - sum) / static_cast<double>(d);
+      accepted = true;
+      for (std::size_t j = 0; j < d; ++j) {
+        p[j] += shift;
+        if (p[j] <= kMargin || p[j] >= 1.0 - kMargin) accepted = false;
+      }
+    }
+    if (!accepted) {
+      for (double& x : p) x = Clamp01(x);
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateCorrelated(std::size_t n, std::size_t d,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  PointSet out(d);
+  out.Reserve(n);
+  Point p(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = TruncatedGaussian(rng, 0.5, 0.25);
+    for (std::size_t j = 0; j < d; ++j) {
+      p[j] = Clamp01(v + rng.Gaussian(0.0, 0.05));
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet Generate(Distribution dist, std::size_t n, std::size_t d,
+                  std::uint64_t seed) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      return GenerateIndependent(n, d, seed);
+    case Distribution::kAnticorrelated:
+      return GenerateAnticorrelated(n, d, seed);
+    case Distribution::kCorrelated:
+      return GenerateCorrelated(n, d, seed);
+  }
+  DRLI_CHECK(false) << "unreachable";
+  return PointSet(d);
+}
+
+}  // namespace drli

@@ -1,0 +1,462 @@
+#include "geometry/convex_hull.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace drli {
+
+namespace {
+
+// Working representation of one facet during construction.
+struct FacetRec {
+  std::vector<std::int32_t> verts;  // d point indices
+  std::vector<std::int32_t> neigh;  // d facet ids, aligned with verts
+  Hyperplane plane;                 // outward unit normal
+  std::vector<std::int32_t> outside;  // points strictly above this facet
+  double furthest_dist = 0.0;
+  std::int32_t furthest = -1;
+  bool alive = true;
+};
+
+// Hash key for a (d-1)-vertex ridge: sorted vertex ids.
+struct RidgeKey {
+  std::vector<std::int32_t> verts;
+  bool operator==(const RidgeKey& o) const { return verts == o.verts; }
+};
+
+struct RidgeKeyHash {
+  std::size_t operator()(const RidgeKey& k) const {
+    std::size_t h = 1469598103934665603ull;
+    for (std::int32_t v : k.verts) {
+      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+class HullBuilder {
+ public:
+  HullBuilder(const PointSet& points, const ConvexHullOptions& options)
+      : input_(points), options_(options), dim_(points.dim()) {}
+
+  HullStatus Build(ConvexHull* out);
+
+ private:
+  PointView PointAt(std::int32_t id) const {
+    if (id < static_cast<std::int32_t>(input_.size())) {
+      return input_[static_cast<std::size_t>(id)];
+    }
+    return PointView(sentinel_);
+  }
+
+  std::size_t NumPoints() const {
+    return input_.size() + (sentinel_.empty() ? 0 : 1);
+  }
+
+  bool MakePlane(const std::vector<std::int32_t>& verts, Hyperplane* plane);
+  bool BuildInitialSimplex();
+  bool ProcessOutsidePoints();
+  void AssignInitialOutside();
+  void Compact(ConvexHull* out);
+
+  const PointSet& input_;
+  ConvexHullOptions options_;
+  std::size_t dim_;
+  Point sentinel_;         // empty unless add_top_sentinel
+  std::int32_t sentinel_id_ = -1;
+  Point interior_;         // reference interior point
+  std::vector<std::int32_t> simplex_;   // initial d+1 vertex ids
+  std::vector<FacetRec> facets_;
+  std::vector<std::int32_t> pending_;   // facet ids with outside points
+  std::size_t live_facets_ = 0;
+  // Per-facet visit stamps for the visibility BFS.
+  std::vector<std::uint32_t> visit_stamp_;
+  std::uint32_t current_stamp_ = 0;
+};
+
+bool HullBuilder::MakePlane(const std::vector<std::int32_t>& verts,
+                            Hyperplane* plane) {
+  std::vector<PointView> pts;
+  pts.reserve(verts.size());
+  for (std::int32_t v : verts) pts.push_back(PointAt(v));
+  if (!HyperplaneThroughPoints(pts, plane)) return false;
+  // Orient outward: the interior reference point must be strictly below.
+  const double d = plane->SignedDistance(PointView(interior_));
+  if (std::fabs(d) < options_.eps * 0.5) return false;  // interior on plane
+  if (d > 0.0) {
+    for (double& x : plane->normal) x = -x;
+    plane->offset = -plane->offset;
+  }
+  return true;
+}
+
+bool HullBuilder::BuildInitialSimplex() {
+  const std::size_t n = NumPoints();
+  if (n < dim_ + 1) return false;
+
+  // Greedy affinely-independent selection: start from the two points
+  // extreme along the axis of largest spread, then repeatedly add the
+  // point furthest from the current affine span.
+  std::size_t best_axis = 0;
+  std::int32_t lo = 0, hi = 0;
+  double best_spread = -1.0;
+  for (std::size_t a = 0; a < dim_; ++a) {
+    std::int32_t lo_a = 0, hi_a = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const auto id = static_cast<std::int32_t>(i);
+      if (PointAt(id)[a] < PointAt(lo_a)[a]) lo_a = id;
+      if (PointAt(id)[a] > PointAt(hi_a)[a]) hi_a = id;
+    }
+    const double spread = PointAt(hi_a)[a] - PointAt(lo_a)[a];
+    if (spread > best_spread) {
+      best_spread = spread;
+      best_axis = a;
+      lo = lo_a;
+      hi = hi_a;
+    }
+  }
+  (void)best_axis;
+  if (lo == hi || best_spread < options_.eps) return false;
+
+  AffineBasis basis(dim_);
+  simplex_.clear();
+  basis.Add(PointAt(lo), options_.eps);
+  simplex_.push_back(lo);
+  if (!basis.Add(PointAt(hi), options_.eps)) return false;
+  simplex_.push_back(hi);
+  while (simplex_.size() < dim_ + 1) {
+    std::int32_t best = -1;
+    double best_dist = options_.eps;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<std::int32_t>(i);
+      if (std::find(simplex_.begin(), simplex_.end(), id) != simplex_.end()) {
+        continue;
+      }
+      const double dist = basis.DistanceToSpan(PointAt(id));
+      if (dist > best_dist) {
+        best_dist = dist;
+        best = id;
+      }
+    }
+    if (best < 0) return false;  // affinely dependent input
+    DRLI_CHECK(basis.Add(PointAt(best), options_.eps));
+    simplex_.push_back(best);
+  }
+
+  // Interior reference: centroid of the simplex.
+  interior_.assign(dim_, 0.0);
+  for (std::int32_t v : simplex_) {
+    PointView p = PointAt(v);
+    for (std::size_t j = 0; j < dim_; ++j) interior_[j] += p[j];
+  }
+  for (double& x : interior_) x /= static_cast<double>(dim_ + 1);
+
+  // The d+1 simplex facets: facet i omits simplex_[i].
+  facets_.clear();
+  facets_.resize(dim_ + 1);
+  for (std::size_t i = 0; i <= dim_; ++i) {
+    FacetRec& f = facets_[i];
+    f.verts.reserve(dim_);
+    f.neigh.assign(dim_, -1);
+    for (std::size_t j = 0; j <= dim_; ++j) {
+      if (j != i) f.verts.push_back(simplex_[j]);
+    }
+    if (!MakePlane(f.verts, &f.plane)) return false;
+    // Neighbour opposite f.verts[s]: f.verts[s] == simplex_[j], and the
+    // ridge omitting both simplex_[i] and simplex_[j] is shared with
+    // facet j.
+    for (std::size_t s = 0; s < dim_; ++s) {
+      const std::int32_t vid = f.verts[s];
+      for (std::size_t j = 0; j <= dim_; ++j) {
+        if (simplex_[j] == vid) {
+          f.neigh[s] = static_cast<std::int32_t>(j);
+          break;
+        }
+      }
+      DRLI_DCHECK(f.neigh[s] >= 0);
+    }
+  }
+  live_facets_ = dim_ + 1;
+  return true;
+}
+
+void HullBuilder::AssignInitialOutside() {
+  const std::size_t n = NumPoints();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<std::int32_t>(i);
+    if (std::find(simplex_.begin(), simplex_.end(), id) != simplex_.end()) {
+      continue;
+    }
+    PointView p = PointAt(id);
+    for (FacetRec& f : facets_) {
+      const double dist = f.plane.SignedDistance(p);
+      if (dist > options_.eps) {
+        f.outside.push_back(id);
+        if (dist > f.furthest_dist) {
+          f.furthest_dist = dist;
+          f.furthest = id;
+        }
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < facets_.size(); ++i) {
+    if (!facets_[i].outside.empty()) {
+      pending_.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+}
+
+bool HullBuilder::ProcessOutsidePoints() {
+  visit_stamp_.assign(facets_.size(), 0);
+  std::vector<std::int32_t> visible;
+  std::vector<std::int32_t> bfs;
+  // Horizon ridge: (visible facet id, slot, outer neighbour id).
+  struct Horizon {
+    std::int32_t visible_facet;
+    std::size_t slot;
+    std::int32_t outer;
+  };
+  std::vector<Horizon> horizon;
+
+  while (!pending_.empty()) {
+    const std::int32_t fid = pending_.back();
+    pending_.pop_back();
+    if (fid >= static_cast<std::int32_t>(facets_.size())) continue;
+    FacetRec& f = facets_[fid];
+    if (!f.alive || f.outside.empty()) continue;
+
+    const std::int32_t apex = f.furthest;
+    DRLI_DCHECK(apex >= 0);
+    PointView apex_pt = PointAt(apex);
+
+    // Visibility BFS from f.
+    ++current_stamp_;
+    visit_stamp_.resize(facets_.size(), 0);
+    visible.clear();
+    horizon.clear();
+    bfs.clear();
+    bfs.push_back(fid);
+    visit_stamp_[fid] = current_stamp_;
+    while (!bfs.empty()) {
+      const std::int32_t cur = bfs.back();
+      bfs.pop_back();
+      visible.push_back(cur);
+      const FacetRec& fc = facets_[cur];
+      for (std::size_t s = 0; s < dim_; ++s) {
+        const std::int32_t nb = fc.neigh[s];
+        DRLI_DCHECK(nb >= 0);
+        if (visit_stamp_[nb] == current_stamp_ && facets_[nb].alive &&
+            facets_[nb].plane.SignedDistance(apex_pt) > options_.eps) {
+          continue;  // already queued as visible
+        }
+        if (visit_stamp_[nb] == current_stamp_) {
+          // Already classified not-visible: horizon ridge.
+          horizon.push_back(Horizon{cur, s, nb});
+          continue;
+        }
+        visit_stamp_[nb] = current_stamp_;
+        if (facets_[nb].plane.SignedDistance(apex_pt) > options_.eps) {
+          bfs.push_back(nb);
+        } else {
+          horizon.push_back(Horizon{cur, s, nb});
+        }
+      }
+    }
+
+    if (horizon.empty()) return false;  // numerically inconsistent
+
+    // Create one new facet per horizon ridge.
+    std::unordered_map<RidgeKey, std::pair<std::int32_t, std::size_t>,
+                       RidgeKeyHash>
+        open_ridges;
+    std::vector<std::int32_t> new_facets;
+    new_facets.reserve(horizon.size());
+    for (const Horizon& h : horizon) {
+      const FacetRec& vf = facets_[h.visible_facet];
+      FacetRec nf;
+      nf.verts.reserve(dim_);
+      for (std::size_t s = 0; s < dim_; ++s) {
+        if (s != h.slot) nf.verts.push_back(vf.verts[s]);
+      }
+      nf.verts.push_back(apex);
+      nf.neigh.assign(dim_, -1);
+      if (!MakePlane(nf.verts, &nf.plane)) return false;
+      const auto new_id = static_cast<std::int32_t>(facets_.size());
+
+      // Across the ridge without the apex lies the old outer facet.
+      nf.neigh[dim_ - 1] = h.outer;
+      FacetRec& outer = facets_[h.outer];
+      bool wired = false;
+      for (std::size_t s = 0; s < dim_; ++s) {
+        if (outer.neigh[s] == h.visible_facet) {
+          outer.neigh[s] = new_id;
+          wired = true;
+          break;
+        }
+      }
+      if (!wired) return false;
+
+      // Ridges containing the apex pair up among the new facets.
+      for (std::size_t s = 0; s + 1 < dim_; ++s) {
+        RidgeKey key;
+        key.verts.reserve(dim_ - 1);
+        for (std::size_t t = 0; t < dim_; ++t) {
+          if (t != s) key.verts.push_back(nf.verts[t]);
+        }
+        std::sort(key.verts.begin(), key.verts.end());
+        auto it = open_ridges.find(key);
+        if (it == open_ridges.end()) {
+          open_ridges.emplace(std::move(key), std::make_pair(new_id, s));
+        } else {
+          const auto [other_id, other_slot] = it->second;
+          nf.neigh[s] = other_id;
+          facets_[other_id].neigh[other_slot] = new_id;
+          open_ridges.erase(it);
+        }
+      }
+
+      facets_.push_back(std::move(nf));
+      visit_stamp_.push_back(0);
+      new_facets.push_back(new_id);
+      ++live_facets_;
+      if (live_facets_ > options_.max_facets) return false;
+    }
+    if (!open_ridges.empty()) return false;  // horizon not closed
+
+    // Redistribute the outside points of all visible facets.
+    for (const std::int32_t vid : visible) {
+      FacetRec& vf = facets_[vid];
+      for (const std::int32_t q : vf.outside) {
+        if (q == apex) continue;
+        PointView qp = PointAt(q);
+        for (const std::int32_t nid : new_facets) {
+          FacetRec& nf = facets_[nid];
+          const double dist = nf.plane.SignedDistance(qp);
+          if (dist > options_.eps) {
+            nf.outside.push_back(q);
+            if (dist > nf.furthest_dist) {
+              nf.furthest_dist = dist;
+              nf.furthest = q;
+            }
+            break;
+          }
+        }
+      }
+      vf.outside.clear();
+      vf.outside.shrink_to_fit();
+      vf.alive = false;
+      --live_facets_;
+    }
+    for (const std::int32_t nid : new_facets) {
+      if (!facets_[nid].outside.empty()) pending_.push_back(nid);
+    }
+  }
+  return true;
+}
+
+void HullBuilder::Compact(ConvexHull* out) {
+  out->dim = dim_;
+  out->vertices.clear();
+  out->facets.clear();
+
+  // Keep alive facets not incident to the sentinel.
+  std::vector<std::int32_t> remap(facets_.size(), -1);
+  for (std::size_t i = 0; i < facets_.size(); ++i) {
+    const FacetRec& f = facets_[i];
+    if (!f.alive) continue;
+    if (sentinel_id_ >= 0 &&
+        std::find(f.verts.begin(), f.verts.end(), sentinel_id_) !=
+            f.verts.end()) {
+      continue;
+    }
+    remap[i] = static_cast<std::int32_t>(out->facets.size());
+    out->facets.emplace_back();
+  }
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < facets_.size(); ++i) {
+    if (remap[i] < 0) continue;
+    const FacetRec& f = facets_[i];
+    HullFacet& hf = out->facets[next++];
+    hf.vertices = f.verts;
+    hf.plane = f.plane;
+    hf.neighbors.assign(dim_, -1);
+    for (std::size_t s = 0; s < dim_; ++s) {
+      const std::int32_t nb = f.neigh[s];
+      if (nb >= 0 && remap[nb] >= 0) hf.neighbors[s] = remap[nb];
+    }
+  }
+
+  std::vector<bool> is_vertex(NumPoints(), false);
+  // Vertices come from all alive facets (including sentinel ones, so
+  // that points whose every incident facet touches the sentinel are
+  // still reported as hull vertices), minus the sentinel itself.
+  for (const FacetRec& f : facets_) {
+    if (!f.alive) continue;
+    for (std::int32_t v : f.verts) {
+      if (v != sentinel_id_) is_vertex[v] = true;
+    }
+  }
+  for (std::size_t i = 0; i < is_vertex.size(); ++i) {
+    if (is_vertex[i]) out->vertices.push_back(static_cast<std::int32_t>(i));
+  }
+}
+
+HullStatus HullBuilder::Build(ConvexHull* out) {
+  DRLI_CHECK(dim_ >= 2) << "convex hull requires dim >= 2";
+  if (options_.add_top_sentinel && input_.size() > 0) {
+    // One point beyond the max corner in every coordinate; it is never
+    // below any lower facet, so the lower hull is unchanged.
+    sentinel_.assign(dim_, 0.0);
+    for (std::size_t i = 0; i < input_.size(); ++i) {
+      PointView p = input_[i];
+      for (std::size_t j = 0; j < dim_; ++j) {
+        sentinel_[j] = std::max(sentinel_[j], p[j]);
+      }
+    }
+    for (double& x : sentinel_) x = x * 2.0 + 1.0;
+    sentinel_id_ = static_cast<std::int32_t>(input_.size());
+  }
+  if (!BuildInitialSimplex()) return HullStatus::kDegenerate;
+  AssignInitialOutside();
+  if (!ProcessOutsidePoints()) return HullStatus::kDegenerate;
+  Compact(out);
+  return HullStatus::kOk;
+}
+
+}  // namespace
+
+HullStatus ComputeConvexHull(const PointSet& points,
+                             const ConvexHullOptions& options,
+                             ConvexHull* hull) {
+  HullBuilder builder(points, options);
+  return builder.Build(hull);
+}
+
+std::vector<std::vector<std::int32_t>> BuildVertexAdjacency(
+    const ConvexHull& hull, std::size_t num_points) {
+  std::vector<std::vector<std::int32_t>> adj(num_points);
+  for (const HullFacet& f : hull.facets) {
+    // Simplicial facet: every vertex pair within it is a hull edge.
+    for (std::size_t a = 0; a < f.vertices.size(); ++a) {
+      for (std::size_t b = a + 1; b < f.vertices.size(); ++b) {
+        adj[f.vertices[a]].push_back(f.vertices[b]);
+        adj[f.vertices[b]].push_back(f.vertices[a]);
+      }
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+}  // namespace drli

@@ -1,0 +1,101 @@
+#include "geometry/convex_hull_2d.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace drli {
+
+namespace {
+
+constexpr double kCollinearTol = 1e-12;
+
+// Twice the signed area of triangle (o, a, b); > 0 for a left turn.
+double Cross(PointView o, PointView a, PointView b) {
+  return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]);
+}
+
+// Indices sorted lexicographically by (x, y).
+std::vector<std::int32_t> SortedIndices(const PointSet& points) {
+  std::vector<std::int32_t> idx(points.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::int32_t a, std::int32_t b) {
+    const PointView pa = points[a], pb = points[b];
+    if (pa[0] != pb[0]) return pa[0] < pb[0];
+    if (pa[1] != pb[1]) return pa[1] < pb[1];
+    return a < b;
+  });
+  return idx;
+}
+
+// Monotone-chain lower hull over lexicographically sorted indices.
+std::vector<std::int32_t> LowerHull(const PointSet& points,
+                                    const std::vector<std::int32_t>& idx) {
+  std::vector<std::int32_t> hull;
+  for (std::int32_t i : idx) {
+    while (hull.size() >= 2 &&
+           Cross(points[hull[hull.size() - 2]], points[hull.back()],
+                 points[i]) <= kCollinearTol) {
+      hull.pop_back();
+    }
+    // Skip exact duplicates of the current hull tail.
+    if (!hull.empty()) {
+      const PointView tail = points[hull.back()], p = points[i];
+      if (tail[0] == p[0] && tail[1] == p[1]) continue;
+    }
+    hull.push_back(i);
+  }
+  return hull;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> ConvexHull2D(const PointSet& points) {
+  DRLI_CHECK_EQ(points.dim(), 2u);
+  const std::vector<std::int32_t> idx = SortedIndices(points);
+  if (idx.size() <= 2) {
+    std::vector<std::int32_t> hull(idx);
+    if (hull.size() == 2) {
+      const PointView a = points[hull[0]], b = points[hull[1]];
+      if (a[0] == b[0] && a[1] == b[1]) hull.pop_back();
+    }
+    return hull;
+  }
+
+  std::vector<std::int32_t> lower = LowerHull(points, idx);
+  std::vector<std::int32_t> rev(idx.rbegin(), idx.rend());
+  std::vector<std::int32_t> upper = LowerHull(points, rev);
+
+  // CCW: lower chain then upper chain, dropping the shared endpoints.
+  std::vector<std::int32_t> hull(lower);
+  for (std::size_t i = 1; i + 1 < upper.size(); ++i) {
+    hull.push_back(upper[i]);
+  }
+  if (hull.size() > 1 && hull.front() == hull.back()) hull.pop_back();
+  return hull;
+}
+
+std::vector<std::int32_t> LowerLeftChain2D(const PointSet& points) {
+  DRLI_CHECK_EQ(points.dim(), 2u);
+  if (points.empty()) return {};
+  const std::vector<std::int32_t> idx = SortedIndices(points);
+  const std::vector<std::int32_t> lower = LowerHull(points, idx);
+
+  // Keep the strictly y-decreasing prefix: slopes on the lower hull
+  // increase left to right, so the chain descends to the min-y vertex
+  // and then rises; only descending edges support strictly positive
+  // weight vectors.
+  std::vector<std::int32_t> chain;
+  chain.push_back(lower[0]);
+  for (std::size_t i = 1; i < lower.size(); ++i) {
+    if (points[lower[i]][1] < points[lower[i - 1]][1]) {
+      chain.push_back(lower[i]);
+    } else {
+      break;
+    }
+  }
+  return chain;
+}
+
+}  // namespace drli

@@ -1,0 +1,29 @@
+// Exact 2-d hull primitives: Andrew's monotone chain and the
+// "lower-left" staircase chain that equals the 2-d convex skyline. The
+// 2-d chain is also the basis of the Section V-A weight-range structure
+// (slopes of adjacent facets bound each tuple's optimal weight range).
+
+#ifndef DRLI_GEOMETRY_CONVEX_HULL_2D_H_
+#define DRLI_GEOMETRY_CONVEX_HULL_2D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+// Indices of the convex hull of 2-d `points`, counter-clockwise starting
+// from the lexicographically smallest point. Collinear points are not
+// hull vertices. Duplicates are kept once.
+std::vector<std::int32_t> ConvexHull2D(const PointSet& points);
+
+// The 2-d convex skyline: hull vertices on the strictly-decreasing
+// lower-left chain, ordered by increasing x (equivalently decreasing y),
+// from the min-x point to the min-y point. Every linear scoring function
+// with strictly positive weights attains its minimum on this chain.
+std::vector<std::int32_t> LowerLeftChain2D(const PointSet& points);
+
+}  // namespace drli
+
+#endif  // DRLI_GEOMETRY_CONVEX_HULL_2D_H_

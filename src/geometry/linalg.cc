@@ -1,0 +1,173 @@
+#include "geometry/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace drli {
+
+namespace {
+constexpr double kSingularTol = 1e-12;
+}  // namespace
+
+double Norm(PointView v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+bool Normalize(std::vector<double>* v) {
+  const double n = Norm(*v);
+  if (n < kSingularTol) return false;
+  for (double& x : *v) x /= n;
+  return true;
+}
+
+double Determinant(std::vector<double> m, std::size_t n) {
+  DRLI_CHECK_EQ(m.size(), n * n);
+  double det = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: largest magnitude entry in this column.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(m[row * n + col]) > std::fabs(m[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    const double pivot_value = m[pivot * n + col];
+    if (std::fabs(pivot_value) < kSingularTol) return 0.0;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(m[col * n + j], m[pivot * n + j]);
+      }
+      det = -det;
+    }
+    det *= pivot_value;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = m[row * n + col] / pivot_value;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) {
+        m[row * n + j] -= factor * m[col * n + j];
+      }
+    }
+  }
+  return det;
+}
+
+bool SolveLinearSystem(std::span<const double> a, std::span<const double> b,
+                       std::size_t n, std::vector<double>* x) {
+  DRLI_CHECK_EQ(a.size(), n * n);
+  DRLI_CHECK_EQ(b.size(), n);
+  std::vector<double> m(a.begin(), a.end());
+  std::vector<double> rhs(b.begin(), b.end());
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(m[row * n + col]) > std::fabs(m[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(m[pivot * n + col]) < kSingularTol) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(m[col * n + j], m[pivot * n + j]);
+      }
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = m[row * n + col] / m[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) {
+        m[row * n + j] -= factor * m[col * n + j];
+      }
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = rhs[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      sum -= m[i * n + j] * (*x)[j];
+    }
+    (*x)[i] = sum / m[i * n + i];
+  }
+  return true;
+}
+
+double Hyperplane::SignedDistance(PointView p) const {
+  DRLI_DCHECK(p.size() == normal.size());
+  double s = -offset;
+  for (std::size_t i = 0; i < p.size(); ++i) s += normal[i] * p[i];
+  return s;
+}
+
+bool HyperplaneThroughPoints(const std::vector<PointView>& pts,
+                             Hyperplane* plane) {
+  const std::size_t d = pts.empty() ? 0 : pts[0].size();
+  DRLI_CHECK_EQ(pts.size(), d);
+  DRLI_CHECK(d >= 2);
+  // The normal satisfies n . (p_i - p_0) = 0 for i = 1..d-1. Compute it
+  // as the generalized cross product: n_j = (-1)^j det(M without col j),
+  // where M is the (d-1) x d matrix of difference vectors.
+  std::vector<double> diffs((d - 1) * d);
+  for (std::size_t i = 1; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      diffs[(i - 1) * d + j] = pts[i][j] - pts[0][j];
+    }
+  }
+  std::vector<double> normal(d);
+  std::vector<double> minor((d - 1) * (d - 1));
+  for (std::size_t skip = 0; skip < d; ++skip) {
+    for (std::size_t r = 0; r < d - 1; ++r) {
+      std::size_t out = 0;
+      for (std::size_t c = 0; c < d; ++c) {
+        if (c == skip) continue;
+        minor[r * (d - 1) + out++] = diffs[r * d + c];
+      }
+    }
+    const double det = Determinant(minor, d - 1);
+    normal[skip] = (skip % 2 == 0) ? det : -det;
+  }
+  if (!Normalize(&normal)) return false;
+  plane->normal = std::move(normal);
+  plane->offset = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    plane->offset += plane->normal[j] * pts[0][j];
+  }
+  return true;
+}
+
+double AffineBasis::DistanceToSpan(PointView p) const {
+  if (!origin_set_) return std::numeric_limits<double>::infinity();
+  return Norm(PointView(Residual(p)));
+}
+
+std::vector<double> AffineBasis::Residual(PointView p) const {
+  DRLI_DCHECK(p.size() == dim_);
+  std::vector<double> r(p.begin(), p.end());
+  for (std::size_t j = 0; j < dim_; ++j) r[j] -= origin_[j];
+  for (const auto& b : basis_) {
+    double proj = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) proj += r[j] * b[j];
+    for (std::size_t j = 0; j < dim_; ++j) r[j] -= proj * b[j];
+  }
+  return r;
+}
+
+bool AffineBasis::Add(PointView p, double tol) {
+  if (!origin_set_) {
+    origin_.assign(p.begin(), p.end());
+    origin_set_ = true;
+    return true;
+  }
+  std::vector<double> r = Residual(p);
+  const double dist = Norm(PointView(r));
+  if (dist <= tol) return false;
+  for (double& x : r) x /= dist;
+  basis_.push_back(std::move(r));
+  return true;
+}
+
+}  // namespace drli

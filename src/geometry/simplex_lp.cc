@@ -1,0 +1,254 @@
+#include "geometry/simplex_lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace drli {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// One simplex run over an explicit tableau.
+//   tableau: m rows, each with `cols` coefficient entries plus the rhs
+//            in the final slot.
+//   basis:   basis[i] = column basic in row i.
+//   cost:    objective coefficients per column (minimization).
+//   can_enter: columns allowed to enter the basis.
+// Returns kOptimal/kUnbounded; on optimal, *objective holds the value.
+LpStatus RunSimplex(std::vector<std::vector<double>>& tableau,
+                    std::vector<std::size_t>& basis,
+                    const std::vector<double>& cost,
+                    const std::vector<bool>& can_enter, std::size_t cols,
+                    double* objective) {
+  const std::size_t m = tableau.size();
+  while (true) {
+    // Reduced costs: rc_j = c_j - sum_i c_B(i) * T[i][j]. Recomputed
+    // from scratch every iteration; the LPs in this library are tiny.
+    std::size_t entering = cols;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (!can_enter[j]) continue;
+      bool is_basic = false;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (basis[i] == j) {
+          is_basic = true;
+          break;
+        }
+      }
+      if (is_basic) continue;
+      double rc = cost[j];
+      for (std::size_t i = 0; i < m; ++i) {
+        if (cost[basis[i]] != 0.0) {
+          rc -= cost[basis[i]] * tableau[i][j];
+        }
+      }
+      if (rc < -kTol) {
+        entering = j;  // Bland's rule: smallest improving index.
+        break;
+      }
+    }
+    if (entering == cols) {
+      double obj = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        obj += cost[basis[i]] * tableau[i][cols];
+      }
+      *objective = obj;
+      return LpStatus::kOptimal;
+    }
+
+    // Ratio test; Bland tie-break on the smallest basis column.
+    std::size_t leaving = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      const double a = tableau[i][entering];
+      if (a <= kTol) continue;
+      const double ratio = tableau[i][cols] / a;
+      if (ratio < best_ratio - kTol ||
+          (ratio < best_ratio + kTol &&
+           (leaving == m || basis[i] < basis[leaving]))) {
+        best_ratio = ratio;
+        leaving = i;
+      }
+    }
+    if (leaving == m) return LpStatus::kUnbounded;
+
+    // Pivot on (leaving, entering).
+    const double pivot = tableau[leaving][entering];
+    for (double& v : tableau[leaving]) v /= pivot;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == leaving) continue;
+      const double factor = tableau[i][entering];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j <= cols; ++j) {
+        tableau[i][j] -= factor * tableau[leaving][j];
+      }
+    }
+    basis[leaving] = entering;
+  }
+}
+
+}  // namespace
+
+LinearProgram::LinearProgram(std::size_t num_vars) : num_vars_(num_vars) {
+  DRLI_CHECK(num_vars >= 1);
+  objective_.assign(num_vars, 0.0);
+}
+
+void LinearProgram::AddConstraint(std::span<const double> coeffs,
+                                  LpRelation rel, double rhs) {
+  DRLI_CHECK_EQ(coeffs.size(), num_vars_);
+  rows_.push_back(Row{std::vector<double>(coeffs.begin(), coeffs.end()),
+                      rel, rhs});
+}
+
+void LinearProgram::SetMinimize(std::span<const double> coeffs) {
+  DRLI_CHECK_EQ(coeffs.size(), num_vars_);
+  objective_.assign(coeffs.begin(), coeffs.end());
+  maximize_ = false;
+}
+
+void LinearProgram::SetMaximize(std::span<const double> coeffs) {
+  DRLI_CHECK_EQ(coeffs.size(), num_vars_);
+  objective_.resize(num_vars_);
+  for (std::size_t j = 0; j < num_vars_; ++j) objective_[j] = -coeffs[j];
+  maximize_ = true;
+}
+
+LpResult LinearProgram::Solve() const {
+  const std::size_t m = rows_.size();
+
+  // Normalize rows to non-negative rhs, counting extra columns.
+  struct NormRow {
+    std::vector<double> coeffs;
+    LpRelation rel;
+    double rhs;
+  };
+  std::vector<NormRow> rows;
+  rows.reserve(m);
+  std::size_t num_slack = 0;
+  for (const Row& r : rows_) {
+    NormRow nr{r.coeffs, r.rel, r.rhs};
+    if (nr.rhs < 0) {
+      for (double& c : nr.coeffs) c = -c;
+      nr.rhs = -nr.rhs;
+      if (nr.rel == LpRelation::kLessEq) {
+        nr.rel = LpRelation::kGreaterEq;
+      } else if (nr.rel == LpRelation::kGreaterEq) {
+        nr.rel = LpRelation::kLessEq;
+      }
+    }
+    if (nr.rel != LpRelation::kEqual) ++num_slack;
+    rows.push_back(std::move(nr));
+  }
+
+  // Column layout: [original vars][slack/surplus][artificials][rhs].
+  // <= rows take a slack and need no artificial; >= and == rows take an
+  // artificial (>= additionally takes a surplus column).
+  std::size_t num_artificial = 0;
+  for (const NormRow& r : rows) {
+    if (r.rel != LpRelation::kLessEq) ++num_artificial;
+  }
+  const std::size_t slack_base = num_vars_;
+  const std::size_t art_base = num_vars_ + num_slack;
+  const std::size_t cols = art_base + num_artificial;
+
+  std::vector<std::vector<double>> tableau(
+      m, std::vector<double>(cols + 1, 0.0));
+  std::vector<std::size_t> basis(m, 0);
+  std::size_t next_slack = slack_base;
+  std::size_t next_art = art_base;
+  for (std::size_t i = 0; i < m; ++i) {
+    const NormRow& r = rows[i];
+    for (std::size_t j = 0; j < num_vars_; ++j) tableau[i][j] = r.coeffs[j];
+    tableau[i][cols] = r.rhs;
+    switch (r.rel) {
+      case LpRelation::kLessEq:
+        tableau[i][next_slack] = 1.0;
+        basis[i] = next_slack++;
+        break;
+      case LpRelation::kGreaterEq:
+        tableau[i][next_slack] = -1.0;
+        ++next_slack;
+        tableau[i][next_art] = 1.0;
+        basis[i] = next_art++;
+        break;
+      case LpRelation::kEqual:
+        tableau[i][next_art] = 1.0;
+        basis[i] = next_art++;
+        break;
+    }
+  }
+
+  LpResult result;
+
+  // Phase 1: minimize the sum of artificials.
+  if (num_artificial > 0) {
+    std::vector<double> cost(cols, 0.0);
+    for (std::size_t j = art_base; j < cols; ++j) cost[j] = 1.0;
+    std::vector<bool> can_enter(cols, true);
+    double phase1_obj = 0.0;
+    const LpStatus status =
+        RunSimplex(tableau, basis, cost, can_enter, cols, &phase1_obj);
+    DRLI_CHECK(status == LpStatus::kOptimal)
+        << "phase-1 LP cannot be unbounded";
+    if (phase1_obj > 1e-7) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Drive remaining artificials out of the basis where possible.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (basis[i] < art_base) continue;
+      std::size_t pivot_col = cols;
+      for (std::size_t j = 0; j < art_base; ++j) {
+        if (std::fabs(tableau[i][j]) > kTol) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col == cols) continue;  // redundant row; artificial stays 0
+      const double pivot = tableau[i][pivot_col];
+      for (double& v : tableau[i]) v /= pivot;
+      for (std::size_t r2 = 0; r2 < m; ++r2) {
+        if (r2 == i) continue;
+        const double factor = tableau[r2][pivot_col];
+        if (factor == 0.0) continue;
+        for (std::size_t j = 0; j <= cols; ++j) {
+          tableau[r2][j] -= factor * tableau[i][j];
+        }
+      }
+      basis[i] = pivot_col;
+    }
+  }
+
+  // Phase 2: the real objective; artificial columns may not re-enter.
+  std::vector<double> cost(cols, 0.0);
+  for (std::size_t j = 0; j < num_vars_; ++j) cost[j] = objective_[j];
+  std::vector<bool> can_enter(cols, true);
+  for (std::size_t j = art_base; j < cols; ++j) can_enter[j] = false;
+  double obj = 0.0;
+  const LpStatus status =
+      RunSimplex(tableau, basis, cost, can_enter, cols, &obj);
+  if (status == LpStatus::kUnbounded) {
+    result.status = LpStatus::kUnbounded;
+    return result;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.objective = maximize_ ? -obj : obj;
+  result.x.assign(num_vars_, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < num_vars_) result.x[basis[i]] = tableau[i][cols];
+  }
+  return result;
+}
+
+bool LinearProgram::IsFeasible() const {
+  LinearProgram feas = *this;
+  feas.objective_.assign(num_vars_, 0.0);
+  return feas.Solve().status == LpStatus::kOptimal;
+}
+
+}  // namespace drli

@@ -1,0 +1,72 @@
+// A small dense two-phase simplex solver.
+//
+// DRLI solves only tiny linear programs: the ∃-dominance-set facet test
+// (d variables, d+1 constraints), convex-skyline vertex membership
+// (d variables, one constraint per hull neighbour), and the exact
+// oracles used by the test suite. The solver is a textbook tableau
+// simplex with Bland's rule, which is plenty at these sizes and cannot
+// cycle.
+//
+// Canonical form: variables x >= 0; each constraint is
+//   a . x (<=|>=|==) b;   objective: minimize c . x.
+
+#ifndef DRLI_GEOMETRY_SIMPLEX_LP_H_
+#define DRLI_GEOMETRY_SIMPLEX_LP_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace drli {
+
+enum class LpRelation { kLessEq, kGreaterEq, kEqual };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;    // primal solution when kOptimal
+  double objective = 0.0;   // c . x when kOptimal
+};
+
+class LinearProgram {
+ public:
+  // A program over `num_vars` non-negative variables with zero
+  // objective (pure feasibility) until SetMinimize is called.
+  explicit LinearProgram(std::size_t num_vars);
+
+  std::size_t num_vars() const { return num_vars_; }
+  std::size_t num_constraints() const { return rows_.size(); }
+
+  // Appends the constraint coeffs . x (rel) rhs.
+  void AddConstraint(std::span<const double> coeffs, LpRelation rel,
+                     double rhs);
+
+  // Sets the objective to minimize coeffs . x.
+  void SetMinimize(std::span<const double> coeffs);
+  // Sets the objective to maximize coeffs . x.
+  void SetMaximize(std::span<const double> coeffs);
+
+  // Runs two-phase simplex. Deterministic; no randomness involved.
+  LpResult Solve() const;
+
+  // Convenience: true iff the constraint system admits any feasible
+  // point (objective ignored).
+  bool IsFeasible() const;
+
+ private:
+  struct Row {
+    std::vector<double> coeffs;
+    LpRelation rel;
+    double rhs;
+  };
+
+  std::size_t num_vars_;
+  std::vector<Row> rows_;
+  std::vector<double> objective_;  // minimize form
+  bool maximize_ = false;          // flips the reported objective sign
+};
+
+}  // namespace drli
+
+#endif  // DRLI_GEOMETRY_SIMPLEX_LP_H_

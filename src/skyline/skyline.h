@@ -1,0 +1,55 @@
+// Skyline computation (Definition 3). Five interchangeable algorithms:
+//
+//  * kNaive    -- O(n^2) pairwise reference implementation (tests).
+//  * kBnl      -- block-nested-loops with a bounded in-memory window
+//                 (Börzsönyi et al., ICDE'01).
+//  * kSfs      -- sort-filter-skyline: entropy-sorted scan against the
+//                 running skyline window (Chomicki et al.).
+//  * kDivideAndConquer -- median-split D&C with pairwise merge
+//                 filtering (Börzsönyi et al.).
+//  * kSkyTree  -- pivot-based space partitioning with region-level
+//                 incomparability pruning, our implementation of the
+//                 BSkyTree family the paper uses for layer construction
+//                 (Lee & Hwang, EDBT'10).
+//
+// All return the identical set (the skyline is unique); they only
+// differ in cost. Returned ids are indices into the input PointSet, in
+// ascending order.
+
+#ifndef DRLI_SKYLINE_SKYLINE_H_
+#define DRLI_SKYLINE_SKYLINE_H_
+
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+enum class SkylineAlgorithm {
+  kNaive,
+  kBnl,
+  kSfs,
+  kDivideAndConquer,
+  kSkyTree,
+};
+
+// Short lowercase name, e.g. "skytree".
+const char* SkylineAlgorithmName(SkylineAlgorithm algorithm);
+
+// Computes SKY(points). Duplicated points: the copy with the smallest id
+// is kept (duplicates do not dominate each other per Definition 2, so
+// all exact duplicates of a skyline point are skyline points and all are
+// returned).
+std::vector<TupleId> ComputeSkyline(
+    const PointSet& points,
+    SkylineAlgorithm algorithm = SkylineAlgorithm::kSkyTree);
+
+// Computes the skyline of the subset `candidates` (ids into `points`),
+// returning surviving ids in ascending order.
+std::vector<TupleId> ComputeSkylineOfSubset(
+    const PointSet& points, const std::vector<TupleId>& candidates,
+    SkylineAlgorithm algorithm = SkylineAlgorithm::kSkyTree);
+
+}  // namespace drli
+
+#endif  // DRLI_SKYLINE_SKYLINE_H_

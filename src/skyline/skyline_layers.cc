@@ -1,0 +1,97 @@
+#include "skyline/skyline_layers.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "geometry/convex_skyline.h"
+
+namespace drli {
+
+LayerDecomposition BuildSkylineLayers(const PointSet& points,
+                                      SkylineAlgorithm algorithm) {
+  LayerDecomposition out;
+  out.layer_of.assign(points.size(), 0);
+  std::vector<TupleId> remaining(points.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  while (!remaining.empty()) {
+    std::vector<TupleId> layer =
+        ComputeSkylineOfSubset(points, remaining, algorithm);
+    DRLI_CHECK(!layer.empty()) << "skyline of a non-empty set is non-empty";
+    const std::size_t layer_index = out.layers.size();
+    for (TupleId id : layer) out.layer_of[id] = layer_index;
+    // Remove the layer (both lists are ascending).
+    std::vector<TupleId> next;
+    next.reserve(remaining.size() - layer.size());
+    std::set_difference(remaining.begin(), remaining.end(), layer.begin(),
+                        layer.end(), std::back_inserter(next));
+    remaining = std::move(next);
+    out.layers.push_back(std::move(layer));
+  }
+  return out;
+}
+
+ConvexLayerDecomposition BuildConvexLayers(const PointSet& points,
+                                           std::size_t max_layers,
+                                           SkylineAlgorithm algorithm) {
+  ConvexLayerDecomposition out;
+  out.layer_of.assign(points.size(), 0);
+  std::vector<TupleId> remaining(points.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  while (!remaining.empty()) {
+    if (out.layers.size() == max_layers) {
+      // Budget exhausted: the remainder becomes one final
+      // complete-access layer.
+      for (TupleId id : remaining) out.layer_of[id] = out.layers.size();
+      out.layers.push_back(std::move(remaining));
+      out.truncated = true;
+      break;
+    }
+    // CSKY(S) = CSKY(SKY(S)): reduce to the skyline before the hull.
+    std::vector<TupleId> sky =
+        ComputeSkylineOfSubset(points, remaining, algorithm);
+    const PointSet sky_points = points.Subset(sky);
+    const ConvexSkylineResult csky = ComputeConvexSkyline(sky_points);
+    std::vector<TupleId> layer;
+    layer.reserve(csky.members.size());
+    for (TupleId local : csky.members) layer.push_back(sky[local]);
+    std::sort(layer.begin(), layer.end());
+    DRLI_CHECK(!layer.empty());
+    const std::size_t layer_index = out.layers.size();
+    for (TupleId id : layer) out.layer_of[id] = layer_index;
+    std::vector<TupleId> next;
+    next.reserve(remaining.size() - layer.size());
+    std::set_difference(remaining.begin(), remaining.end(), layer.begin(),
+                        layer.end(), std::back_inserter(next));
+    remaining = std::move(next);
+    out.layers.push_back(std::move(layer));
+  }
+  return out;
+}
+
+void ForEachDominancePair(
+    const PointSet& points, const std::vector<TupleId>& upper,
+    const std::vector<TupleId>& lower,
+    const std::function<void(TupleId source, TupleId target)>& edge) {
+  const std::size_t d = points.dim();
+  std::vector<std::pair<double, TupleId>> upper_by_sum;
+  upper_by_sum.reserve(upper.size());
+  for (TupleId id : upper) {
+    double s = 0.0;
+    const PointView p = points[id];
+    for (std::size_t j = 0; j < d; ++j) s += p[j];
+    upper_by_sum.emplace_back(s, id);
+  }
+  std::sort(upper_by_sum.begin(), upper_by_sum.end());
+  for (TupleId target : lower) {
+    const PointView tp = points[target];
+    double target_sum = 0.0;
+    for (std::size_t j = 0; j < d; ++j) target_sum += tp[j];
+    for (const auto& [sum, source] : upper_by_sum) {
+      if (sum >= target_sum) break;
+      if (Dominates(points[source], tp)) edge(source, target);
+    }
+  }
+}
+
+}  // namespace drli

@@ -1,0 +1,64 @@
+// Layer decompositions used by every index in the library:
+//
+//  * skyline layers (iterated skylines) -- the coarse level of the
+//    dual-resolution index and the layers of the Dominant Graph;
+//  * convex layers (iterated convex skylines) -- the layers of Onion
+//    and the Hybrid-Layer index.
+//
+// Convex-layer peeling exploits CSKY(S) = CSKY(SKY(S)): each iteration
+// first reduces the remaining set to its skyline (cheap, SkyTree) and
+// only runs the hull machinery on that reduced set.
+
+#ifndef DRLI_SKYLINE_SKYLINE_LAYERS_H_
+#define DRLI_SKYLINE_SKYLINE_LAYERS_H_
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/point.h"
+#include "skyline/skyline.h"
+
+namespace drli {
+
+struct LayerDecomposition {
+  // layers[i] = ids (into the input PointSet) of layer i+1, ascending.
+  std::vector<std::vector<TupleId>> layers;
+  // layer_of[id] = 0-based layer index of the tuple; every tuple is
+  // assigned (one-to-one mapping, Section II).
+  std::vector<std::size_t> layer_of;
+};
+
+// Iterated skylines: layer 1 = SKY(R), layer i = SKY(R - earlier).
+LayerDecomposition BuildSkylineLayers(
+    const PointSet& points,
+    SkylineAlgorithm algorithm = SkylineAlgorithm::kSkyTree);
+
+// Iterated convex skylines (Onion layers): layer 1 = CSKY(R), layer i =
+// CSKY(R - earlier). When `max_layers` peels have been produced and
+// tuples remain, the remainder becomes one final complete-access layer
+// and `truncated` is set; queries with k <= max_layers never reach it.
+struct ConvexLayerDecomposition {
+  std::vector<std::vector<TupleId>> layers;
+  std::vector<std::size_t> layer_of;
+  bool truncated = false;
+};
+
+ConvexLayerDecomposition BuildConvexLayers(
+    const PointSet& points,
+    std::size_t max_layers = std::numeric_limits<std::size_t>::max(),
+    SkylineAlgorithm algorithm = SkylineAlgorithm::kSkyTree);
+
+// Invokes edge(t, t') for every pair t in `upper`, t' in `lower` with
+// t ≺ t'. Used to wire ∀-dominance edges between adjacent layers; sorts
+// `upper` by attribute sum so each scan stops early (a dominator always
+// has a strictly smaller sum).
+void ForEachDominancePair(
+    const PointSet& points, const std::vector<TupleId>& upper,
+    const std::vector<TupleId>& lower,
+    const std::function<void(TupleId source, TupleId target)>& edge);
+
+}  // namespace drli
+
+#endif  // DRLI_SKYLINE_SKYLINE_LAYERS_H_

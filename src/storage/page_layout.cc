@@ -1,0 +1,84 @@
+#include "storage/page_layout.h"
+
+#include <list>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace drli {
+
+PageLayout::PageLayout(const std::vector<std::vector<TupleId>>& groups,
+                       std::size_t tuples_per_page)
+    : PageLayout([&groups] {
+        std::size_t n = 0;
+        for (const auto& g : groups) n += g.size();
+        return n;
+      }()) {
+  DRLI_CHECK_GE(tuples_per_page, 1u);
+  std::vector<bool> assigned(page_of_.size(), false);
+  std::size_t page = 0;
+  for (const auto& group : groups) {
+    std::size_t in_page = 0;
+    for (TupleId id : group) {
+      DRLI_CHECK_LT(id, page_of_.size());
+      DRLI_CHECK(!assigned[id]) << "tuple " << id << " in two groups";
+      assigned[id] = true;
+      if (in_page == tuples_per_page) {
+        ++page;
+        in_page = 0;
+      }
+      page_of_[id] = static_cast<std::uint32_t>(page);
+      ++in_page;
+    }
+    if (in_page > 0) ++page;  // groups never share a page
+  }
+  num_pages_ = page;
+}
+
+PageLayout PageLayout::Sequential(std::size_t n,
+                                  std::size_t tuples_per_page) {
+  std::vector<TupleId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return PageLayout({all}, tuples_per_page);
+}
+
+std::size_t PageLayout::DistinctPages(
+    const std::vector<TupleId>& accesses) const {
+  std::unordered_set<std::uint32_t> pages;
+  pages.reserve(accesses.size());
+  for (TupleId id : accesses) {
+    DRLI_DCHECK(id < page_of_.size());
+    pages.insert(page_of_[id]);
+  }
+  return pages.size();
+}
+
+std::size_t PageLayout::LruFetches(const std::vector<TupleId>& accesses,
+                                   std::size_t buffer_pages) const {
+  DRLI_CHECK_GE(buffer_pages, 1u);
+  // Classic LRU: list in recency order plus a page -> iterator map.
+  std::list<std::uint32_t> recency;
+  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> pos;
+  pos.reserve(2 * buffer_pages);
+  std::size_t fetches = 0;
+  for (TupleId id : accesses) {
+    const std::uint32_t page = page_of_[id];
+    auto it = pos.find(page);
+    if (it != pos.end()) {
+      recency.splice(recency.begin(), recency, it->second);
+      continue;
+    }
+    ++fetches;
+    if (pos.size() == buffer_pages) {
+      pos.erase(recency.back());
+      recency.pop_back();
+    }
+    recency.push_front(page);
+    pos[page] = recency.begin();
+  }
+  return fetches;
+}
+
+}  // namespace drli

@@ -1,0 +1,52 @@
+// Disk-layout simulation for layer-based indexes. The paper (and the
+// Dominant Graph paper it cites) notes the indexes become disk-based by
+// storing the tuples of each layer in the same disk blocks; this module
+// quantifies that claim: given a grouping of tuples (layers, sublayers,
+// or raw insertion order) packed into fixed-capacity pages, it converts
+// a query's access trace into page I/O counts -- distinct pages touched
+// and fetches under an LRU buffer pool.
+
+#ifndef DRLI_STORAGE_PAGE_LAYOUT_H_
+#define DRLI_STORAGE_PAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+class PageLayout {
+ public:
+  // Packs the tuples of each group, in order, into pages of
+  // `tuples_per_page`; a new group starts a new page (layers do not
+  // share pages). Groups must jointly cover ids [0, n) exactly once.
+  PageLayout(const std::vector<std::vector<TupleId>>& groups,
+             std::size_t tuples_per_page);
+
+  // Convenience: one group holding 0..n-1 (heap-file layout).
+  static PageLayout Sequential(std::size_t n, std::size_t tuples_per_page);
+
+  std::size_t num_pages() const { return num_pages_; }
+  std::size_t num_tuples() const { return page_of_.size(); }
+  std::size_t page_of(TupleId id) const { return page_of_[id]; }
+
+  // Number of distinct pages holding the accessed tuples (infinite
+  // buffer pool: each page fetched once).
+  std::size_t DistinctPages(const std::vector<TupleId>& accesses) const;
+
+  // Page fetches when the trace runs against an LRU buffer pool of
+  // `buffer_pages` frames (>= 1).
+  std::size_t LruFetches(const std::vector<TupleId>& accesses,
+                         std::size_t buffer_pages) const;
+
+ private:
+  explicit PageLayout(std::size_t n) : page_of_(n, 0) {}
+
+  std::vector<std::uint32_t> page_of_;
+  std::size_t num_pages_ = 0;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_STORAGE_PAGE_LAYOUT_H_

@@ -1,0 +1,16 @@
+#include "topk/query.h"
+
+#include "common/check.h"
+
+namespace drli {
+
+void ValidateQuery(const TopKQuery& query, std::size_t dim) {
+  DRLI_CHECK_GE(query.k, 1u);
+  DRLI_CHECK_EQ(query.weights.size(), dim)
+      << "weight vector dimensionality mismatch";
+  for (double w : query.weights) {
+    DRLI_CHECK(w > 0.0) << "weights must be strictly positive";
+  }
+}
+
+}  // namespace drli

@@ -1,0 +1,73 @@
+// Top-k query model (Definition 1) and the interface every index in the
+// library implements, including the cost instrumentation of
+// Definition 9 (number of tuples evaluated by the scoring function).
+
+#ifndef DRLI_TOPK_QUERY_H_
+#define DRLI_TOPK_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+// A linear top-k query: strictly positive weights summing to 1, and the
+// retrieval size k. Lower scores are better.
+struct TopKQuery {
+  Point weights;
+  std::size_t k = 1;
+};
+
+struct ScoredTuple {
+  TupleId id = kInvalidTupleId;
+  double score = 0.0;
+};
+
+// Cost accounting (Definition 9): a tuple counts as evaluated when it is
+// accessed and its score computed. Pseudo-tuples of the zero layer are
+// tracked separately -- they are not relation tuples.
+struct QueryStats {
+  std::size_t tuples_evaluated = 0;
+  std::size_t virtual_evaluated = 0;
+
+  void Merge(const QueryStats& other) {
+    tuples_evaluated += other.tuples_evaluated;
+    virtual_evaluated += other.virtual_evaluated;
+  }
+};
+
+struct TopKResult {
+  // k tuples in ascending score order (fewer if the relation is small).
+  std::vector<ScoredTuple> items;
+  QueryStats stats;
+  // Relation tuples evaluated, in access order (pseudo-tuples
+  // excluded). Feeds the disk-layout simulation in storage/ -- the
+  // paper's "tuples in the same layer are stored in the same disk
+  // block" discussion.
+  std::vector<TupleId> accessed;
+};
+
+// Interface implemented by FullScan, Onion, DG/DG+, HL/HL+, DL/DL+.
+class TopKIndex {
+ public:
+  virtual ~TopKIndex() = default;
+
+  // Short identifier used in benchmark output, e.g. "DL+".
+  virtual std::string name() const = 0;
+
+  // Number of tuples in the indexed relation.
+  virtual std::size_t size() const = 0;
+
+  // Answers `query`; thread-compatible (const, no shared mutable state).
+  virtual TopKResult Query(const TopKQuery& query) const = 0;
+};
+
+// CHECK-validates that the query is well-formed for dimensionality d:
+// k >= 1, |weights| == d, weights strictly positive.
+void ValidateQuery(const TopKQuery& query, std::size_t dim);
+
+}  // namespace drli
+
+#endif  // DRLI_TOPK_QUERY_H_

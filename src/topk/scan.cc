@@ -1,0 +1,35 @@
+#include "topk/scan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace drli {
+
+TopKResult Scan(const PointSet& points, const TopKQuery& query) {
+  ValidateQuery(query, points.dim());
+  TopKResult result;
+  result.items.reserve(points.size());
+  result.accessed.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.items.push_back(ScoredTuple{static_cast<TupleId>(i),
+                                       Score(query.weights, points[i])});
+    result.accessed.push_back(static_cast<TupleId>(i));
+  }
+  result.stats.tuples_evaluated = points.size();
+  const std::size_t k = std::min(query.k, result.items.size());
+  std::partial_sort(result.items.begin(), result.items.begin() + k,
+                    result.items.end(),
+                    [](const ScoredTuple& a, const ScoredTuple& b) {
+                      if (a.score != b.score) return a.score < b.score;
+                      return a.id < b.id;
+                    });
+  result.items.resize(k);
+  return result;
+}
+
+TopKResult FullScanIndex::Query(const TopKQuery& query) const {
+  return Scan(points_, query);
+}
+
+}  // namespace drli

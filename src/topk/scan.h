@@ -1,0 +1,33 @@
+// Full-scan top-k: scores every tuple. The correctness oracle for every
+// other index and the "no index" baseline in the examples.
+
+#ifndef DRLI_TOPK_SCAN_H_
+#define DRLI_TOPK_SCAN_H_
+
+#include <string>
+
+#include "common/point.h"
+#include "topk/query.h"
+
+namespace drli {
+
+// Scores every tuple and returns the k best; cost = n.
+TopKResult Scan(const PointSet& points, const TopKQuery& query);
+
+class FullScanIndex final : public TopKIndex {
+ public:
+  explicit FullScanIndex(PointSet points) : points_(std::move(points)) {}
+
+  std::string name() const override { return "SCAN"; }
+  std::size_t size() const override { return points_.size(); }
+  TopKResult Query(const TopKQuery& query) const override;
+
+  const PointSet& points() const { return points_; }
+
+ private:
+  PointSet points_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_TOPK_SCAN_H_

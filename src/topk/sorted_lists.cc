@@ -1,0 +1,26 @@
+#include "topk/sorted_lists.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace drli {
+
+SortedLists::SortedLists(const PointSet& points,
+                         const std::vector<TupleId>& members) {
+  const std::size_t d = points.dim();
+  lists_.resize(d);
+  for (std::size_t attr = 0; attr < d; ++attr) {
+    auto& list = lists_[attr];
+    list.reserve(members.size());
+    for (TupleId id : members) {
+      list.push_back(Entry{points.At(id, attr), id});
+    }
+    std::sort(list.begin(), list.end(), [](const Entry& a, const Entry& b) {
+      if (a.value != b.value) return a.value < b.value;
+      return a.id < b.id;
+    });
+  }
+}
+
+}  // namespace drli

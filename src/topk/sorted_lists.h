@@ -1,0 +1,39 @@
+// Per-attribute sorted lists over a subset of tuples -- the list-based
+// substrate of the Hybrid-Layer index (each convex layer stores its
+// tuples "as sorted lists in increasing order of d attribute values").
+
+#ifndef DRLI_TOPK_SORTED_LISTS_H_
+#define DRLI_TOPK_SORTED_LISTS_H_
+
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+class SortedLists {
+ public:
+  struct Entry {
+    double value;
+    TupleId id;
+  };
+
+  // Builds d sorted lists over `members` (ids into `points`). The
+  // PointSet is not retained.
+  SortedLists(const PointSet& points, const std::vector<TupleId>& members);
+
+  std::size_t dim() const { return lists_.size(); }
+  std::size_t size() const { return lists_.empty() ? 0 : lists_[0].size(); }
+
+  // Entry at `pos` of attribute list `attr` (ascending by value).
+  const Entry& At(std::size_t attr, std::size_t pos) const {
+    return lists_[attr][pos];
+  }
+
+ private:
+  std::vector<std::vector<Entry>> lists_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_TOPK_SORTED_LISTS_H_

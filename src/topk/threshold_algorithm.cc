@@ -1,0 +1,97 @@
+#include "topk/threshold_algorithm.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace drli {
+
+namespace {
+
+bool ScoreLess(const ScoredTuple& a, const ScoredTuple& b) {
+  if (a.score != b.score) return a.score < b.score;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+TopKHeap::TopKHeap(std::size_t k) : k_(k) {
+  DRLI_CHECK_GE(k, 1u);
+  heap_.reserve(k);
+}
+
+void TopKHeap::Push(ScoredTuple t) {
+  if (heap_.size() < k_) {
+    heap_.push_back(t);
+    std::push_heap(heap_.begin(), heap_.end(), ScoreLess);
+    return;
+  }
+  if (ScoreLess(t, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), ScoreLess);
+    heap_.back() = t;
+    std::push_heap(heap_.begin(), heap_.end(), ScoreLess);
+  }
+}
+
+double TopKHeap::KthScore() const {
+  if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
+  return heap_.front().score;
+}
+
+std::vector<ScoredTuple> TopKHeap::SortedAscending() const {
+  std::vector<ScoredTuple> out = heap_;
+  std::sort(out.begin(), out.end(), ScoreLess);
+  return out;
+}
+
+void TaScanLayer(const PointSet& points, const SortedLists& lists,
+                 PointView weights, TopKHeap* heap, std::size_t* evaluated,
+                 double* layer_min_bound, std::vector<TupleId>* accessed) {
+  const std::size_t d = lists.dim();
+  const std::size_t n = lists.size();
+  DRLI_CHECK_EQ(weights.size(), d);
+  std::unordered_set<TupleId> seen;
+  seen.reserve(2 * d);
+  double best_seen = std::numeric_limits<double>::infinity();
+  double threshold = 0.0;
+  bool exhausted = true;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    // Sorted access: one entry from each list (round-robin depth pos).
+    threshold = 0.0;
+    for (std::size_t attr = 0; attr < d; ++attr) {
+      const SortedLists::Entry& e = lists.At(attr, pos);
+      threshold += weights[attr] * e.value;
+      if (seen.insert(e.id).second) {
+        // Random access completes the tuple; this is one evaluation.
+        const double score = Score(weights, points[e.id]);
+        ++*evaluated;
+        if (accessed != nullptr) accessed->push_back(e.id);
+        best_seen = std::min(best_seen, score);
+        heap->Push(ScoredTuple{e.id, score});
+      }
+    }
+    // Every unseen tuple ranks at or beyond the frontier in all lists,
+    // so its score is >= threshold.
+    if (threshold >= heap->KthScore()) {
+      exhausted = false;
+      break;
+    }
+  }
+  if (layer_min_bound != nullptr) {
+    // Unseen tuples score >= the final threshold; when the lists were
+    // exhausted everything was seen.
+    *layer_min_bound = exhausted ? best_seen : std::min(best_seen, threshold);
+  }
+}
+
+double LayerScoreLowerBound(const SortedLists& lists, PointView weights) {
+  double bound = 0.0;
+  for (std::size_t attr = 0; attr < lists.dim(); ++attr) {
+    bound += weights[attr] * lists.At(attr, 0).value;
+  }
+  return bound;
+}
+
+}  // namespace drli

@@ -1,0 +1,59 @@
+// The Threshold Algorithm (Fagin et al.) over per-attribute sorted
+// lists, in the form the Hybrid-Layer index uses it: sorted access in
+// round-robin order, random access to complete each newly seen tuple,
+// and the stop condition threshold >= current k-th best score.
+
+#ifndef DRLI_TOPK_THRESHOLD_ALGORITHM_H_
+#define DRLI_TOPK_THRESHOLD_ALGORITHM_H_
+
+#include <vector>
+
+#include "common/point.h"
+#include "topk/query.h"
+#include "topk/sorted_lists.h"
+
+namespace drli {
+
+// Bounded max-heap keeping the k lowest-scoring tuples seen so far.
+class TopKHeap {
+ public:
+  explicit TopKHeap(std::size_t k);
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+
+  void Push(ScoredTuple t);
+
+  // Score of the current k-th best, +infinity while fewer than k held.
+  double KthScore() const;
+
+  // The held tuples in ascending score order.
+  std::vector<ScoredTuple> SortedAscending() const;
+
+ private:
+  std::size_t k_;
+  std::vector<ScoredTuple> heap_;  // max-heap by score
+};
+
+// One TA pass over a layer's sorted lists. Every tuple seen through
+// sorted access is scored once (counted in *evaluated) and offered to
+// *heap. Scanning stops when the TA threshold (the weighted sum of the
+// current list frontier) reaches heap->KthScore(), or the lists are
+// exhausted.
+//
+// When `layer_min_bound` is non-null it receives a lower bound on the
+// minimum score of ANY tuple in the layer: min(best seen score, final
+// threshold). Convex-layer minima increase strictly layer over layer,
+// so HL+ uses this to cut the layer loop (its "tight threshold").
+void TaScanLayer(const PointSet& points, const SortedLists& lists,
+                 PointView weights, TopKHeap* heap, std::size_t* evaluated,
+                 double* layer_min_bound = nullptr,
+                 std::vector<TupleId>* accessed = nullptr);
+
+// Weighted sum of the per-attribute list minima: a lower bound on the
+// score of every tuple in the layer. Used by HL+ to skip whole layers.
+double LayerScoreLowerBound(const SortedLists& lists, PointView weights);
+
+}  // namespace drli
+
+#endif  // DRLI_TOPK_THRESHOLD_ALGORITHM_H_

@@ -1,0 +1,204 @@
+#include "gtest/gtest.h"
+
+#include "baselines/dominant_graph.h"
+#include "baselines/hybrid_layer.h"
+#include "baselines/onion.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+using testing_util::ExpectMatchesScan;
+using testing_util::MakeToyDataset;
+
+TEST(DominantGraphTest, ToyDatasetCorrect) {
+  DominantGraphIndex index = DominantGraphIndex::Build(MakeToyDataset());
+  EXPECT_EQ(index.name(), "DG");
+  EXPECT_EQ(index.build_stats().num_layers, 3u);
+  const PointSet pts = MakeToyDataset();
+  for (std::size_t k = 1; k <= pts.size(); ++k) {
+    ExpectMatchesScan(index, pts, k, 5, 100 + k);
+  }
+}
+
+TEST(DominantGraphTest, FirstLayerCompleteAccess) {
+  // Without the zero layer, DG must score all of L1 on every query.
+  const PointSet pts = GenerateIndependent(500, 3, 1);
+  DominantGraphIndex index = DominantGraphIndex::Build(pts);
+  const std::size_t layer1 = index.layers()[0].size();
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 1, 10, 2)) {
+    EXPECT_GE(index.Query(query).stats.tuples_evaluated, layer1);
+  }
+}
+
+TEST(DominantGraphTest, ZeroLayerReducesFirstLayerAccess) {
+  const PointSet pts = GenerateAnticorrelated(800, 4, 2);
+  DominantGraphOptions plus_options;
+  plus_options.build_zero_layer = true;
+  DominantGraphIndex dg = DominantGraphIndex::Build(pts);
+  DominantGraphIndex dg_plus = DominantGraphIndex::Build(pts, plus_options);
+  EXPECT_EQ(dg_plus.name(), "DG+");
+  EXPECT_GT(dg_plus.build_stats().num_virtual, 0u);
+  std::size_t cost = 0, cost_plus = 0;
+  for (const TopKQuery& query : testing_util::RandomQueries(4, 10, 20, 3)) {
+    const TopKResult r = dg.Query(query);
+    const TopKResult rp = dg_plus.Query(query);
+    EXPECT_TRUE(testing_util::ResultsEquivalent(r, rp));
+    cost += r.stats.tuples_evaluated;
+    cost_plus += rp.stats.tuples_evaluated;
+  }
+  EXPECT_LT(cost_plus, cost);
+}
+
+struct BaselineCase {
+  Distribution dist;
+  std::size_t n;
+  std::size_t d;
+  std::size_t k;
+};
+
+class BaselineCorrectnessTest
+    : public ::testing::TestWithParam<BaselineCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineCorrectnessTest,
+    ::testing::Values(BaselineCase{Distribution::kIndependent, 400, 2, 10},
+                      BaselineCase{Distribution::kIndependent, 400, 3, 10},
+                      BaselineCase{Distribution::kIndependent, 400, 4, 25},
+                      BaselineCase{Distribution::kAnticorrelated, 300, 2, 10},
+                      BaselineCase{Distribution::kAnticorrelated, 300, 3, 15},
+                      BaselineCase{Distribution::kAnticorrelated, 300, 4, 10},
+                      BaselineCase{Distribution::kCorrelated, 400, 3, 10}));
+
+TEST_P(BaselineCorrectnessTest, DominantGraphMatchesScan) {
+  const BaselineCase& c = GetParam();
+  const PointSet pts = Generate(c.dist, c.n, c.d, c.d * 13 + c.k);
+  DominantGraphIndex index = DominantGraphIndex::Build(pts);
+  ExpectMatchesScan(index, pts, c.k, 10, c.k);
+}
+
+TEST_P(BaselineCorrectnessTest, DominantGraphPlusMatchesScan) {
+  const BaselineCase& c = GetParam();
+  const PointSet pts = Generate(c.dist, c.n, c.d, c.d * 13 + c.k);
+  DominantGraphOptions options;
+  options.build_zero_layer = true;
+  DominantGraphIndex index = DominantGraphIndex::Build(pts, options);
+  ExpectMatchesScan(index, pts, c.k, 10, c.k + 1);
+}
+
+TEST_P(BaselineCorrectnessTest, OnionMatchesScan) {
+  const BaselineCase& c = GetParam();
+  const PointSet pts = Generate(c.dist, c.n, c.d, c.d * 13 + c.k);
+  OnionIndex index = OnionIndex::Build(pts);
+  ExpectMatchesScan(index, pts, c.k, 10, c.k + 2);
+}
+
+TEST_P(BaselineCorrectnessTest, HybridLayerMatchesScan) {
+  const BaselineCase& c = GetParam();
+  const PointSet pts = Generate(c.dist, c.n, c.d, c.d * 13 + c.k);
+  HybridLayerOptions hl;
+  hl.tight_threshold = false;
+  HybridLayerIndex index = HybridLayerIndex::Build(pts, hl);
+  EXPECT_EQ(index.name(), "HL");
+  ExpectMatchesScan(index, pts, c.k, 10, c.k + 3);
+}
+
+TEST_P(BaselineCorrectnessTest, HybridLayerPlusMatchesScan) {
+  const BaselineCase& c = GetParam();
+  const PointSet pts = Generate(c.dist, c.n, c.d, c.d * 13 + c.k);
+  HybridLayerIndex index = HybridLayerIndex::Build(pts);
+  EXPECT_EQ(index.name(), "HL+");
+  ExpectMatchesScan(index, pts, c.k, 10, c.k + 4);
+}
+
+TEST(OnionTest, CompleteAccessCostIsLayerPrefix) {
+  const PointSet pts = GenerateIndependent(500, 3, 4);
+  OnionOptions options;
+  options.early_stop = false;
+  OnionIndex index = OnionIndex::Build(pts, options);
+  const auto& layers = index.layers();
+  for (std::size_t k : {1u, 3u, 7u}) {
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < std::min(k, layers.size()); ++i) {
+      expected += layers[i].size();
+    }
+    TopKQuery query;
+    query.weights = {0.3, 0.3, 0.4};
+    query.k = k;
+    EXPECT_EQ(index.Query(query).stats.tuples_evaluated, expected);
+  }
+}
+
+TEST(OnionTest, EarlyStopNeverCostsMore) {
+  const PointSet pts = GenerateIndependent(500, 3, 5);
+  OnionOptions eager, lazy;
+  lazy.early_stop = false;
+  OnionIndex a = OnionIndex::Build(pts, eager);
+  OnionIndex b = OnionIndex::Build(pts, lazy);
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 10, 10, 6)) {
+    const TopKResult ra = a.Query(query);
+    const TopKResult rb = b.Query(query);
+    EXPECT_TRUE(testing_util::ResultsEquivalent(rb, ra));
+    EXPECT_LE(ra.stats.tuples_evaluated, rb.stats.tuples_evaluated);
+  }
+}
+
+TEST(HybridLayerTest, TightThresholdNeverCostsMore) {
+  const PointSet pts = GenerateAnticorrelated(400, 3, 7);
+  HybridLayerOptions plain, tight;
+  plain.tight_threshold = false;
+  HybridLayerIndex hl = HybridLayerIndex::Build(pts, plain);
+  HybridLayerIndex hl_plus = HybridLayerIndex::Build(pts, tight);
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 10, 20, 8)) {
+    const TopKResult r = hl.Query(query);
+    const TopKResult rp = hl_plus.Query(query);
+    EXPECT_TRUE(testing_util::ResultsEquivalent(r, rp));
+    EXPECT_LE(rp.stats.tuples_evaluated, r.stats.tuples_evaluated);
+  }
+}
+
+TEST(HybridLayerTest, SelectiveWithinLayer) {
+  // TA inside a layer should not touch every tuple of the layer on
+  // random data with small k.
+  const PointSet pts = GenerateIndependent(2000, 2, 9);
+  HybridLayerIndex index = HybridLayerIndex::Build(pts);
+  TopKQuery query;
+  query.weights = {0.5, 0.5};
+  query.k = 1;
+  const TopKResult r = index.Query(query);
+  EXPECT_LT(r.stats.tuples_evaluated, index.layers()[0].size() + 1);
+}
+
+TEST(MaxLayersTest, CappedIndexesRejectLargeK) {
+  const PointSet pts = GenerateIndependent(400, 3, 10);
+  OnionOptions onion_options;
+  onion_options.max_layers = 5;
+  OnionIndex onion = OnionIndex::Build(pts, onion_options);
+  ASSERT_TRUE(onion.build_stats().truncated);
+  TopKQuery query;
+  query.weights = {0.3, 0.3, 0.4};
+  query.k = 3;
+  EXPECT_EQ(onion.Query(query).items.size(), 3u);  // fine below the cap
+  query.k = 100;
+  EXPECT_DEATH(onion.Query(query), "layer budget");
+}
+
+TEST(BaselineEdgeCasesTest, TinyRelations) {
+  PointSet pts(2);
+  pts.Add({0.5, 0.5});
+  pts.Add({0.2, 0.8});
+  TopKQuery query;
+  query.weights = {0.5, 0.5};
+  query.k = 2;
+
+  DominantGraphIndex dg = DominantGraphIndex::Build(pts);
+  EXPECT_EQ(dg.Query(query).items.size(), 2u);
+  OnionIndex onion = OnionIndex::Build(pts);
+  EXPECT_EQ(onion.Query(query).items.size(), 2u);
+  HybridLayerIndex hl = HybridLayerIndex::Build(pts);
+  EXPECT_EQ(hl.Query(query).items.size(), 2u);
+}
+
+}  // namespace
+}  // namespace drli

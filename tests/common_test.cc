@@ -1,0 +1,166 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+
+#include "common/point.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace drli {
+namespace {
+
+TEST(DominanceTest, StrictDominance) {
+  const Point a = {0.2, 0.3};
+  const Point b = {0.4, 0.5};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+}
+
+TEST(DominanceTest, EqualPointsDoNotDominate) {
+  const Point a = {0.2, 0.3, 0.7};
+  EXPECT_FALSE(Dominates(a, a));
+  EXPECT_TRUE(WeaklyDominates(a, a));
+  EXPECT_EQ(Compare(a, a), DomRel::kEqual);
+}
+
+TEST(DominanceTest, PartialImprovementStillDominates) {
+  const Point a = {0.2, 0.5};
+  const Point b = {0.2, 0.6};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_EQ(Compare(a, b), DomRel::kDominates);
+  EXPECT_EQ(Compare(b, a), DomRel::kDominatedBy);
+}
+
+TEST(DominanceTest, IncomparablePoints) {
+  const Point a = {0.2, 0.8};
+  const Point b = {0.8, 0.2};
+  EXPECT_FALSE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+  EXPECT_EQ(Compare(a, b), DomRel::kIncomparable);
+}
+
+TEST(DominanceTest, WeakDominanceIncludesEquality) {
+  EXPECT_TRUE(WeaklyDominates(Point{0.1, 0.2}, Point{0.1, 0.2}));
+  EXPECT_TRUE(WeaklyDominates(Point{0.1, 0.2}, Point{0.1, 0.3}));
+  EXPECT_FALSE(WeaklyDominates(Point{0.1, 0.4}, Point{0.1, 0.3}));
+}
+
+TEST(ScoreTest, LinearCombination) {
+  const Point w = {0.5, 0.5};
+  const Point p = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Score(w, p), 3.5);
+}
+
+TEST(ScoreTest, MonotoneUnderDominance) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Point w = rng.SimplexWeight(4);
+    Point a(4), b(4);
+    for (int j = 0; j < 4; ++j) {
+      a[j] = rng.Uniform();
+      b[j] = a[j] + rng.Uniform(0.0, 0.5);
+    }
+    EXPECT_LT(Score(w, a), Score(w, b));
+  }
+}
+
+TEST(PointSetTest, AddAndAccess) {
+  PointSet set(3);
+  EXPECT_TRUE(set.empty());
+  const TupleId id0 = set.Add({0.1, 0.2, 0.3});
+  const TupleId id1 = set.Add({0.4, 0.5, 0.6});
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.At(1, 2), 0.6);
+  EXPECT_DOUBLE_EQ(set[0][1], 0.2);
+}
+
+TEST(PointSetTest, SubsetPreservesOrder) {
+  PointSet set(2);
+  for (int i = 0; i < 5; ++i) {
+    set.Add({static_cast<double>(i), static_cast<double>(10 - i)});
+  }
+  const PointSet sub = set.Subset({4, 1, 3});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sub.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sub.At(2, 0), 3.0);
+}
+
+TEST(PointSetTest, MaterializeAndSet) {
+  PointSet set(2);
+  set.Add({0.5, 0.25});
+  Point p = set.Materialize(0);
+  EXPECT_EQ(p, (Point{0.5, 0.25}));
+  set.Set(0, 1, 0.75);
+  EXPECT_DOUBLE_EQ(set.At(0, 1), 0.75);
+}
+
+TEST(PointSetTest, ToStringFormatsValues) {
+  PointSet set(2);
+  set.Add({0.5, 1.0});
+  EXPECT_EQ(ToString(set[0]), "(0.5, 1)");
+}
+
+TEST(RandomTest, SimplexWeightSumsToOne) {
+  Rng rng(7);
+  for (std::size_t d = 2; d <= 6; ++d) {
+    for (int i = 0; i < 50; ++i) {
+      const Point w = rng.SimplexWeight(d);
+      ASSERT_EQ(w.size(), d);
+      const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+      for (double wi : w) {
+        EXPECT_GT(wi, 0.0);
+        EXPECT_LT(wi, 1.0);
+      }
+    }
+  }
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RandomTest, IndexInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(17), 17u);
+  }
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, StatusOrHoldsValue) {
+  StatusOr<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  StatusOr<int> err(Status::NotFound("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double t0 = sw.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace drli

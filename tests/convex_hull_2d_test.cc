@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "geometry/convex_hull_2d.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+TEST(ConvexHull2DTest, Triangle) {
+  PointSet pts(2);
+  pts.Add({0, 0});
+  pts.Add({1, 0});
+  pts.Add({0, 1});
+  pts.Add({0.25, 0.25});  // interior
+  const auto hull = ConvexHull2D(pts);
+  EXPECT_EQ(std::set<std::int32_t>(hull.begin(), hull.end()),
+            (std::set<std::int32_t>{0, 1, 2}));
+}
+
+TEST(ConvexHull2DTest, CollinearPointsExcluded) {
+  PointSet pts(2);
+  pts.Add({0, 0});
+  pts.Add({1, 1});
+  pts.Add({2, 2});
+  pts.Add({2, 0});
+  const auto hull = ConvexHull2D(pts);
+  EXPECT_EQ(std::set<std::int32_t>(hull.begin(), hull.end()),
+            (std::set<std::int32_t>{0, 2, 3}));
+}
+
+TEST(ConvexHull2DTest, DuplicatesCollapsed) {
+  PointSet pts(2);
+  pts.Add({0, 0});
+  pts.Add({0, 0});
+  pts.Add({1, 0});
+  pts.Add({0, 1});
+  const auto hull = ConvexHull2D(pts);
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHull2DTest, SmallInputs) {
+  PointSet one(2);
+  one.Add({0.5, 0.5});
+  EXPECT_EQ(ConvexHull2D(one).size(), 1u);
+
+  PointSet two(2);
+  two.Add({0.5, 0.5});
+  two.Add({0.25, 0.75});
+  EXPECT_EQ(ConvexHull2D(two).size(), 2u);
+
+  PointSet dup(2);
+  dup.Add({0.5, 0.5});
+  dup.Add({0.5, 0.5});
+  EXPECT_EQ(ConvexHull2D(dup).size(), 1u);
+}
+
+TEST(ConvexHull2DTest, HullContainsAllExtremePoints) {
+  const PointSet pts = GenerateIndependent(500, 2, 99);
+  const auto hull = ConvexHull2D(pts);
+  const std::set<std::int32_t> hull_set(hull.begin(), hull.end());
+  // Axis extremes must be hull vertices.
+  for (int axis = 0; axis < 2; ++axis) {
+    std::int32_t lo = 0, hi = 0;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (pts[i][axis] < pts[lo][axis]) lo = static_cast<std::int32_t>(i);
+      if (pts[i][axis] > pts[hi][axis]) hi = static_cast<std::int32_t>(i);
+    }
+    EXPECT_TRUE(hull_set.count(lo));
+    EXPECT_TRUE(hull_set.count(hi));
+  }
+}
+
+TEST(ConvexHull2DTest, CcwOrientation) {
+  const PointSet pts = GenerateIndependent(200, 2, 5);
+  const auto hull = ConvexHull2D(pts);
+  ASSERT_GE(hull.size(), 3u);
+  // Signed area of the polygon must be positive (CCW).
+  double area2 = 0.0;
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const PointView a = pts[hull[i]];
+    const PointView b = pts[hull[(i + 1) % hull.size()]];
+    area2 += a[0] * b[1] - b[0] * a[1];
+  }
+  EXPECT_GT(area2, 0.0);
+}
+
+TEST(LowerLeftChain2DTest, ToyDatasetLayerOne) {
+  // L^11 of the toy dataset is {a, b, c} (Fig. 2(b), first convex
+  // layer), in chain order a, b, c.
+  const PointSet pts = testing_util::MakeToyDataset();
+  const auto chain = LowerLeftChain2D(pts);
+  EXPECT_EQ(chain,
+            (std::vector<std::int32_t>{testing_util::kA, testing_util::kB,
+                                       testing_util::kC}));
+}
+
+TEST(LowerLeftChain2DTest, ChainDescends) {
+  const PointSet pts = GenerateAnticorrelated(1000, 2, 31);
+  const auto chain = LowerLeftChain2D(pts);
+  ASSERT_FALSE(chain.empty());
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    EXPECT_LT(pts[chain[i]][0], pts[chain[i + 1]][0]);
+    EXPECT_GT(pts[chain[i]][1], pts[chain[i + 1]][1]);
+  }
+}
+
+TEST(LowerLeftChain2DTest, EveryPositiveWeightMinimizerOnChain) {
+  const PointSet pts = GenerateIndependent(400, 2, 17);
+  const auto chain = LowerLeftChain2D(pts);
+  const std::set<std::int32_t> chain_set(chain.begin(), chain.end());
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point w = rng.SimplexWeight(2);
+    std::int32_t best = 0;
+    double best_score = Score(w, pts[0]);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      const double s = Score(w, pts[i]);
+      if (s < best_score) {
+        best_score = s;
+        best = static_cast<std::int32_t>(i);
+      }
+    }
+    EXPECT_TRUE(chain_set.count(best))
+        << "argmin " << best << " not on chain, w1=" << w[0];
+  }
+}
+
+TEST(LowerLeftChain2DTest, SinglePointAndTies) {
+  PointSet pts(2);
+  pts.Add({0.5, 0.5});
+  EXPECT_EQ(LowerLeftChain2D(pts).size(), 1u);
+
+  // A point dominating everything is the whole chain.
+  PointSet dom(2);
+  dom.Add({0.1, 0.1});
+  dom.Add({0.5, 0.5});
+  dom.Add({0.9, 0.2});
+  EXPECT_EQ(LowerLeftChain2D(dom), (std::vector<std::int32_t>{0}));
+}
+
+}  // namespace
+}  // namespace drli

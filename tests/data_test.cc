@@ -1,0 +1,179 @@
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+
+namespace drli {
+namespace {
+
+TEST(GeneratorTest, SizesAndRanges) {
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kAnticorrelated,
+                            Distribution::kCorrelated}) {
+    const PointSet pts = Generate(dist, 500, 4, 11);
+    ASSERT_EQ(pts.size(), 500u);
+    ASSERT_EQ(pts.dim(), 4u);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_GT(pts.At(i, j), 0.0);
+        EXPECT_LT(pts.At(i, j), 1.0);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  const PointSet a = GenerateAnticorrelated(100, 3, 9);
+  const PointSet b = GenerateAnticorrelated(100, 3, 9);
+  EXPECT_EQ(a.raw(), b.raw());
+  const PointSet c = GenerateAnticorrelated(100, 3, 10);
+  EXPECT_NE(a.raw(), c.raw());
+}
+
+TEST(GeneratorTest, AnticorrelatedHasNegativePairwiseCorrelation) {
+  const PointSet pts = GenerateAnticorrelated(5000, 2, 3);
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    mx += pts.At(i, 0);
+    my += pts.At(i, 1);
+  }
+  mx /= pts.size();
+  my /= pts.size();
+  double cov = 0, vx = 0, vy = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double dx = pts.At(i, 0) - mx, dy = pts.At(i, 1) - my;
+    cov += dx * dy;
+    vx += dx * dx;
+    vy += dy * dy;
+  }
+  const double corr = cov / std::sqrt(vx * vy);
+  EXPECT_LT(corr, -0.3);
+}
+
+TEST(GeneratorTest, CorrelatedHasPositivePairwiseCorrelation) {
+  const PointSet pts = GenerateCorrelated(5000, 2, 3);
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    mx += pts.At(i, 0);
+    my += pts.At(i, 1);
+  }
+  mx /= pts.size();
+  my /= pts.size();
+  double cov = 0, vx = 0, vy = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double dx = pts.At(i, 0) - mx, dy = pts.At(i, 1) - my;
+    cov += dx * dy;
+    vx += dx * dx;
+    vy += dy * dy;
+  }
+  EXPECT_GT(cov / std::sqrt(vx * vy), 0.5);
+}
+
+TEST(GeneratorTest, DistributionNames) {
+  EXPECT_STREQ(DistributionName(Distribution::kIndependent), "ind");
+  EXPECT_STREQ(DistributionName(Distribution::kAnticorrelated), "ant");
+  EXPECT_STREQ(DistributionName(Distribution::kCorrelated), "cor");
+}
+
+TEST(DatasetTest, AttributeLookup) {
+  Dataset ds({"price", "distance"});
+  EXPECT_EQ(ds.AttributeIndex("price"), 0u);
+  EXPECT_EQ(ds.AttributeIndex("distance"), 1u);
+  EXPECT_EQ(ds.AttributeIndex("rating"), Dataset::npos);
+}
+
+TEST(DatasetTest, NormalizeMinMax) {
+  Dataset ds({"x", "y"});
+  ds.mutable_points().Add({10.0, 100.0});
+  ds.mutable_points().Add({20.0, 300.0});
+  ds.mutable_points().Add({30.0, 200.0});
+  ds.NormalizeMinMax();
+  EXPECT_DOUBLE_EQ(ds.points().At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ds.points().At(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.points().At(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ds.points().At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ds.points().At(2, 1), 0.5);
+}
+
+TEST(DatasetTest, NormalizeConstantAttribute) {
+  Dataset ds({"x"});
+  ds.mutable_points().Add({5.0});
+  ds.mutable_points().Add({5.0});
+  ds.NormalizeMinMax();
+  EXPECT_DOUBLE_EQ(ds.points().At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ds.points().At(1, 0), 0.0);
+}
+
+TEST(DatasetTest, InvertAttribute) {
+  Dataset ds({"rating"});
+  ds.mutable_points().Add({2.0});
+  ds.mutable_points().Add({5.0});
+  ds.InvertAttribute(0);
+  EXPECT_DOUBLE_EQ(ds.points().At(0, 0), 3.0);  // 5 - 2
+  EXPECT_DOUBLE_EQ(ds.points().At(1, 0), 0.0);
+}
+
+TEST(CsvTest, ParseBasic) {
+  const auto ds = ParseCsv("price,distance\n1.5,2.5\n3.0,4.0\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().size(), 2u);
+  EXPECT_EQ(ds.value().attribute_names(),
+            (std::vector<std::string>{"price", "distance"}));
+  EXPECT_DOUBLE_EQ(ds.value().points().At(1, 1), 4.0);
+}
+
+TEST(CsvTest, ParseRejectsNonNumeric) {
+  const auto ds = ParseCsv("a,b\n1.0,hello\n");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, ParseRejectsFieldCountMismatch) {
+  const auto ds = ParseCsv("a,b\n1.0\n");
+  ASSERT_FALSE(ds.ok());
+}
+
+TEST(CsvTest, ParseRejectsEmpty) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  const auto ds = ParseCsv("a,b\n1,2\n\n3,4\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().size(), 2u);
+}
+
+TEST(CsvTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "drli_csv_test.csv")
+          .string();
+  Dataset ds({"x", "y", "z"});
+  ds.mutable_points().Add({0.125, 0.5, 0.75});
+  ds.mutable_points().Add({1e-9, 123456.789, 0.3333333333333333});
+  ASSERT_TRUE(SaveCsv(ds, path).ok());
+  const auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().attribute_names(), ds.attribute_names());
+  ASSERT_EQ(loaded.value().size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t j = 0; j < ds.dim(); ++j) {
+      EXPECT_DOUBLE_EQ(loaded.value().points().At(i, j),
+                       ds.points().At(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  const auto ds = LoadCsv("/nonexistent/path/file.csv");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace drli

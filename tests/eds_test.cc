@@ -1,0 +1,107 @@
+#include <algorithm>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+#include "common/random.h"
+#include "core/eds.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+using testing_util::MakeToyDataset;
+
+TEST(EdsTest, PaperExample2) {
+  // {a,b} is an EDS of f; {b,c} is not (Fig. 4). Symmetrically {b,c}
+  // is an EDS of g and {a,b} is not (Example 3).
+  const PointSet pts = MakeToyDataset();
+  EXPECT_TRUE(FacetIsEds(pts, {testing_util::kA, testing_util::kB},
+                         pts[testing_util::kF]));
+  EXPECT_FALSE(FacetIsEds(pts, {testing_util::kB, testing_util::kC},
+                          pts[testing_util::kF]));
+  EXPECT_TRUE(FacetIsEds(pts, {testing_util::kB, testing_util::kC},
+                         pts[testing_util::kG]));
+  EXPECT_FALSE(FacetIsEds(pts, {testing_util::kA, testing_util::kB},
+                          pts[testing_util::kG]));
+}
+
+TEST(EdsTest, SingleMemberDominatesTarget) {
+  PointSet pts(3);
+  pts.Add({0.1, 0.1, 0.1});  // dominates the target
+  pts.Add({0.9, 0.9, 0.9});
+  EXPECT_TRUE(FacetIsEds(pts, {0}, Point{0.5, 0.5, 0.5}));
+  EXPECT_FALSE(FacetIsEds(pts, {1}, Point{0.5, 0.5, 0.5}));
+}
+
+TEST(EdsTest, ConvexCombinationRequired) {
+  // Neither endpoint dominates the target but the midpoint does.
+  PointSet pts(2);
+  pts.Add({0.0, 0.8});
+  pts.Add({0.8, 0.0});
+  // Midpoint (0.4, 0.4) dominates (0.5, 0.5).
+  EXPECT_TRUE(FacetIsEds(pts, {0, 1}, Point{0.5, 0.5}));
+  // (0.3, 0.3) is below every point of the segment: the segment point
+  // minimizing max-coordinate is the midpoint (0.4, 0.4).
+  EXPECT_FALSE(FacetIsEds(pts, {0, 1}, Point{0.3, 0.3}));
+}
+
+TEST(EdsTest, TargetOnFacetCountsAsCovered) {
+  PointSet pts(2);
+  pts.Add({0.0, 1.0});
+  pts.Add({1.0, 0.0});
+  // The midpoint lies exactly on the segment: weak dominance.
+  EXPECT_TRUE(FacetIsEds(pts, {0, 1}, Point{0.5, 0.5}));
+}
+
+TEST(EdsTest, ComponentwiseMinPrefilter) {
+  PointSet pts(3);
+  pts.Add({0.5, 0.1, 0.1});
+  pts.Add({0.1, 0.5, 0.1});
+  pts.Add({0.1, 0.1, 0.5});
+  // Componentwise min (0.1, 0.1, 0.1) fails against a target below it.
+  EXPECT_FALSE(FacetIsEds(pts, {0, 1, 2}, Point{0.05, 0.9, 0.9}));
+}
+
+TEST(EdsTest, SimplexInterior3D) {
+  PointSet pts(3);
+  pts.Add({0.6, 0.0, 0.0});
+  pts.Add({0.0, 0.6, 0.0});
+  pts.Add({0.0, 0.0, 0.6});
+  // Barycenter (0.2, 0.2, 0.2) dominates (0.25, 0.25, 0.25).
+  EXPECT_TRUE(FacetIsEds(pts, {0, 1, 2}, Point{0.25, 0.25, 0.25}));
+  // (0.15, 0.15, 0.15): any convex combination sums to 0.6 > 0.45.
+  EXPECT_FALSE(FacetIsEds(pts, {0, 1, 2}, Point{0.15, 0.15, 0.15}));
+}
+
+TEST(EdsTest, GuaranteeLemma2) {
+  // Property: whenever FacetIsEds holds, for EVERY strictly positive
+  // weight vector some facet member scores <= the target (Lemma 2).
+  Rng rng(77);
+  for (std::size_t d = 2; d <= 5; ++d) {
+    const PointSet pts = GenerateIndependent(50, d, 100 + d);
+    for (int trial = 0; trial < 40; ++trial) {
+      std::vector<TupleId> facet;
+      while (facet.size() < d) {
+        const TupleId id = static_cast<TupleId>(rng.Index(pts.size()));
+        if (std::find(facet.begin(), facet.end(), id) == facet.end()) {
+          facet.push_back(id);
+        }
+      }
+      const TupleId target = static_cast<TupleId>(rng.Index(pts.size()));
+      if (!FacetIsEds(pts, facet, pts[target])) continue;
+      for (int wtrial = 0; wtrial < 25; ++wtrial) {
+        const Point w = rng.SimplexWeight(d);
+        double best = std::numeric_limits<double>::infinity();
+        for (TupleId id : facet) {
+          best = std::min(best, Score(w, pts[id]));
+        }
+        EXPECT_LE(best, Score(w, pts[target]) + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drli

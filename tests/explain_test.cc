@@ -1,0 +1,102 @@
+#include <numeric>
+
+#include "gtest/gtest.h"
+
+#include "common/check.h"
+#include "core/dual_layer.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+TEST(ExplainAccessTest, RowsCoverRelationAndMatchCost) {
+  const PointSet pts = GenerateAnticorrelated(600, 3, 1);
+  const DualLayerIndex index = DualLayerIndex::Build(pts);
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 10, 10, 2)) {
+    const TopKResult result = index.Query(query);
+    const auto rows = ExplainAccess(index, result);
+    std::size_t total_size = 0, total_accessed = 0;
+    for (const LayerAccessRow& row : rows) {
+      EXPECT_LE(row.accessed, row.layer_size);
+      total_size += row.layer_size;
+      total_accessed += row.accessed;
+    }
+    EXPECT_EQ(total_size, pts.size());
+    EXPECT_EQ(total_accessed, result.stats.tuples_evaluated);
+  }
+}
+
+TEST(ExplainAccessTest, RowsInLayerOrder) {
+  const PointSet pts = GenerateIndependent(400, 3, 3);
+  const DualLayerIndex index = DualLayerIndex::Build(pts);
+  TopKQuery query;
+  query.weights = {0.3, 0.3, 0.4};
+  query.k = 20;
+  const auto rows = ExplainAccess(index, index.Query(query));
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const bool ordered =
+        rows[i - 1].coarse < rows[i].coarse ||
+        (rows[i - 1].coarse == rows[i].coarse &&
+         rows[i - 1].fine < rows[i].fine);
+    EXPECT_TRUE(ordered) << "row " << i;
+  }
+}
+
+TEST(ExplainAccessTest, FirstSublayerFullyAccessedWithoutZeroLayer) {
+  // Plain DL gives complete access to L^11 -- the motivation for the
+  // zero layer (Section V). Explain must show it.
+  const PointSet pts = GenerateAnticorrelated(500, 3, 4);
+  const DualLayerIndex index = DualLayerIndex::Build(pts);
+  TopKQuery query;
+  query.weights = {0.2, 0.4, 0.4};
+  query.k = 1;
+  const auto rows = ExplainAccess(index, index.Query(query));
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].coarse, 0u);
+  EXPECT_EQ(rows[0].fine, 0u);
+  EXPECT_EQ(rows[0].accessed, rows[0].layer_size);
+}
+
+TEST(ExplainAccessTest, ZeroLayerNeverAccessesMoreOfFirstSublayer) {
+  // With the zero layer, access to L^11 is selective: never more than
+  // plain DL's complete access, and strictly less on average. (On a
+  // single query every pseudo-tuple may pop before the top-1 and
+  // unlock the whole sublayer, so the strict check is aggregate.)
+  const PointSet pts = GenerateAnticorrelated(800, 4, 5);
+  DualLayerOptions options;
+  options.build_zero_layer = true;
+  const DualLayerIndex plus = DualLayerIndex::Build(pts, options);
+  const DualLayerIndex plain = DualLayerIndex::Build(pts);
+  std::size_t accessed_plus = 0, accessed_plain = 0;
+  for (const TopKQuery& query : testing_util::RandomQueries(4, 1, 20, 6)) {
+    const auto rows_plus = ExplainAccess(plus, plus.Query(query));
+    const auto rows_plain = ExplainAccess(plain, plain.Query(query));
+    ASSERT_FALSE(rows_plus.empty());
+    ASSERT_FALSE(rows_plain.empty());
+    EXPECT_LE(rows_plus[0].accessed, rows_plain[0].accessed);
+    EXPECT_EQ(rows_plain[0].accessed, rows_plain[0].layer_size)
+        << "plain DL gives complete access to L^11";
+    accessed_plus += rows_plus[0].accessed;
+    accessed_plain += rows_plain[0].accessed;
+  }
+  EXPECT_LT(accessed_plus, accessed_plain);
+}
+
+TEST(CheckMacroDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH(
+      { DRLI_CHECK(1 == 2) << "custom detail " << 42; },
+      "custom detail 42");
+  EXPECT_DEATH({ DRLI_CHECK_EQ(3, 4); }, "CHECK FAILED");
+  EXPECT_DEATH({ DRLI_CHECK_LT(5, 5); }, "CHECK FAILED");
+}
+
+TEST(CheckMacroDeathTest, PassingChecksAreSilent) {
+  DRLI_CHECK(true) << "never evaluated";
+  DRLI_CHECK_EQ(2 + 2, 4);
+  DRLI_CHECK_GE(5, 5);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace drli

@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+#include "cluster/kmeans.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace drli {
+namespace {
+
+TEST(KMeansTest, AssignmentCoversAllPoints) {
+  const PointSet pts = GenerateIndependent(300, 3, 1);
+  KMeansOptions options;
+  options.num_clusters = 10;
+  const KMeansResult result = KMeans(pts, options);
+  ASSERT_EQ(result.assignment.size(), pts.size());
+  ASSERT_FALSE(result.centroids.empty());
+  ASSERT_LE(result.centroids.size(), 10u);
+  for (std::size_t a : result.assignment) {
+    EXPECT_LT(a, result.centroids.size());
+  }
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  PointSet pts(2);
+  Rng rng(5);
+  // Three tight blobs.
+  const double centers[3][2] = {{0.1, 0.1}, {0.5, 0.9}, {0.9, 0.2}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      pts.Add({centers[c][0] + rng.Uniform(-0.02, 0.02),
+               centers[c][1] + rng.Uniform(-0.02, 0.02)});
+    }
+  }
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 3;
+  const KMeansResult result = KMeans(pts, options);
+  ASSERT_EQ(result.centroids.size(), 3u);
+  // Every blob maps to a single cluster.
+  for (int c = 0; c < 3; ++c) {
+    const std::size_t expected = result.assignment[c * 40];
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_EQ(result.assignment[c * 40 + i], expected) << "blob " << c;
+    }
+  }
+}
+
+TEST(KMeansTest, ClustersClampedToPointCount) {
+  PointSet pts(2);
+  pts.Add({0.1, 0.1});
+  pts.Add({0.9, 0.9});
+  KMeansOptions options;
+  options.num_clusters = 50;
+  const KMeansResult result = KMeans(pts, options);
+  EXPECT_LE(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, EmptyInput) {
+  PointSet pts(2);
+  const KMeansResult result = KMeans(pts, {});
+  EXPECT_TRUE(result.assignment.empty());
+  EXPECT_TRUE(result.centroids.empty());
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  PointSet pts(2);
+  for (int i = 0; i < 20; ++i) pts.Add({0.5, 0.5});
+  KMeansOptions options;
+  options.num_clusters = 4;
+  const KMeansResult result = KMeans(pts, options);
+  ASSERT_FALSE(result.centroids.empty());
+  for (std::size_t a : result.assignment) {
+    EXPECT_LT(a, result.centroids.size());
+  }
+}
+
+TEST(ClusterMinCornersTest, CornersWeaklyDominateMembers) {
+  const PointSet pts = GenerateAnticorrelated(400, 4, 17);
+  KMeansOptions options;
+  options.num_clusters = 12;
+  const KMeansResult result = KMeans(pts, options);
+  const std::vector<Point> corners = ClusterMinCorners(pts, result);
+  ASSERT_EQ(corners.size(), result.centroids.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(WeaklyDominates(corners[result.assignment[i]], pts[i]))
+        << "point " << i;
+  }
+}
+
+TEST(ClusterMinCornersTest, CornerIsTightPerCoordinate) {
+  const PointSet pts = GenerateIndependent(200, 3, 23);
+  KMeansOptions options;
+  options.num_clusters = 5;
+  const KMeansResult result = KMeans(pts, options);
+  const std::vector<Point> corners = ClusterMinCorners(pts, result);
+  // Each corner coordinate is attained by some member.
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    for (std::size_t j = 0; j < pts.dim(); ++j) {
+      bool attained = false;
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (result.assignment[i] == c &&
+            std::fabs(pts.At(i, j) - corners[c][j]) < 1e-12) {
+          attained = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(attained) << "cluster " << c << " axis " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drli

@@ -1,0 +1,142 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+#include "common/random.h"
+#include "geometry/linalg.h"
+
+namespace drli {
+namespace {
+
+TEST(NormTest, EuclideanLength) {
+  const Point v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Norm(v), 5.0);
+}
+
+TEST(NormalizeTest, UnitLength) {
+  std::vector<double> v = {3.0, 4.0};
+  ASSERT_TRUE(Normalize(&v));
+  EXPECT_NEAR(Norm(PointView(v)), 1.0, 1e-12);
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+}
+
+TEST(NormalizeTest, ZeroVectorFails) {
+  std::vector<double> v = {0.0, 0.0, 0.0};
+  EXPECT_FALSE(Normalize(&v));
+}
+
+TEST(DeterminantTest, Identity) {
+  EXPECT_DOUBLE_EQ(Determinant({1, 0, 0, 1}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(Determinant({1, 0, 0, 0, 1, 0, 0, 0, 1}, 3), 1.0);
+}
+
+TEST(DeterminantTest, KnownValues) {
+  // |1 2; 3 4| = -2
+  EXPECT_NEAR(Determinant({1, 2, 3, 4}, 2), -2.0, 1e-12);
+  // Singular matrix.
+  EXPECT_DOUBLE_EQ(Determinant({1, 2, 2, 4}, 2), 0.0);
+}
+
+TEST(DeterminantTest, RowSwapFlipsSign) {
+  const double d1 = Determinant({0, 1, 1, 0}, 2);
+  EXPECT_NEAR(d1, -1.0, 1e-12);
+}
+
+TEST(SolveTest, TwoByTwo) {
+  std::vector<double> x;
+  // x + y = 3; x - y = 1 -> x = 2, y = 1.
+  ASSERT_TRUE(SolveLinearSystem(std::vector<double>{1, 1, 1, -1},
+                                std::vector<double>{3, 1}, 2, &x));
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveTest, SingularFails) {
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem(std::vector<double>{1, 2, 2, 4},
+                                 std::vector<double>{1, 2}, 2, &x));
+}
+
+TEST(SolveTest, RandomRoundTrip) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.Index(4);
+    std::vector<double> a(n * n);
+    std::vector<double> x_true(n);
+    for (auto& v : a) v = rng.Uniform(-1.0, 1.0);
+    for (auto& v : x_true) v = rng.Uniform(-1.0, 1.0);
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+    }
+    std::vector<double> x;
+    if (!SolveLinearSystem(a, b, n, &x)) continue;  // near-singular draw
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(x[j], x_true[j], 1e-6);
+    }
+  }
+}
+
+TEST(HyperplaneTest, Line2D) {
+  PointSet pts(2);
+  pts.Add({0.0, 1.0});
+  pts.Add({1.0, 0.0});
+  Hyperplane plane;
+  ASSERT_TRUE(HyperplaneThroughPoints({pts[0], pts[1]}, &plane));
+  // Plane x + y = 1 (up to sign).
+  EXPECT_NEAR(std::fabs(plane.SignedDistance(Point{0.5, 0.5})), 0.0, 1e-12);
+  EXPECT_NEAR(std::fabs(plane.SignedDistance(Point{0.0, 0.0})),
+              1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(HyperplaneTest, Plane3D) {
+  PointSet pts(3);
+  pts.Add({1.0, 0.0, 0.0});
+  pts.Add({0.0, 1.0, 0.0});
+  pts.Add({0.0, 0.0, 1.0});
+  Hyperplane plane;
+  ASSERT_TRUE(HyperplaneThroughPoints({pts[0], pts[1], pts[2]}, &plane));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(plane.SignedDistance(pts[i]), 0.0, 1e-12);
+  }
+  // Normal is parallel to (1,1,1)/sqrt(3).
+  EXPECT_NEAR(std::fabs(plane.normal[0]), 1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(std::fabs(plane.normal[1]), std::fabs(plane.normal[0]), 1e-12);
+}
+
+TEST(HyperplaneTest, DegeneratePointsFail) {
+  PointSet pts(3);
+  pts.Add({0.0, 0.0, 0.0});
+  pts.Add({1.0, 1.0, 1.0});
+  pts.Add({2.0, 2.0, 2.0});  // collinear
+  Hyperplane plane;
+  EXPECT_FALSE(HyperplaneThroughPoints({pts[0], pts[1], pts[2]}, &plane));
+}
+
+TEST(AffineBasisTest, RejectsDependentPoints) {
+  AffineBasis basis(3);
+  PointSet pts(3);
+  pts.Add({0, 0, 0});
+  pts.Add({1, 0, 0});
+  pts.Add({2, 0, 0});  // on the same line
+  pts.Add({0, 1, 0});
+  EXPECT_TRUE(basis.Add(pts[0], 1e-9));
+  EXPECT_TRUE(basis.Add(pts[1], 1e-9));
+  EXPECT_FALSE(basis.Add(pts[2], 1e-9));
+  EXPECT_TRUE(basis.Add(pts[3], 1e-9));
+  EXPECT_EQ(basis.count(), 3u);
+}
+
+TEST(AffineBasisTest, DistanceToSpan) {
+  AffineBasis basis(2);
+  PointSet pts(2);
+  pts.Add({0, 0});
+  pts.Add({1, 0});
+  basis.Add(pts[0], 1e-9);
+  basis.Add(pts[1], 1e-9);
+  EXPECT_NEAR(basis.DistanceToSpan(Point{0.5, 2.0}), 2.0, 1e-12);
+  EXPECT_NEAR(basis.DistanceToSpan(Point{7.0, 0.0}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace drli

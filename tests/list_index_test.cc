@@ -1,0 +1,102 @@
+#include "gtest/gtest.h"
+
+#include "baselines/list_index.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+using testing_util::ExpectMatchesScan;
+
+class ListAlgorithmTest : public ::testing::TestWithParam<ListAlgorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(All, ListAlgorithmTest,
+                         ::testing::Values(ListAlgorithm::kFa,
+                                           ListAlgorithm::kTa,
+                                           ListAlgorithm::kNra),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ListAlgorithm::kFa:
+                               return "FA";
+                             case ListAlgorithm::kTa:
+                               return "TA";
+                             case ListAlgorithm::kNra:
+                               return "NRA";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(ListAlgorithmTest, ToyDatasetTop5) {
+  const PointSet pts = testing_util::MakeToyDataset();
+  ListIndex index = ListIndex::Build(pts, GetParam());
+  TopKQuery query;
+  query.weights = {0.5, 0.5};
+  query.k = 5;
+  const TopKResult result = index.Query(query);
+  ASSERT_EQ(result.items.size(), 5u);
+  EXPECT_EQ(result.items[0].id, testing_util::kA);
+  EXPECT_DOUBLE_EQ(result.items[0].score, 3.5);
+}
+
+TEST_P(ListAlgorithmTest, MatchesScanAcrossSettings) {
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAnticorrelated}) {
+    for (std::size_t d : {2u, 3u, 4u}) {
+      const PointSet pts = Generate(dist, 400, d, 70 + d);
+      ListIndex index = ListIndex::Build(pts, GetParam());
+      ExpectMatchesScan(index, pts, 10, 8, d);
+    }
+  }
+}
+
+TEST_P(ListAlgorithmTest, KLargerThanRelation) {
+  const PointSet pts = GenerateIndependent(20, 3, 1);
+  ListIndex index = ListIndex::Build(pts, GetParam());
+  TopKQuery query;
+  query.weights = {0.3, 0.3, 0.4};
+  query.k = 100;
+  EXPECT_EQ(index.Query(query).items.size(), 20u);
+}
+
+TEST_P(ListAlgorithmTest, SelectiveOnRandomData) {
+  const PointSet pts = GenerateIndependent(5000, 3, 2);
+  ListIndex index = ListIndex::Build(pts, GetParam());
+  TopKQuery query;
+  query.weights = {0.2, 0.5, 0.3};
+  query.k = 5;
+  const TopKResult result = index.Query(query);
+  EXPECT_LT(result.stats.tuples_evaluated, pts.size() / 2)
+      << index.name() << " touched most of the relation";
+}
+
+TEST(ListIndexCostTest, TaNeverCostsMoreThanFa) {
+  // TA's threshold stop dominates FA's all-lists-seen stop.
+  const PointSet pts = GenerateIndependent(2000, 4, 3);
+  ListIndex fa = ListIndex::Build(pts, ListAlgorithm::kFa);
+  ListIndex ta = ListIndex::Build(pts, ListAlgorithm::kTa);
+  for (const TopKQuery& query : testing_util::RandomQueries(4, 10, 15, 4)) {
+    EXPECT_LE(ta.Query(query).stats.tuples_evaluated,
+              fa.Query(query).stats.tuples_evaluated);
+  }
+}
+
+TEST(ListIndexCostTest, NamesAreStable) {
+  const PointSet pts = GenerateIndependent(10, 2, 5);
+  EXPECT_EQ(ListIndex::Build(pts, ListAlgorithm::kFa).name(), "FA");
+  EXPECT_EQ(ListIndex::Build(pts, ListAlgorithm::kTa).name(), "TA");
+  EXPECT_EQ(ListIndex::Build(pts, ListAlgorithm::kNra).name(), "NRA");
+}
+
+TEST(ListIndexCostTest, CorrelatedDataIsEasy) {
+  // On correlated data the lists agree, so TA stops almost instantly.
+  const PointSet pts = GenerateCorrelated(5000, 3, 6);
+  ListIndex ta = ListIndex::Build(pts, ListAlgorithm::kTa);
+  TopKQuery query;
+  query.weights = {0.4, 0.3, 0.3};
+  query.k = 10;
+  EXPECT_LT(ta.Query(query).stats.tuples_evaluated, 500u);
+}
+
+}  // namespace
+}  // namespace drli

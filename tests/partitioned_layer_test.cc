@@ -1,0 +1,126 @@
+#include "gtest/gtest.h"
+
+#include "baselines/onion.h"
+#include "baselines/partitioned_layer.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+using testing_util::ExpectMatchesScan;
+
+TEST(PartitionedLayerTest, PartitionsCoverRelation) {
+  const PointSet pts = GenerateIndependent(1000, 3, 1);
+  PartitionedLayerOptions options;
+  options.num_partitions = 7;
+  const PartitionedLayerIndex index =
+      PartitionedLayerIndex::Build(pts, options);
+  EXPECT_EQ(index.build_stats().num_partitions, 7u);
+  std::vector<bool> seen(pts.size(), false);
+  std::size_t total = 0;
+  for (const auto& partition : index.layers()) {
+    for (const auto& layer : partition) {
+      EXPECT_FALSE(layer.empty());
+      for (TupleId id : layer) {
+        ASSERT_LT(id, pts.size());
+        EXPECT_FALSE(seen[id]);
+        seen[id] = true;
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(total, pts.size());
+}
+
+struct PliCase {
+  Distribution dist;
+  std::size_t d;
+  std::size_t partitions;
+};
+
+class PartitionedLayerCorrectnessTest
+    : public ::testing::TestWithParam<PliCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionedLayerCorrectnessTest,
+    ::testing::Values(PliCase{Distribution::kIndependent, 2, 4},
+                      PliCase{Distribution::kIndependent, 3, 0},
+                      PliCase{Distribution::kIndependent, 4, 8},
+                      PliCase{Distribution::kAnticorrelated, 3, 3},
+                      PliCase{Distribution::kAnticorrelated, 4, 0},
+                      PliCase{Distribution::kCorrelated, 3, 5}));
+
+TEST_P(PartitionedLayerCorrectnessTest, MatchesScan) {
+  const PliCase& c = GetParam();
+  const PointSet pts = Generate(c.dist, 600, c.d, 50 + c.d);
+  PartitionedLayerOptions options;
+  options.num_partitions = c.partitions;
+  const PartitionedLayerIndex index =
+      PartitionedLayerIndex::Build(pts, options);
+  ExpectMatchesScan(index, pts, 10, 10, c.d);
+  ExpectMatchesScan(index, pts, 37, 5, c.d + 1);
+}
+
+TEST(PartitionedLayerTest, SinglePartitionBehavesLikeOnion) {
+  const PointSet pts = GenerateIndependent(500, 3, 2);
+  PartitionedLayerOptions options;
+  options.num_partitions = 1;
+  const PartitionedLayerIndex pli =
+      PartitionedLayerIndex::Build(pts, options);
+  const OnionIndex onion = OnionIndex::Build(pts);
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 10, 10, 3)) {
+    const TopKResult a = pli.Query(query);
+    const TopKResult b = onion.Query(query);
+    EXPECT_TRUE(testing_util::ResultsEquivalent(b, a));
+    // Same layer structure, same best-first scan: identical cost.
+    EXPECT_EQ(a.stats.tuples_evaluated, b.stats.tuples_evaluated);
+  }
+}
+
+TEST(PartitionedLayerTest, BuildCheaperThanGlobalOnionOnLargeInput) {
+  const PointSet pts = GenerateAnticorrelated(8000, 3, 4);
+  PartitionedLayerOptions options;
+  options.num_partitions = 16;
+  const PartitionedLayerIndex pli =
+      PartitionedLayerIndex::Build(pts, options);
+  const OnionIndex onion = OnionIndex::Build(pts);
+  // PLI's selling point: hulls over n/p points build faster than one
+  // global convex layering.
+  EXPECT_LT(pli.build_stats().build_seconds,
+            onion.build_stats().build_seconds);
+  // But answers stay exact.
+  ExpectMatchesScan(pli, pts, 10, 5, 5);
+}
+
+TEST(PartitionedLayerTest, PartitionCountTradesQueryCost) {
+  // More partitions -> more first layers that must all be touched ->
+  // higher floor on query cost.
+  const PointSet pts = GenerateIndependent(2000, 3, 6);
+  PartitionedLayerOptions few, many;
+  few.num_partitions = 2;
+  many.num_partitions = 32;
+  const PartitionedLayerIndex a = PartitionedLayerIndex::Build(pts, few);
+  const PartitionedLayerIndex b = PartitionedLayerIndex::Build(pts, many);
+  std::size_t cost_few = 0, cost_many = 0;
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 10, 15, 7)) {
+    cost_few += a.Query(query).stats.tuples_evaluated;
+    cost_many += b.Query(query).stats.tuples_evaluated;
+  }
+  EXPECT_LT(cost_few, cost_many);
+}
+
+TEST(PartitionedLayerTest, TinyRelation) {
+  PointSet pts(2);
+  pts.Add({0.1, 0.9});
+  pts.Add({0.9, 0.1});
+  pts.Add({0.5, 0.5});
+  const PartitionedLayerIndex index = PartitionedLayerIndex::Build(pts);
+  TopKQuery query;
+  query.weights = {0.5, 0.5};
+  query.k = 3;
+  EXPECT_EQ(index.Query(query).items.size(), 3u);
+}
+
+}  // namespace
+}  // namespace drli

@@ -1,0 +1,205 @@
+// Property-based tests: invariants that must hold for every index on
+// randomized inputs, beyond pointwise agreement with the scan oracle.
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+#include "core/dual_layer.h"
+#include "core/index_registry.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+struct PropertyCase {
+  std::string kind;
+  Distribution dist;
+  std::size_t d;
+};
+
+class IndexPropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    points_ = Generate(GetParam().dist, 500, GetParam().d, 90);
+    IndexBuildConfig config;
+    config.kind = GetParam().kind;
+    auto built = BuildIndex(config, points_);
+    ASSERT_TRUE(built.ok());
+    index_ = std::move(built).value();
+  }
+
+  PointSet points_{1};
+  std::unique_ptr<TopKIndex> index_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndexPropertyTest,
+    ::testing::Values(
+        PropertyCase{"dl", Distribution::kIndependent, 3},
+        PropertyCase{"dl", Distribution::kAnticorrelated, 4},
+        PropertyCase{"dl+", Distribution::kIndependent, 2},
+        PropertyCase{"dl+", Distribution::kAnticorrelated, 4},
+        PropertyCase{"dg", Distribution::kAnticorrelated, 3},
+        PropertyCase{"dg+", Distribution::kIndependent, 4},
+        PropertyCase{"hl+", Distribution::kAnticorrelated, 3},
+        PropertyCase{"onion", Distribution::kIndependent, 3},
+        PropertyCase{"ta", Distribution::kAnticorrelated, 3},
+        PropertyCase{"nra", Distribution::kIndependent, 3}),
+    [](const auto& info) {
+      std::string name = info.param.kind + "_" +
+                         DistributionName(info.param.dist) + "_d" +
+                         std::to_string(info.param.d);
+      for (char& c : name) {
+        if (c == '+') c = 'p';
+      }
+      return name;
+    });
+
+TEST_P(IndexPropertyTest, ResultsSortedAscending) {
+  for (const TopKQuery& query :
+       testing_util::RandomQueries(points_.dim(), 20, 10, 1)) {
+    const TopKResult result = index_->Query(query);
+    for (std::size_t i = 1; i < result.items.size(); ++i) {
+      EXPECT_LE(result.items[i - 1].score, result.items[i].score);
+    }
+  }
+}
+
+TEST_P(IndexPropertyTest, ScoresMatchWeights) {
+  // Reported scores must equal the scoring function applied to the
+  // reported tuple.
+  for (const TopKQuery& query :
+       testing_util::RandomQueries(points_.dim(), 10, 10, 2)) {
+    const TopKResult result = index_->Query(query);
+    for (const ScoredTuple& item : result.items) {
+      EXPECT_NEAR(item.score, Score(query.weights, points_[item.id]),
+                  1e-12);
+    }
+  }
+}
+
+TEST_P(IndexPropertyTest, LargerKExtendsPrefix) {
+  for (const TopKQuery& base :
+       testing_util::RandomQueries(points_.dim(), 10, 6, 3)) {
+    TopKQuery larger = base;
+    larger.k = base.k + 15;
+    const TopKResult small = index_->Query(base);
+    const TopKResult big = index_->Query(larger);
+    ASSERT_GE(big.items.size(), small.items.size());
+    for (std::size_t i = 0; i < small.items.size(); ++i) {
+      EXPECT_NEAR(small.items[i].score, big.items[i].score, 1e-12)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST_P(IndexPropertyTest, CostMonotoneInK) {
+  for (const TopKQuery& base :
+       testing_util::RandomQueries(points_.dim(), 5, 6, 4)) {
+    TopKQuery larger = base;
+    larger.k = 40;
+    EXPECT_LE(index_->Query(base).stats.tuples_evaluated,
+              index_->Query(larger).stats.tuples_evaluated);
+  }
+}
+
+TEST_P(IndexPropertyTest, QueriesAreDeterministic) {
+  for (const TopKQuery& query :
+       testing_util::RandomQueries(points_.dim(), 10, 5, 5)) {
+    const TopKResult a = index_->Query(query);
+    const TopKResult b = index_->Query(query);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].id, b.items[i].id);
+      EXPECT_EQ(a.items[i].score, b.items[i].score);
+    }
+    EXPECT_EQ(a.stats.tuples_evaluated, b.stats.tuples_evaluated);
+  }
+}
+
+TEST_P(IndexPropertyTest, NoDuplicateIdsInResult) {
+  for (const TopKQuery& query :
+       testing_util::RandomQueries(points_.dim(), 30, 6, 6)) {
+    const TopKResult result = index_->Query(query);
+    std::vector<TupleId> ids;
+    for (const ScoredTuple& item : result.items) ids.push_back(item.id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  }
+}
+
+// Structural transformations preserve answers.
+TEST(TransformationPropertyTest, AttributePermutationSymmetry) {
+  const PointSet pts = GenerateAnticorrelated(400, 3, 91);
+  // Rotate attributes: (a0, a1, a2) -> (a2, a0, a1).
+  PointSet rotated(3);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    rotated.Add({pts.At(i, 2), pts.At(i, 0), pts.At(i, 1)});
+  }
+  const DualLayerIndex index = DualLayerIndex::Build(pts);
+  const DualLayerIndex index_rot = DualLayerIndex::Build(rotated);
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    TopKQuery query;
+    query.weights = rng.SimplexWeight(3);
+    query.k = 10;
+    TopKQuery query_rot;
+    query_rot.weights = {query.weights[2], query.weights[0],
+                         query.weights[1]};
+    query_rot.k = 10;
+    const TopKResult a = index.Query(query);
+    const TopKResult b = index_rot.Query(query_rot);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_NEAR(a.items[i].score, b.items[i].score, 1e-12);
+    }
+  }
+}
+
+TEST(TransformationPropertyTest, UniformScalingInvariance) {
+  // Scaling every attribute by c > 0 scales all scores by c and must
+  // not change the answer ids (modulo exact ties).
+  const PointSet pts = GenerateIndependent(300, 3, 92);
+  PointSet scaled(3);
+  const double c = 0.125;  // power of two: exact float scaling
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    scaled.Add({pts.At(i, 0) * c, pts.At(i, 1) * c, pts.At(i, 2) * c});
+  }
+  const DualLayerIndex index = DualLayerIndex::Build(pts);
+  const DualLayerIndex index_scaled = DualLayerIndex::Build(scaled);
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 10, 10, 8)) {
+    const TopKResult a = index.Query(query);
+    const TopKResult b = index_scaled.Query(query);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_NEAR(a.items[i].score * c, b.items[i].score, 1e-12);
+    }
+  }
+}
+
+TEST(DualLayerPopOrderTest, AccessTraceRespectsDominance) {
+  // If t ∀-dominates t', t must appear in the access trace before t'
+  // whenever both were accessed (t' cannot unlock before t pops).
+  const PointSet pts = GenerateIndependent(300, 3, 93);
+  const DualLayerIndex index = DualLayerIndex::Build(pts);
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 40, 5, 9)) {
+    const TopKResult result = index.Query(query);
+    std::vector<std::size_t> order(pts.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < result.accessed.size(); ++i) {
+      order[result.accessed[i]] = i;
+    }
+    for (std::size_t u = 0; u < pts.size(); ++u) {
+      for (const auto succ : index.coarse_out()[u]) {
+        if (order[u] != SIZE_MAX && order[succ] != SIZE_MAX) {
+          EXPECT_LT(order[u], order[succ])
+              << "dominated tuple " << succ << " accessed before " << u;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drli

@@ -1,0 +1,104 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+#include "core/serialization.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void ExpectSameAnswersAndCost(const DualLayerIndex& a,
+                              const DualLayerIndex& b, std::size_t d,
+                              std::size_t k) {
+  for (const TopKQuery& query : testing_util::RandomQueries(d, k, 15, 5)) {
+    const TopKResult ra = a.Query(query);
+    const TopKResult rb = b.Query(query);
+    EXPECT_TRUE(testing_util::ResultsEquivalent(ra, rb));
+    EXPECT_EQ(ra.stats.tuples_evaluated, rb.stats.tuples_evaluated);
+    EXPECT_EQ(ra.stats.virtual_evaluated, rb.stats.virtual_evaluated);
+  }
+}
+
+TEST(SerializationTest, RoundTripPlainDl) {
+  const std::string path = TempPath("drli_index_plain.bin");
+  const PointSet pts = GenerateAnticorrelated(300, 3, 1);
+  const DualLayerIndex index = DualLayerIndex::Build(pts);
+  ASSERT_TRUE(SaveDualLayerIndex(index, path).ok());
+  auto loaded = LoadDualLayerIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().name(), "DL");
+  EXPECT_EQ(loaded.value().size(), index.size());
+  ExpectSameAnswersAndCost(index, loaded.value(), 3, 10);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RoundTripDlPlusClustered) {
+  const std::string path = TempPath("drli_index_plus.bin");
+  const PointSet pts = GenerateIndependent(400, 4, 2);
+  DualLayerOptions options;
+  options.build_zero_layer = true;
+  const DualLayerIndex index = DualLayerIndex::Build(pts, options);
+  ASSERT_TRUE(SaveDualLayerIndex(index, path).ok());
+  auto loaded = LoadDualLayerIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().virtual_points().size(),
+            index.virtual_points().size());
+  ExpectSameAnswersAndCost(index, loaded.value(), 4, 10);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RoundTripDlPlus2DWeightTable) {
+  const std::string path = TempPath("drli_index_2d.bin");
+  const PointSet pts = GenerateIndependent(500, 2, 3);
+  DualLayerOptions options;
+  options.build_zero_layer = true;
+  const DualLayerIndex index = DualLayerIndex::Build(pts, options);
+  ASSERT_TRUE(SaveDualLayerIndex(index, path).ok());
+  auto loaded = LoadDualLayerIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().uses_weight_table());
+  ExpectSameAnswersAndCost(index, loaded.value(), 2, 5);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  const auto loaded = LoadDualLayerIndex("/nonexistent/drli.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializationTest, CorruptMagicRejected) {
+  const std::string path = TempPath("drli_index_corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not an index file at all";
+  }
+  const auto loaded = LoadDualLayerIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileRejected) {
+  const std::string path = TempPath("drli_index_trunc.bin");
+  const PointSet pts = GenerateIndependent(100, 3, 4);
+  const DualLayerIndex index = DualLayerIndex::Build(pts);
+  ASSERT_TRUE(SaveDualLayerIndex(index, path).ok());
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  const auto loaded = LoadDualLayerIndex(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace drli

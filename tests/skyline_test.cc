@@ -1,0 +1,146 @@
+#include <algorithm>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "data/generator.h"
+#include "skyline/skyline.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+using testing_util::MakeToyDataset;
+
+class SkylineAlgorithmTest
+    : public ::testing::TestWithParam<SkylineAlgorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SkylineAlgorithmTest,
+                         ::testing::Values(SkylineAlgorithm::kNaive,
+                                           SkylineAlgorithm::kBnl,
+                                           SkylineAlgorithm::kSfs,
+                                           SkylineAlgorithm::kDivideAndConquer,
+                                           SkylineAlgorithm::kSkyTree),
+                         [](const auto& info) {
+                           return std::string(
+                               SkylineAlgorithmName(info.param));
+                         });
+
+TEST_P(SkylineAlgorithmTest, ToyDatasetSkyline) {
+  const PointSet pts = MakeToyDataset();
+  const auto sky = ComputeSkyline(pts, GetParam());
+  EXPECT_EQ(sky, (std::vector<TupleId>{testing_util::kA, testing_util::kB,
+                                       testing_util::kC, testing_util::kF,
+                                       testing_util::kG}));
+}
+
+TEST_P(SkylineAlgorithmTest, SinglePoint) {
+  PointSet pts(3);
+  pts.Add({0.5, 0.5, 0.5});
+  EXPECT_EQ(ComputeSkyline(pts, GetParam()), (std::vector<TupleId>{0}));
+}
+
+TEST_P(SkylineAlgorithmTest, DuplicatesAllKept) {
+  PointSet pts(2);
+  pts.Add({0.2, 0.2});
+  pts.Add({0.2, 0.2});
+  pts.Add({0.5, 0.5});
+  const auto sky = ComputeSkyline(pts, GetParam());
+  EXPECT_EQ(sky, (std::vector<TupleId>{0, 1}));
+}
+
+TEST_P(SkylineAlgorithmTest, TotallyOrderedChain) {
+  PointSet pts(2);
+  for (int i = 0; i < 50; ++i) {
+    pts.Add({0.01 * i, 0.01 * i});
+  }
+  EXPECT_EQ(ComputeSkyline(pts, GetParam()), (std::vector<TupleId>{0}));
+}
+
+TEST_P(SkylineAlgorithmTest, AllIncomparable) {
+  PointSet pts(2);
+  for (int i = 0; i < 50; ++i) {
+    pts.Add({0.01 * i, 0.01 * (50 - i)});
+  }
+  EXPECT_EQ(ComputeSkyline(pts, GetParam()).size(), 50u);
+}
+
+TEST_P(SkylineAlgorithmTest, SubsetComputation) {
+  const PointSet pts = MakeToyDataset();
+  // Skyline of {d, e, i, j} is all four (second skyline layer).
+  const std::vector<TupleId> subset = {testing_util::kD, testing_util::kE,
+                                       testing_util::kI, testing_util::kJ};
+  const auto sky = ComputeSkylineOfSubset(pts, subset, GetParam());
+  std::vector<TupleId> expected = subset;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sky, expected);
+}
+
+TEST_P(SkylineAlgorithmTest, EmptyInput) {
+  PointSet pts(2);
+  EXPECT_TRUE(ComputeSkyline(pts, GetParam()).empty());
+}
+
+struct SkylineAgreementCase {
+  Distribution dist;
+  std::size_t n;
+  std::size_t d;
+  std::uint64_t seed;
+};
+
+class SkylineAgreementTest
+    : public ::testing::TestWithParam<SkylineAgreementCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, SkylineAgreementTest,
+    ::testing::Values(
+        SkylineAgreementCase{Distribution::kIndependent, 800, 2, 1},
+        SkylineAgreementCase{Distribution::kIndependent, 800, 3, 2},
+        SkylineAgreementCase{Distribution::kIndependent, 800, 4, 3},
+        SkylineAgreementCase{Distribution::kIndependent, 800, 5, 4},
+        SkylineAgreementCase{Distribution::kAnticorrelated, 600, 2, 5},
+        SkylineAgreementCase{Distribution::kAnticorrelated, 600, 3, 6},
+        SkylineAgreementCase{Distribution::kAnticorrelated, 600, 4, 7},
+        SkylineAgreementCase{Distribution::kCorrelated, 800, 3, 8},
+        SkylineAgreementCase{Distribution::kCorrelated, 800, 5, 9}));
+
+TEST_P(SkylineAgreementTest, AllAlgorithmsAgree) {
+  const auto& c = GetParam();
+  const PointSet pts = Generate(c.dist, c.n, c.d, c.seed);
+  const auto naive = ComputeSkyline(pts, SkylineAlgorithm::kNaive);
+  for (SkylineAlgorithm algorithm :
+       {SkylineAlgorithm::kBnl, SkylineAlgorithm::kSfs,
+        SkylineAlgorithm::kDivideAndConquer, SkylineAlgorithm::kSkyTree}) {
+    EXPECT_EQ(ComputeSkyline(pts, algorithm), naive)
+        << SkylineAlgorithmName(algorithm);
+  }
+}
+
+TEST(SkylineSemanticsTest, NoMemberDominatedNoOutsiderUndominated) {
+  const PointSet pts = GenerateAnticorrelated(500, 3, 42);
+  const auto sky = ComputeSkyline(pts, SkylineAlgorithm::kSkyTree);
+  std::vector<bool> in_sky(pts.size(), false);
+  for (TupleId id : sky) in_sky[id] = true;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (i != j && Dominates(pts[j], pts[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_EQ(in_sky[i], !dominated) << "tuple " << i;
+  }
+}
+
+TEST(SkylineSemanticsTest, SkyTreeHandlesManyDuplicates) {
+  PointSet pts(3);
+  for (int i = 0; i < 200; ++i) {
+    pts.Add({0.25, 0.5, 0.75});
+  }
+  const auto sky = ComputeSkyline(pts, SkylineAlgorithm::kSkyTree);
+  EXPECT_EQ(sky.size(), 200u);
+}
+
+}  // namespace
+}  // namespace drli

@@ -1,0 +1,180 @@
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+#include "baselines/view_index.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+using testing_util::ExpectMatchesScan;
+
+TEST(WatermarkBoundTest, ClosedFormCases) {
+  // q = v: minimizing q.x with q.x >= s gives exactly s.
+  const Point w = {0.5, 0.5};
+  EXPECT_NEAR(MinQueryScoreGivenViewBound(w, w, 0.3), 0.3, 1e-12);
+  // Threshold <= 0 is free.
+  EXPECT_DOUBLE_EQ(MinQueryScoreGivenViewBound(w, w, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(MinQueryScoreGivenViewBound(w, w, -1.0), 0.0);
+  // Unreachable inside the unit box.
+  EXPECT_TRUE(std::isinf(MinQueryScoreGivenViewBound(w, w, 2.0)));
+}
+
+TEST(WatermarkBoundTest, PrefersCheapDimensions) {
+  // View weight lives on axis 0, query weight on axis 1: meeting the
+  // view constraint via x_0 costs almost nothing under the query.
+  const Point q = {0.01, 0.99};
+  const Point v = {0.99, 0.01};
+  const double bound = MinQueryScoreGivenViewBound(q, v, 0.5);
+  // x_0 = 0.5051.. satisfies v.x >= 0.5 at query cost ~0.00505.
+  EXPECT_NEAR(bound, 0.01 * (0.5 / 0.99), 1e-9);
+}
+
+TEST(WatermarkBoundTest, SoundAgainstSampling) {
+  // Property: the bound never exceeds the true query score of any box
+  // point satisfying the view constraint.
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t d = 2 + rng.Index(4);
+    const Point q = rng.SimplexWeight(d);
+    const Point v = rng.SimplexWeight(d);
+    Point x(d);
+    for (double& xi : x) xi = rng.Uniform();
+    const double view_score = Score(v, x);
+    const double bound = MinQueryScoreGivenViewBound(q, v, view_score);
+    EXPECT_LE(bound, Score(q, x) + 1e-9);
+  }
+}
+
+TEST(WatermarkBoundTest, MonotoneInThreshold) {
+  Rng rng(6);
+  const Point q = rng.SimplexWeight(3);
+  const Point v = rng.SimplexWeight(3);
+  double prev = 0.0;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const double bound = MinQueryScoreGivenViewBound(q, v, s);
+    EXPECT_GE(bound + 1e-12, prev);
+    prev = bound;
+  }
+}
+
+TEST(ViewIndexTest, SelectViewsRanksBySimilarity) {
+  const PointSet pts = GenerateIndependent(100, 3, 1);
+  ViewIndexOptions options;
+  options.num_views = 8;
+  const ViewIndex index = ViewIndex::Build(pts, options);
+  ASSERT_EQ(index.view_weights().size(), 8u);
+  const Point q = index.view_weights()[3];  // exactly view 3
+  const auto selected = index.SelectViews(q, 2);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], 3u);
+}
+
+struct ViewCase {
+  ViewAlgorithm algorithm;
+  Distribution dist;
+  std::size_t d;
+};
+
+class ViewIndexCorrectnessTest : public ::testing::TestWithParam<ViewCase> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ViewIndexCorrectnessTest,
+    ::testing::Values(
+        ViewCase{ViewAlgorithm::kPrefer, Distribution::kIndependent, 2},
+        ViewCase{ViewAlgorithm::kPrefer, Distribution::kIndependent, 4},
+        ViewCase{ViewAlgorithm::kPrefer, Distribution::kAnticorrelated, 3},
+        ViewCase{ViewAlgorithm::kLpta, Distribution::kIndependent, 3},
+        ViewCase{ViewAlgorithm::kLpta, Distribution::kAnticorrelated, 2},
+        ViewCase{ViewAlgorithm::kLpta, Distribution::kAnticorrelated, 4}),
+    [](const auto& info) {
+      return std::string(info.param.algorithm == ViewAlgorithm::kPrefer
+                             ? "prefer"
+                             : "lpta") +
+             "_" + DistributionName(info.param.dist) + "_d" +
+             std::to_string(info.param.d);
+    });
+
+TEST_P(ViewIndexCorrectnessTest, MatchesScan) {
+  const ViewCase& c = GetParam();
+  const PointSet pts = Generate(c.dist, 500, c.d, 40 + c.d);
+  ViewIndexOptions options;
+  options.algorithm = c.algorithm;
+  const ViewIndex index = ViewIndex::Build(pts, options);
+  ExpectMatchesScan(index, pts, 10, 10, c.d);
+  ExpectMatchesScan(index, pts, 40, 5, c.d + 1);
+}
+
+TEST(ViewIndexTest, MatchingViewIsNearlyFree) {
+  // When the query equals a materialized view's weights, PREFER's
+  // watermark fires almost immediately: cost ~ k, not n.
+  const PointSet pts = GenerateIndependent(5000, 3, 2);
+  ViewIndexOptions options;
+  options.num_views = 4;
+  const ViewIndex index = ViewIndex::Build(pts, options);
+  TopKQuery query;
+  query.weights = index.view_weights()[0];  // the uniform view
+  query.k = 10;
+  const TopKResult result = index.Query(query);
+  EXPECT_LT(result.stats.tuples_evaluated, 100u);
+}
+
+TEST(ViewIndexTest, MoreViewsNeverHurtOnAverage) {
+  const PointSet pts = GenerateIndependent(2000, 3, 3);
+  ViewIndexOptions few, many;
+  few.num_views = 2;
+  many.num_views = 32;
+  const ViewIndex sparse = ViewIndex::Build(pts, few);
+  const ViewIndex dense = ViewIndex::Build(pts, many);
+  std::size_t cost_sparse = 0, cost_dense = 0;
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 10, 25, 4)) {
+    cost_sparse += sparse.Query(query).stats.tuples_evaluated;
+    cost_dense += dense.Query(query).stats.tuples_evaluated;
+  }
+  EXPECT_LE(cost_dense, cost_sparse);
+}
+
+TEST(ViewIndexTest, LptaUsesMultipleViews) {
+  const PointSet pts = GenerateAnticorrelated(2000, 3, 5);
+  ViewIndexOptions one, three;
+  one.algorithm = ViewAlgorithm::kLpta;
+  one.views_per_query = 1;
+  three.algorithm = ViewAlgorithm::kLpta;
+  three.views_per_query = 3;
+  const ViewIndex single = ViewIndex::Build(pts, one);
+  const ViewIndex multi = ViewIndex::Build(pts, three);
+  std::size_t cost_single = 0, cost_multi = 0;
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 10, 20, 6)) {
+    const TopKResult a = single.Query(query);
+    const TopKResult b = multi.Query(query);
+    EXPECT_TRUE(testing_util::ResultsEquivalent(a, b));
+    cost_single += a.stats.tuples_evaluated;
+    cost_multi += b.stats.tuples_evaluated;
+  }
+  // Intersecting more view constraints tightens the LP bound; the
+  // round-robin overhead is bounded by the factor r.
+  EXPECT_LT(cost_multi, 3 * cost_single);
+}
+
+TEST(ViewIndexTest, TinyRelation) {
+  PointSet pts(2);
+  pts.Add({0.2, 0.8});
+  pts.Add({0.8, 0.2});
+  for (ViewAlgorithm algorithm :
+       {ViewAlgorithm::kPrefer, ViewAlgorithm::kLpta}) {
+    ViewIndexOptions options;
+    options.algorithm = algorithm;
+    const ViewIndex index = ViewIndex::Build(pts, options);
+    TopKQuery query;
+    query.weights = {0.5, 0.5};
+    query.k = 5;
+    EXPECT_EQ(index.Query(query).items.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace drli

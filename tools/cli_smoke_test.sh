@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the drli CLI: generate -> build -> stats ->
+# query -> compare, asserting exit codes and key output fragments.
+set -euo pipefail
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" generate --dist=ant --n=2000 --d=3 --seed=9 --out="$WORK/data.csv" \
+  | grep -q "wrote 2000 x 3 ant tuples"
+
+"$CLI" build --input="$WORK/data.csv" --kind=dl+ --out="$WORK/index.bin" \
+  | grep -q "saved to"
+
+"$CLI" stats --index="$WORK/index.bin" | grep -q "coarse layers:"
+
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 \
+  | grep -q "top-5"
+
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 --explain \
+  | grep -q "access breakdown"
+
+"$CLI" query --input="$WORK/data.csv" --kind=hl+ --weights=0.5,0.3,0.2 --k=3 \
+  | grep -q "HL+ top-3"
+
+"$CLI" compare --input="$WORK/data.csv" --kinds=scan,dg,dl+ --k=10 --queries=5 \
+  | grep -q "DL+"
+
+"$CLI" generate --dist=ind --n=300 --d=2 --seed=3 --out="$WORK/d2.csv" >/dev/null
+"$CLI" sweep --input="$WORK/d2.csv" --k=3 --reverse=0 | grep -q "weight-space partition"
+
+# Error paths exit non-zero.
+if "$CLI" build --input="$WORK/data.csv" --kind=onion --out="$WORK/x.bin" 2>/dev/null; then
+  echo "expected failure for non-serializable kind" >&2
+  exit 1
+fi
+if "$CLI" query --index="$WORK/missing.bin" --weights=0.5,0.5 --k=1 2>/dev/null; then
+  echo "expected failure for missing index" >&2
+  exit 1
+fi
+if "$CLI" sweep --input="$WORK/data.csv" --k=3 2>/dev/null; then
+  echo "expected failure for 3-d sweep" >&2
+  exit 1
+fi
+if "$CLI" frobnicate 2>/dev/null; then
+  echo "expected usage failure" >&2
+  exit 1
+fi
+
+echo "CLI smoke test passed"

@@ -1,0 +1,381 @@
+// drli — command-line front end for the DRLI library.
+//
+//   drli generate --dist=ant --n=20000 --d=4 --seed=1 --out=data.csv
+//   drli build    --input=data.csv --kind=dl+ --out=index.bin
+//   drli stats    --index=index.bin
+//   drli query    --index=index.bin --weights=0.3,0.3,0.4 --k=10
+//   drli query    --input=data.csv --kind=hl+ --weights=0.5,0.5 --k=5
+//   drli compare  --input=data.csv --kinds=dg,dg+,dl,dl+ --k=10 --queries=50
+//   drli sweep    --input=data2d.csv --k=5 --reverse=42
+//
+// `build`/`stats` operate on the serializable dual-resolution index;
+// `query` and `compare` accept any index kind (built on the fly from
+// CSV when --index is not given).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/dual_layer.h"
+#include "core/index_registry.h"
+#include "core/rank_sweep_2d.h"
+#include "core/serialization.h"
+#include "data/csv.h"
+#include "data/generator.h"
+
+namespace drli {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "true";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string GetFlag(const Flags& flags, const std::string& key,
+                    const std::string& fallback = "") {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::size_t GetSizeFlag(const Flags& flags, const std::string& key,
+                        std::size_t fallback) {
+  const std::string value = GetFlag(flags, key);
+  return value.empty() ? fallback : std::strtoul(value.c_str(), nullptr, 10);
+}
+
+std::vector<std::string> SplitComma(const std::string& value) {
+  std::vector<std::string> parts;
+  std::stringstream ss(value);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: drli <generate|build|stats|query|compare|sweep> [--flags]\n"
+               "see the header of tools/drli_cli.cc for examples\n");
+  return 2;
+}
+
+StatusOr<Dataset> LoadInput(const Flags& flags) {
+  const std::string path = GetFlag(flags, "input");
+  if (path.empty()) {
+    return Status::InvalidArgument("--input=<csv> is required");
+  }
+  return LoadCsv(path);
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string dist_name = GetFlag(flags, "dist", "ind");
+  Distribution dist;
+  if (dist_name == "ind") {
+    dist = Distribution::kIndependent;
+  } else if (dist_name == "ant") {
+    dist = Distribution::kAnticorrelated;
+  } else if (dist_name == "cor") {
+    dist = Distribution::kCorrelated;
+  } else {
+    std::fprintf(stderr, "unknown --dist=%s (ind|ant|cor)\n",
+                 dist_name.c_str());
+    return 2;
+  }
+  const std::size_t n = GetSizeFlag(flags, "n", 10000);
+  const std::size_t d = GetSizeFlag(flags, "d", 4);
+  const std::size_t seed = GetSizeFlag(flags, "seed", 42);
+  const std::string out = GetFlag(flags, "out");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out=<csv> is required\n");
+    return 2;
+  }
+  const Dataset dataset(Generate(dist, n, d, seed));
+  if (const Status status = SaveCsv(dataset, out); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu x %zu %s tuples to %s\n", n, d, dist_name.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  auto dataset = LoadInput(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::string kind = GetFlag(flags, "kind", "dl+");
+  if (kind != "dl" && kind != "dl+") {
+    std::fprintf(stderr,
+                 "only dl and dl+ support serialization; got %s\n",
+                 kind.c_str());
+    return 2;
+  }
+  const std::string out = GetFlag(flags, "out");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out=<index file> is required\n");
+    return 2;
+  }
+  DualLayerOptions options;
+  options.build_zero_layer = (kind == "dl+");
+  options.zero_layer_clusters = GetSizeFlag(flags, "clusters", 0);
+  Stopwatch timer;
+  const DualLayerIndex index =
+      DualLayerIndex::Build(dataset.value().points(), options);
+  std::printf("built %s over %zu tuples in %.2fs\n", index.name().c_str(),
+              index.size(), timer.ElapsedSeconds());
+  if (const Status status = SaveDualLayerIndex(index, out); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  const std::string path = GetFlag(flags, "index");
+  if (path.empty()) {
+    std::fprintf(stderr, "--index=<file> is required\n");
+    return 2;
+  }
+  auto index = LoadDualLayerIndex(path);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  const DualLayerIndex& dl = index.value();
+  std::printf("%s: n=%zu d=%zu\n", dl.name().c_str(), dl.size(),
+              dl.points().dim());
+  const auto groups = dl.LayerGroups();
+  std::printf("coarse layers: %zu, fine sublayers: %zu, pseudo-tuples: %zu, "
+              "2-d weight table: %s\n",
+              dl.build_stats().num_coarse_layers, groups.size(),
+              dl.virtual_points().size(),
+              dl.uses_weight_table() ? "yes" : "no");
+  std::printf("%-8s %-6s %-6s\n", "group", "coarse", "size");
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::printf("%-8zu %-6u %-6zu\n", g,
+                dl.coarse_layer_of(groups[g][0]), groups[g].size());
+    if (g == 19 && groups.size() > 21) {
+      std::printf("... (%zu more groups)\n", groups.size() - 20);
+      break;
+    }
+  }
+  return 0;
+}
+
+StatusOr<Point> ParseWeights(const Flags& flags, std::size_t d) {
+  const std::vector<std::string> parts =
+      SplitComma(GetFlag(flags, "weights"));
+  if (parts.size() != d) {
+    return Status::InvalidArgument(
+        "--weights must have " + std::to_string(d) + " components");
+  }
+  Point weights;
+  double sum = 0.0;
+  for (const std::string& part : parts) {
+    weights.push_back(std::strtod(part.c_str(), nullptr));
+    sum += weights.back();
+  }
+  if (sum <= 0.0) return Status::InvalidArgument("weights must sum > 0");
+  for (double& w : weights) w /= sum;  // normalize for convenience
+  return weights;
+}
+
+int CmdQuery(const Flags& flags) {
+  const std::size_t k = GetSizeFlag(flags, "k", 10);
+  const std::string index_path = GetFlag(flags, "index");
+
+  std::unique_ptr<TopKIndex> owned;
+  std::optional<DualLayerIndex> loaded_dl;
+  const TopKIndex* index = nullptr;
+  std::size_t dim = 0;
+  if (!index_path.empty()) {
+    auto loaded = LoadDualLayerIndex(index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    loaded_dl.emplace(std::move(loaded).value());
+    index = &*loaded_dl;
+    dim = loaded_dl->points().dim();
+  } else {
+    auto dataset = LoadInput(flags);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+      return 1;
+    }
+    dim = dataset.value().dim();
+    IndexBuildConfig config;
+    config.kind = GetFlag(flags, "kind", "dl+");
+    auto built = BuildIndex(config, dataset.value().points());
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    owned = std::move(built).value();
+    index = owned.get();
+  }
+
+  auto weights = ParseWeights(flags, dim);
+  if (!weights.ok()) {
+    std::fprintf(stderr, "%s\n", weights.status().ToString().c_str());
+    return 2;
+  }
+  TopKQuery query;
+  query.weights = weights.value();
+  query.k = k;
+  Stopwatch timer;
+  const TopKResult result = index->Query(query);
+  const double ms = timer.ElapsedMillis();
+  std::printf("%s top-%zu (%.3f ms, %zu tuples evaluated):\n",
+              index->name().c_str(), k, ms, result.stats.tuples_evaluated);
+  for (std::size_t r = 0; r < result.items.size(); ++r) {
+    std::printf("  %2zu. tuple %-8u score %.6f\n", r + 1,
+                result.items[r].id, result.items[r].score);
+  }
+  if (GetFlag(flags, "explain") == "true" && loaded_dl.has_value()) {
+    std::printf("\naccess breakdown by sublayer:\n");
+    std::printf("%-8s %-6s %-8s %-8s\n", "coarse", "fine", "size",
+                "accessed");
+    for (const LayerAccessRow& row : ExplainAccess(*loaded_dl, result)) {
+      if (row.accessed == 0) continue;
+      std::printf("%-8u %-6u %-8zu %-8zu\n", row.coarse, row.fine,
+                  row.layer_size, row.accessed);
+    }
+  }
+  return 0;
+}
+
+int CmdCompare(const Flags& flags) {
+  auto dataset = LoadInput(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const PointSet& points = dataset.value().points();
+  const std::size_t k = GetSizeFlag(flags, "k", 10);
+  const std::size_t num_queries = GetSizeFlag(flags, "queries", 50);
+  std::vector<std::string> kinds = SplitComma(
+      GetFlag(flags, "kinds", "scan,ta,onion,dg,dg+,hl+,dl,dl+"));
+
+  std::printf("n=%zu d=%zu k=%zu queries=%zu\n\n", points.size(),
+              points.dim(), k, num_queries);
+  std::printf("%-8s %10s %14s\n", "index", "build(s)", "avg tuples");
+  for (const std::string& kind : kinds) {
+    IndexBuildConfig config;
+    config.kind = kind;
+    Stopwatch timer;
+    auto index = BuildIndex(config, points);
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s: %s\n", kind.c_str(),
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    const double build_s = timer.ElapsedSeconds();
+    Rng rng(11);
+    double total = 0.0;
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      TopKQuery query;
+      query.weights = rng.SimplexWeight(points.dim());
+      query.k = k;
+      total += static_cast<double>(
+          index.value()->Query(query).stats.tuples_evaluated);
+    }
+    std::printf("%-8s %10.2f %14.1f\n", index.value()->name().c_str(),
+                build_s, total / static_cast<double>(num_queries));
+  }
+  return 0;
+}
+
+// Exact 2-d weight-space analysis: the intervals of w1 on which each
+// top-k set holds, and optionally the reverse top-k of one tuple.
+int CmdSweep(const Flags& flags) {
+  auto dataset = LoadInput(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  if (dataset.value().dim() != 2) {
+    std::fprintf(stderr, "sweep requires a 2-attribute dataset (got %zu)\n",
+                 dataset.value().dim());
+    return 2;
+  }
+  const std::size_t k = GetSizeFlag(flags, "k", 5);
+  const RankSweepResult sweep =
+      SweepTopKSets2D(dataset.value().points(), k);
+  std::printf("top-%zu weight-space partition: %zu intervals\n", k,
+              sweep.topk_sets.size());
+  const std::size_t limit = GetSizeFlag(flags, "limit", 20);
+  for (std::size_t i = 0; i < sweep.topk_sets.size() && i < limit; ++i) {
+    const double lo = i == 0 ? 0.0 : sweep.breakpoints[i - 1];
+    const double hi =
+        i < sweep.breakpoints.size() ? sweep.breakpoints[i] : 1.0;
+    std::printf("  w1 in [%.5f, %.5f]: {", lo, hi);
+    for (std::size_t j = 0; j < sweep.topk_sets[i].size(); ++j) {
+      std::printf("%s%u", j ? ", " : "", sweep.topk_sets[i][j]);
+    }
+    std::printf("}\n");
+  }
+  if (sweep.topk_sets.size() > limit) {
+    std::printf("  ... (%zu more intervals)\n",
+                sweep.topk_sets.size() - limit);
+  }
+  const std::string target_flag = GetFlag(flags, "reverse");
+  if (!target_flag.empty()) {
+    const auto target =
+        static_cast<TupleId>(std::strtoul(target_flag.c_str(), nullptr, 10));
+    const auto intervals = ReverseTopKIntervals2D(sweep, target);
+    std::printf("reverse top-%zu of tuple %u:", k, target);
+    if (intervals.empty()) std::printf(" never in the top-%zu", k);
+    for (const auto& [lo, hi] : intervals) {
+      std::printf(" [%.5f, %.5f]", lo, hi);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "compare") return CmdCompare(flags);
+  if (command == "sweep") return CmdSweep(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace drli
+
+int main(int argc, char** argv) { return drli::Main(argc, argv); }
