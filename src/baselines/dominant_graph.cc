@@ -74,11 +74,14 @@ DominantGraphIndex DominantGraphIndex::Build(
 }
 
 TopKResult DominantGraphIndex::Query(const TopKQuery& query) const {
+  Stopwatch timer;
   ValidateQuery(query, points_.dim());
   // Copy the weights so the scorer does not dangle on the span.
   const Point weights = query.weights;
-  return QueryMonotone(
+  TopKResult result = QueryMonotone(
       [weights](PointView p) { return Score(weights, p); }, query.k);
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
 }
 
 TopKResult DominantGraphIndex::QueryMonotone(const MonotoneScorer& scorer,

@@ -35,6 +35,7 @@ HybridLayerIndex HybridLayerIndex::Build(PointSet points,
 }
 
 TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
+  Stopwatch timer;
   ValidateQuery(query, points_.dim());
   const PointView w(query.weights);
 
@@ -67,6 +68,7 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
     ++layers_scanned;
   }
   result.items = heap.SortedAscending();
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "topk/threshold_algorithm.h"
 
 namespace drli {
@@ -44,17 +45,22 @@ std::string ListIndex::name() const {
 }
 
 TopKResult ListIndex::Query(const TopKQuery& query) const {
+  Stopwatch timer;
   ValidateQuery(query, points_.dim());
+  TopKResult result;
   switch (algorithm_) {
     case ListAlgorithm::kFa:
-      return QueryFa(query);
+      result = QueryFa(query);
+      break;
     case ListAlgorithm::kTa:
-      return QueryTa(query);
+      result = QueryTa(query);
+      break;
     case ListAlgorithm::kNra:
-      return QueryNra(query);
+      result = QueryNra(query);
+      break;
   }
-  DRLI_CHECK(false) << "unreachable";
-  return TopKResult{};
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
 }
 
 TopKResult ListIndex::QueryFa(const TopKQuery& query) const {

@@ -28,6 +28,7 @@ OnionIndex OnionIndex::Build(PointSet points, const OnionOptions& options) {
 }
 
 TopKResult OnionIndex::Query(const TopKQuery& query) const {
+  Stopwatch timer;
   ValidateQuery(query, points_.dim());
   const PointView w(query.weights);
 
@@ -57,6 +58,7 @@ TopKResult OnionIndex::Query(const TopKQuery& query) const {
     if (early_stop_ && heap.KthScore() <= layer_min) break;
   }
   result.items = heap.SortedAscending();
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
 

@@ -63,6 +63,7 @@ PartitionedLayerIndex PartitionedLayerIndex::Build(
 }
 
 TopKResult PartitionedLayerIndex::Query(const TopKQuery& query) const {
+  Stopwatch timer;
   ValidateQuery(query, points_.dim());
   const PointView w(query.weights);
 
@@ -102,6 +103,7 @@ TopKResult PartitionedLayerIndex::Query(const TopKQuery& query) const {
     ++cursor[best];
   }
   result.items = heap.SortedAscending();
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
 

@@ -117,11 +117,13 @@ std::vector<std::size_t> ViewIndex::SelectViews(PointView weights,
 }
 
 TopKResult ViewIndex::Query(const TopKQuery& query) const {
+  Stopwatch timer;
   ValidateQuery(query, points_.dim());
-  if (options_.algorithm == ViewAlgorithm::kPrefer) {
-    return QueryPrefer(query);
-  }
-  return QueryLpta(query);
+  TopKResult result = options_.algorithm == ViewAlgorithm::kPrefer
+                          ? QueryPrefer(query)
+                          : QueryLpta(query);
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
 }
 
 TopKResult ViewIndex::QueryPrefer(const TopKQuery& query) const {

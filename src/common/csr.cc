@@ -1,0 +1,27 @@
+#include "common/csr.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace drli {
+
+CsrGraph CsrGraph::FromAdjacency(
+    const std::vector<std::vector<NodeId>>& adjacency) {
+  CsrGraph graph;
+  std::size_t total = 0;
+  for (const auto& list : adjacency) total += list.size();
+  DRLI_CHECK(total <= std::numeric_limits<std::uint32_t>::max())
+      << "edge count overflows 32-bit CSR offsets";
+
+  graph.offsets_.reserve(adjacency.size() + 1);
+  graph.targets_.reserve(total);
+  graph.offsets_.push_back(0);
+  for (const auto& list : adjacency) {
+    graph.targets_.insert(graph.targets_.end(), list.begin(), list.end());
+    graph.offsets_.push_back(static_cast<std::uint32_t>(graph.targets_.size()));
+  }
+  return graph;
+}
+
+}  // namespace drli

@@ -1,0 +1,53 @@
+// Compressed-sparse-row adjacency: one offsets array plus one flat
+// target array, replacing vector<vector<NodeId>> in the query engine's
+// hot loops. A node's successor list is a contiguous span, so the
+// best-first traversal touches two cache lines per expansion instead of
+// chasing a pointer per node, and the whole graph is two allocations.
+
+#ifndef DRLI_COMMON_CSR_H_
+#define DRLI_COMMON_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drli {
+
+class CsrGraph {
+ public:
+  using NodeId = std::uint32_t;
+
+  CsrGraph() = default;
+
+  // Flattens build-time adjacency lists; per-node edge order is kept.
+  static CsrGraph FromAdjacency(
+      const std::vector<std::vector<NodeId>>& adjacency);
+
+  std::size_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  // Vector-compatible alias so callers can iterate [0, size()).
+  std::size_t size() const { return num_nodes(); }
+  std::size_t num_edges() const { return targets_.size(); }
+
+  std::span<const NodeId> operator[](std::size_t node) const {
+    return std::span<const NodeId>(targets_.data() + offsets_[node],
+                                   offsets_[node + 1] - offsets_[node]);
+  }
+
+  bool operator==(const CsrGraph&) const = default;
+
+  // Raw arrays, for serialization and tests.
+  const std::vector<std::uint32_t>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& targets() const { return targets_; }
+
+ private:
+  // offsets_[i]..offsets_[i+1] index into targets_; size num_nodes+1
+  // (empty when the graph has no nodes).
+  std::vector<std::uint32_t> offsets_;
+  std::vector<NodeId> targets_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_COMMON_CSR_H_

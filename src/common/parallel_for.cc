@@ -1,0 +1,61 @@
+#include "common/parallel_for.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace drli {
+
+std::size_t ParallelThreadCount() {
+  const char* value = std::getenv("DRLI_THREADS");
+  if (value != nullptr && *value != '\0') {
+    const long parsed = std::strtol(value, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ParallelFor(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 std::size_t threads) {
+  if (threads == 0) threads = ParallelThreadCount();
+  if (threads > n) threads = n;
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto work = [&](std::size_t worker) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t w = 1; w < threads; ++w) {
+    pool.emplace_back(work, w);
+  }
+  work(0);
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace drli

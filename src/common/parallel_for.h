@@ -1,0 +1,38 @@
+// Minimal fork-join parallelism for the query engine and index build:
+// a std::thread task pool with dynamic (atomic-counter) work claiming,
+// so unevenly sized items -- queries of different depth, coarse layers
+// of different cardinality -- balance across workers.
+//
+// Thread count resolution (ParallelThreadCount): the DRLI_THREADS
+// environment variable when set to a positive integer, otherwise
+// std::thread::hardware_concurrency(). Callers may also pass an
+// explicit count. With 0 or 1 workers (or n <= 1 items) the loop runs
+// inline on the calling thread -- no threads are spawned, which keeps
+// single-threaded determinism trivially intact.
+
+#ifndef DRLI_COMMON_PARALLEL_FOR_H_
+#define DRLI_COMMON_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace drli {
+
+// Worker count from DRLI_THREADS, else hardware_concurrency (>= 1).
+// Reads the environment on every call so tests can flip DRLI_THREADS
+// between phases of one process.
+std::size_t ParallelThreadCount();
+
+// Runs fn(item, worker) for every item in [0, n). Items are claimed
+// dynamically; `worker` is a stable id in [0, workers) usable to index
+// per-thread state (e.g. one QueryScratch per worker). `threads` == 0
+// means ParallelThreadCount(). The first exception thrown by any fn is
+// rethrown on the calling thread after all workers join.
+void ParallelFor(std::size_t n,
+                 const std::function<void(std::size_t item,
+                                          std::size_t worker)>& fn,
+                 std::size_t threads = 0);
+
+}  // namespace drli
+
+#endif  // DRLI_COMMON_PARALLEL_FOR_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel_for.h"
 #include "common/stopwatch.h"
 #include "core/eds.h"
 #include "skyline/skyline_layers.h"
@@ -26,18 +27,22 @@ DualLayerIndex DualLayerIndex::Build(PointSet points,
   const std::size_t n = index.points_.size();
   index.coarse_of_.assign(n, 0);
   index.fine_of_.assign(n, kNoFineLayer);
-  index.coarse_out_.assign(n, {});
   index.coarse_in_degree_.assign(n, 0);
-  index.fine_out_.assign(n, {});
   index.has_fine_in_.assign(n, 0);
   index.chain_pos_.assign(n, kNoFineLayer);
 
+  AdjacencyBuilder coarse_adj(n);
+  AdjacencyBuilder fine_adj(n);
   if (n > 0) {
     index.BuildCoarseLayers();
-    index.BuildFineLayers();
-    index.BuildCoarseEdges();
-    if (options.build_zero_layer) index.BuildZeroLayer();
+    index.BuildFineLayers(&fine_adj);
+    index.BuildCoarseEdges(&coarse_adj);
+    if (options.build_zero_layer) {
+      index.BuildZeroLayer(&coarse_adj, &fine_adj);
+    }
   }
+  index.coarse_out_ = CsrGraph::FromAdjacency(coarse_adj);
+  index.fine_out_ = CsrGraph::FromAdjacency(fine_adj);
   index.FinalizeInitialNodes();
   index.stats_.build_seconds = timer.ElapsedSeconds();
   return index;
@@ -53,10 +58,11 @@ void DualLayerIndex::BuildCoarseLayers() {
   stats_.num_coarse_layers = coarse_layers_.size();
 }
 
-void DualLayerIndex::PeelFineLayers(const std::vector<NodeId>& node_ids,
-                                    const PointSet& pool,
-                                    const std::vector<TupleId>& pool_ids) {
+DualLayerIndex::FinePeelResult DualLayerIndex::PeelFineLayers(
+    const std::vector<NodeId>& node_ids, const PointSet& pool,
+    const std::vector<TupleId>& pool_ids) const {
   DRLI_CHECK_EQ(node_ids.size(), pool_ids.size());
+  FinePeelResult out;
   // remaining[i] indexes into node_ids/pool_ids.
   std::vector<std::size_t> remaining(node_ids.size());
   std::iota(remaining.begin(), remaining.end(), 0);
@@ -79,7 +85,7 @@ void DualLayerIndex::PeelFineLayers(const std::vector<NodeId>& node_ids,
     }
     const ConvexSkylineResult csky =
         ComputeConvexSkyline(subset, options_.csky);
-    if (!csky.exact) ++stats_.csky_fallbacks;
+    if (!csky.exact) ++out.csky_fallbacks;
     DRLI_CHECK(!csky.members.empty());
 
     // Map sublayer members and facets back to node / pool ids.
@@ -90,7 +96,7 @@ void DualLayerIndex::PeelFineLayers(const std::vector<NodeId>& node_ids,
       is_member[local] = true;
       const NodeId node = node_ids[remaining[local]];
       member_nodes.push_back(node);
-      fine_of_[node] = fine;
+      out.fine_of.emplace_back(node, fine);
     }
     std::vector<std::vector<NodeId>> facets;
     std::vector<std::vector<TupleId>> facets_pool;
@@ -118,14 +124,12 @@ void DualLayerIndex::PeelFineLayers(const std::vector<NodeId>& node_ids,
         for (std::size_t f = 0; f < prev_facets.size(); ++f) {
           if (!FacetIsEds(pool, prev_facets_pool[f], target)) continue;
           for (const NodeId source : prev_facets[f]) {
-            fine_out_[source].push_back(target_node);
-            ++stats_.num_fine_edges;
+            out.edges.emplace_back(source, target_node);
           }
-          has_fine_in_[target_node] = 1;
           covered = true;
           if (options_.eds_policy == EdsPolicy::kSingleFacet) break;
         }
-        if (!covered) ++stats_.eds_uncovered;
+        if (!covered) ++out.eds_uncovered;
       }
     }
 
@@ -140,31 +144,73 @@ void DualLayerIndex::PeelFineLayers(const std::vector<NodeId>& node_ids,
     }
     remaining = std::move(next);
     ++fine;
-    ++stats_.num_fine_layers;
+    ++out.num_fine_layers;
   }
+  return out;
 }
 
-void DualLayerIndex::BuildFineLayers() {
-  for (const std::vector<TupleId>& layer : coarse_layers_) {
-    if (!options_.enable_fine_layers) {
+void DualLayerIndex::ApplyFinePeel(const FinePeelResult& peel,
+                                   AdjacencyBuilder* fine_adj) {
+  for (const auto& [node, fine] : peel.fine_of) fine_of_[node] = fine;
+  for (const auto& [source, target] : peel.edges) {
+    (*fine_adj)[source].push_back(target);
+    has_fine_in_[target] = 1;
+    ++stats_.num_fine_edges;
+  }
+  stats_.num_fine_layers += peel.num_fine_layers;
+  stats_.eds_uncovered += peel.eds_uncovered;
+  stats_.csky_fallbacks += peel.csky_fallbacks;
+}
+
+void DualLayerIndex::BuildFineLayers(AdjacencyBuilder* fine_adj) {
+  if (!options_.enable_fine_layers) {
+    for (const std::vector<TupleId>& layer : coarse_layers_) {
       for (TupleId id : layer) fine_of_[id] = 0;
       ++stats_.num_fine_layers;
-      continue;
     }
-    std::vector<NodeId> node_ids(layer.begin(), layer.end());
-    PeelFineLayers(node_ids, points_, layer);
+    return;
   }
+  // The peel of each coarse layer is independent; run them on the task
+  // pool and merge in layer order. All ∃-edges stay inside one coarse
+  // layer, so the per-source edge lists -- and hence the CSR -- come
+  // out identical to a serial build.
+  std::vector<FinePeelResult> results(coarse_layers_.size());
+  ParallelFor(
+      coarse_layers_.size(),
+      [&](std::size_t i, std::size_t) {
+        const std::vector<TupleId>& layer = coarse_layers_[i];
+        std::vector<NodeId> node_ids(layer.begin(), layer.end());
+        results[i] = PeelFineLayers(node_ids, points_, layer);
+      },
+      options_.build_threads);
+  for (const FinePeelResult& peel : results) ApplyFinePeel(peel, fine_adj);
 }
 
-void DualLayerIndex::BuildCoarseEdges() {
+void DualLayerIndex::BuildCoarseEdges(AdjacencyBuilder* coarse_adj) {
   // ∀-edges between adjacent coarse layers (Lemma 1): t -> t' iff t ≺ t'.
-  for (std::size_t i = 0; i + 1 < coarse_layers_.size(); ++i) {
-    ForEachDominancePair(points_, coarse_layers_[i], coarse_layers_[i + 1],
-                         [&](TupleId source, TupleId target) {
-                           coarse_out_[source].push_back(target);
-                           ++coarse_in_degree_[target];
-                           ++stats_.num_coarse_edges;
-                         });
+  // Each adjacent pair is scanned independently on the task pool; edges
+  // are buffered per pair and merged in pair order (a source node only
+  // ever appears in one pair, so per-source order matches the serial
+  // build).
+  if (coarse_layers_.size() < 2) return;
+  const std::size_t pairs = coarse_layers_.size() - 1;
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> pair_edges(pairs);
+  ParallelFor(
+      pairs,
+      [&](std::size_t i, std::size_t) {
+        ForEachDominancePair(points_, coarse_layers_[i],
+                             coarse_layers_[i + 1],
+                             [&](TupleId source, TupleId target) {
+                               pair_edges[i].emplace_back(source, target);
+                             });
+      },
+      options_.build_threads);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    for (const auto& [source, target] : pair_edges[i]) {
+      (*coarse_adj)[source].push_back(target);
+      ++coarse_in_degree_[target];
+      ++stats_.num_coarse_edges;
+    }
     for (TupleId target : coarse_layers_[i + 1]) {
       DRLI_DCHECK(coarse_in_degree_[target] > 0)
           << "every tuple below layer 1 has a dominator one layer up";
@@ -172,7 +218,8 @@ void DualLayerIndex::BuildCoarseEdges() {
   }
 }
 
-void DualLayerIndex::BuildZeroLayer() {
+void DualLayerIndex::BuildZeroLayer(AdjacencyBuilder* coarse_adj,
+                                    AdjacencyBuilder* fine_adj) {
   const std::vector<TupleId>& layer1 = coarse_layers_[0];
 
   if (points_.dim() == 2 && options_.enable_fine_layers) {
@@ -205,9 +252,9 @@ void DualLayerIndex::BuildZeroLayer() {
 
   coarse_of_.resize(n + v, 0);
   fine_of_.resize(n + v, kNoFineLayer);
-  coarse_out_.resize(n + v);
+  coarse_adj->resize(n + v);
   coarse_in_degree_.resize(n + v, 0);
-  fine_out_.resize(n + v);
+  fine_adj->resize(n + v);
   has_fine_in_.resize(n + v, 0);
   chain_pos_.resize(n + v, kNoFineLayer);
 
@@ -218,7 +265,8 @@ void DualLayerIndex::BuildZeroLayer() {
     virtual_ids[i] = static_cast<TupleId>(i);
   }
   if (options_.zero_layer_fine_split) {
-    PeelFineLayers(virtual_nodes, virtual_points_, virtual_ids);
+    ApplyFinePeel(PeelFineLayers(virtual_nodes, virtual_points_, virtual_ids),
+                  fine_adj);
   } else {
     for (NodeId node : virtual_nodes) fine_of_[node] = 0;
   }
@@ -229,7 +277,7 @@ void DualLayerIndex::BuildZeroLayer() {
     const PointView tp = points_[target];
     for (std::size_t i = 0; i < v; ++i) {
       if (WeaklyDominates(virtual_points_[i], tp)) {
-        coarse_out_[n + i].push_back(target);
+        (*coarse_adj)[n + i].push_back(target);
         ++coarse_in_degree_[target];
         ++stats_.num_coarse_edges;
       }

@@ -18,6 +18,13 @@
 // popped) and ∃-dominance-free (some fine in-neighbour popped). The
 // number of scored relation tuples is the paper's cost metric
 // (Definition 9) and is reported in TopKResult::stats.
+//
+// Performance architecture (see DESIGN.md): both edge sets are stored
+// as CSR (CsrGraph), per-query node state lives in a reusable
+// epoch-stamped QueryScratch, and the build parallelizes the fine peel
+// across coarse layers and the ∀-edge wiring across adjacent layer
+// pairs with a deterministic merge, so the parallel build is
+// bit-identical to the serial one.
 
 #ifndef DRLI_CORE_DUAL_LAYER_H_
 #define DRLI_CORE_DUAL_LAYER_H_
@@ -25,8 +32,10 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/csr.h"
 #include "common/point.h"
 #include "core/zero_layer.h"
 #include "geometry/convex_skyline.h"
@@ -61,6 +70,10 @@ struct DualLayerOptions {
   bool zero_layer_fine_split = true;
   std::uint64_t zero_layer_seed = 7;
 
+  // Build-side worker threads: 0 = DRLI_THREADS env / hardware
+  // concurrency, 1 = serial. Any value yields the identical index.
+  std::size_t build_threads = 0;
+
   // Display name; empty = "DL" / "DL+".
   std::string name;
 };
@@ -79,6 +92,39 @@ struct DualLayerBuildStats {
   double build_seconds = 0.0;
 };
 
+// Reusable per-query workspace for DualLayerIndex::Query. Holds the
+// traversal's per-node state (in-degree countdown, lifecycle, fine/chain
+// locks) plus the priority-queue backing store. Resetting between
+// queries is O(nodes touched) amortized: arrays are epoch-stamped, and a
+// node's state is lazily re-initialized the first time a query touches
+// it. One scratch serves any number of sequential queries against
+// indexes of any size; use one scratch per thread.
+class QueryScratch {
+ public:
+  QueryScratch() = default;
+
+  struct HeapEntry {
+    double score;
+    std::uint32_t node;
+  };
+
+ private:
+  friend class DualLayerIndex;
+
+  // Grows arrays to `num_nodes` and opens a fresh epoch.
+  void Prepare(std::size_t num_nodes);
+
+  // stamp_[i] == epoch_ iff node i's state is valid for this query.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> remaining_;
+  std::vector<std::uint8_t> state_;
+  std::vector<std::uint8_t> fine_free_;
+  std::vector<std::uint8_t> chain_locked_;
+  // Min-heap storage (std::push_heap/pop_heap); capacity persists.
+  std::vector<HeapEntry> heap_;
+};
+
 class DualLayerIndex final : public TopKIndex {
  public:
   // Node ids: [0, n) real tuples, [n, n + num_virtual) pseudo-tuples.
@@ -94,7 +140,16 @@ class DualLayerIndex final : public TopKIndex {
 
   std::string name() const override { return name_; }
   std::size_t size() const override { return points_.size(); }
+  // Convenience wrapper over the scratch overload (thread-local
+  // scratch, so repeated calls on one thread already reuse state).
   TopKResult Query(const TopKQuery& query) const override;
+  // Explicit-scratch variant for callers that manage per-thread
+  // workspaces themselves (batch engines, benchmarks).
+  TopKResult Query(const TopKQuery& query, QueryScratch* scratch) const;
+  // Parallel batch: answers queries[i] -> results[i] using
+  // ParallelThreadCount() workers, one QueryScratch per worker.
+  std::vector<TopKResult> QueryBatch(
+      const std::vector<TopKQuery>& queries) const override;
 
   // --- introspection (tests, serialization, examples) ---
   const PointSet& points() const { return points_; }
@@ -118,12 +173,8 @@ class DualLayerIndex final : public TopKIndex {
   }
   std::uint32_t fine_layer_of(NodeId node) const { return fine_of_[node]; }
 
-  const std::vector<std::vector<NodeId>>& coarse_out() const {
-    return coarse_out_;
-  }
-  const std::vector<std::vector<NodeId>>& fine_out() const {
-    return fine_out_;
-  }
+  const CsrGraph& coarse_out() const { return coarse_out_; }
+  const CsrGraph& fine_out() const { return fine_out_; }
   const std::vector<std::uint32_t>& coarse_in_degree() const {
     return coarse_in_degree_;
   }
@@ -140,21 +191,40 @@ class DualLayerIndex final : public TopKIndex {
  private:
   friend class DualLayerSerializer;
 
+  // Build-time adjacency accumulator, flattened to CSR once complete.
+  using AdjacencyBuilder = std::vector<std::vector<NodeId>>;
+
+  // One node subset's fine decomposition, computed independently
+  // (possibly on a worker thread) and merged serially in layer order --
+  // this keeps the parallel build bit-identical to the serial one.
+  struct FinePeelResult {
+    // (node, 0-based fine sublayer), in assignment order.
+    std::vector<std::pair<NodeId, std::uint32_t>> fine_of;
+    // ∃-edges in creation order.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    std::size_t num_fine_layers = 0;
+    std::size_t eds_uncovered = 0;
+    std::size_t csky_fallbacks = 0;
+  };
+
   DualLayerIndex() : points_(1), virtual_points_(1) {}
 
   void BuildCoarseLayers();
-  void BuildFineLayers();
-  void BuildCoarseEdges();
-  void BuildZeroLayer();
+  void BuildFineLayers(AdjacencyBuilder* fine_adj);
+  void BuildCoarseEdges(AdjacencyBuilder* coarse_adj);
+  void BuildZeroLayer(AdjacencyBuilder* coarse_adj,
+                      AdjacencyBuilder* fine_adj);
   void FinalizeInitialNodes();
 
   // Splits one node subset (real coarse layer or the virtual layer)
   // into fine sublayers with ∃-edges. `node_ids` are node-space ids;
   // `pool` is the PointSet they live in with `pool_ids` the matching
-  // in-pool indices.
-  void PeelFineLayers(const std::vector<NodeId>& node_ids,
-                      const PointSet& pool,
-                      const std::vector<TupleId>& pool_ids);
+  // in-pool indices. Pure w.r.t. the index (thread-safe); the caller
+  // merges the result via ApplyFinePeel.
+  FinePeelResult PeelFineLayers(const std::vector<NodeId>& node_ids,
+                                const PointSet& pool,
+                                const std::vector<TupleId>& pool_ids) const;
+  void ApplyFinePeel(const FinePeelResult& peel, AdjacencyBuilder* fine_adj);
 
   std::string name_;
   DualLayerOptions options_;
@@ -165,9 +235,9 @@ class DualLayerIndex final : public TopKIndex {
 
   std::vector<std::uint32_t> coarse_of_;
   std::vector<std::uint32_t> fine_of_;
-  std::vector<std::vector<NodeId>> coarse_out_;
+  CsrGraph coarse_out_;
   std::vector<std::uint32_t> coarse_in_degree_;
-  std::vector<std::vector<NodeId>> fine_out_;
+  CsrGraph fine_out_;
   std::vector<std::uint8_t> has_fine_in_;
   std::vector<NodeId> initial_;
   std::vector<std::vector<TupleId>> coarse_layers_;

@@ -1,7 +1,9 @@
-#include <queue>
+#include <algorithm>
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel_for.h"
+#include "common/stopwatch.h"
 #include "core/dual_layer.h"
 
 namespace drli {
@@ -15,13 +17,10 @@ enum NodeState : std::uint8_t {
   kPopped = 2,
 };
 
-struct QueueEntry {
-  double score;
-  DualLayerIndex::NodeId node;
-};
-
-struct QueueEntryGreater {
-  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+// Orders the scratch heap as a min-heap on (score, node).
+struct HeapEntryGreater {
+  bool operator()(const QueryScratch::HeapEntry& a,
+                  const QueryScratch::HeapEntry& b) const {
     if (a.score != b.score) return a.score > b.score;
     return a.node > b.node;
   }
@@ -29,7 +28,34 @@ struct QueueEntryGreater {
 
 }  // namespace
 
+void QueryScratch::Prepare(std::size_t num_nodes) {
+  if (stamp_.size() < num_nodes) {
+    stamp_.resize(num_nodes, 0);
+    remaining_.resize(num_nodes);
+    state_.resize(num_nodes);
+    fine_free_.resize(num_nodes);
+    chain_locked_.resize(num_nodes);
+  }
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Epoch counter wrapped: stale stamps could collide, so invalidate
+    // everything once per ~4 billion queries.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  heap_.clear();
+}
+
 TopKResult DualLayerIndex::Query(const TopKQuery& query) const {
+  // Thread-local so sequential callers on one thread reuse the arena
+  // without managing it themselves; Query stays thread-compatible.
+  static thread_local QueryScratch scratch;
+  return Query(query, &scratch);
+}
+
+TopKResult DualLayerIndex::Query(const TopKQuery& query,
+                                 QueryScratch* scratch) const {
+  Stopwatch timer;
   ValidateQuery(query, points_.dim());
   const PointView w(query.weights);
   const std::size_t total = num_nodes();
@@ -37,21 +63,30 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query) const {
   TopKResult result;
   if (total == 0) return result;
 
-  std::vector<std::uint32_t> remaining = coarse_in_degree_;
-  std::vector<std::uint8_t> state(total, kBlocked);
-  std::vector<std::uint8_t> fine_free(total, 0);
-  for (std::size_t i = 0; i < total; ++i) fine_free[i] = !has_fine_in_[i];
-  // With the 2-d weight table, L^{11} chain tuples other than the
-  // looked-up top-1 candidate start locked and unlock along the chain.
-  std::vector<std::uint8_t> chain_locked(total, 0);
+  QueryScratch& s = *scratch;
+  s.Prepare(total);
+  if (s.heap_.capacity() < initial_.size() + 16) {
+    s.heap_.reserve(initial_.size() + 16);
+  }
+  const std::uint32_t epoch = s.epoch_;
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      QueueEntryGreater>
-      queue;
+  // Lazily initializes node state on first touch this query; the reset
+  // cost is O(nodes touched), not O(n).
+  auto touch = [&](NodeId node) {
+    if (s.stamp_[node] != epoch) {
+      s.stamp_[node] = epoch;
+      s.remaining_[node] = coarse_in_degree_[node];
+      s.state_[node] = kBlocked;
+      s.fine_free_[node] = !has_fine_in_[node];
+      s.chain_locked_[node] = 0;
+    }
+  };
 
+  // Precondition: `node` touched.
   auto try_enqueue = [&](NodeId node) {
-    if (state[node] != kBlocked) return;
-    if (remaining[node] != 0 || !fine_free[node] || chain_locked[node]) {
+    if (s.state_[node] != kBlocked) return;
+    if (s.remaining_[node] != 0 || !s.fine_free_[node] ||
+        s.chain_locked_[node]) {
       return;
     }
     const double score = Score(w, node_point(node));
@@ -61,24 +96,32 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query) const {
       ++result.stats.tuples_evaluated;
       result.accessed.push_back(node);
     }
-    state[node] = kQueued;
-    queue.push(QueueEntry{score, node});
+    s.state_[node] = kQueued;
+    s.heap_.push_back(QueryScratch::HeapEntry{score, node});
+    std::push_heap(s.heap_.begin(), s.heap_.end(), HeapEntryGreater{});
   };
 
   if (use_weight_table_ && !weight_table_.empty()) {
+    // With the 2-d weight table, L^{11} chain tuples other than the
+    // looked-up top-1 candidate start locked and unlock along the chain.
     const std::size_t top1 = weight_table_.Lookup(query.weights[0]);
     const std::vector<TupleId>& chain = weight_table_.chain();
     for (std::size_t pos = 0; pos < chain.size(); ++pos) {
-      if (pos != top1) chain_locked[chain[pos]] = 1;
+      touch(chain[pos]);
+      if (pos != top1) s.chain_locked_[chain[pos]] = 1;
     }
   }
-  for (NodeId node : initial_) try_enqueue(node);
+  for (NodeId node : initial_) {
+    touch(node);
+    try_enqueue(node);
+  }
 
-  while (result.items.size() < query.k && !queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
+  while (result.items.size() < query.k && !s.heap_.empty()) {
+    std::pop_heap(s.heap_.begin(), s.heap_.end(), HeapEntryGreater{});
+    const QueryScratch::HeapEntry top = s.heap_.back();
+    s.heap_.pop_back();
     const NodeId node = top.node;
-    state[node] = kPopped;
+    s.state_[node] = kPopped;
 
     if (!is_virtual(node)) {
       result.items.push_back(ScoredTuple{node, top.score});
@@ -87,13 +130,15 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query) const {
 
     // ∀-successors: free once every coarse in-neighbour popped.
     for (const NodeId succ : coarse_out_[node]) {
-      DRLI_DCHECK(remaining[succ] > 0);
-      if (--remaining[succ] == 0) try_enqueue(succ);
+      touch(succ);
+      DRLI_DCHECK(s.remaining_[succ] > 0);
+      if (--s.remaining_[succ] == 0) try_enqueue(succ);
     }
     // ∃-successors: free once any fine in-neighbour popped.
     for (const NodeId succ : fine_out_[node]) {
-      if (!fine_free[succ]) {
-        fine_free[succ] = 1;
+      touch(succ);
+      if (!s.fine_free_[succ]) {
+        s.fine_free_[succ] = 1;
         try_enqueue(succ);
       }
     }
@@ -101,17 +146,36 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query) const {
     if (use_weight_table_ && chain_pos_[node] != kNoFineLayer) {
       const std::vector<TupleId>& chain = weight_table_.chain();
       const std::size_t pos = chain_pos_[node];
-      if (pos > 0 && chain_locked[chain[pos - 1]]) {
-        chain_locked[chain[pos - 1]] = 0;
+      if (pos > 0 && s.chain_locked_[chain[pos - 1]]) {
+        s.chain_locked_[chain[pos - 1]] = 0;
         try_enqueue(chain[pos - 1]);
       }
-      if (pos + 1 < chain.size() && chain_locked[chain[pos + 1]]) {
-        chain_locked[chain[pos + 1]] = 0;
+      if (pos + 1 < chain.size() && s.chain_locked_[chain[pos + 1]]) {
+        s.chain_locked_[chain[pos + 1]] = 0;
         try_enqueue(chain[pos + 1]);
       }
     }
   }
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
+}
+
+std::vector<TopKResult> DualLayerIndex::QueryBatch(
+    const std::vector<TopKQuery>& queries) const {
+  std::vector<TopKResult> results(queries.size());
+  if (queries.empty()) return results;
+  const std::size_t workers =
+      std::min(ParallelThreadCount(), queries.size());
+  // One scratch per worker: Query itself is const, so per-worker
+  // scratches are the only mutable state in the fan-out.
+  std::vector<QueryScratch> scratches(workers);
+  ParallelFor(
+      queries.size(),
+      [&](std::size_t i, std::size_t worker) {
+        results[i] = Query(queries[i], &scratches[worker]);
+      },
+      workers);
+  return results;
 }
 
 }  // namespace drli

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 
 namespace drli {
 
@@ -122,6 +123,7 @@ void DynamicDualLayerIndex::MaybeRebuild() {
 }
 
 TopKResult DynamicDualLayerIndex::Query(const TopKQuery& query) const {
+  Stopwatch timer;
   ValidateQuery(query, dim_);
   TopKResult result;
 
@@ -156,6 +158,8 @@ TopKResult DynamicDualLayerIndex::Query(const TopKQuery& query) const {
             });
   if (candidates.size() > query.k) candidates.resize(query.k);
   result.items = std::move(candidates);
+  // This call's own wall time, not the sum of merged sub-query timings.
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
 

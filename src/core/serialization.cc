@@ -38,6 +38,18 @@ void WriteAdjacency(std::ostream& out, const std::vector<std::vector<T>>& v) {
   WriteU64(out, v.size());
   for (const auto& list : v) WriteIds(out, list);
 }
+// CSR graphs serialize in the same per-node list format as
+// vector<vector> adjacency, so the on-disk layout is unchanged.
+void WriteAdjacency(std::ostream& out, const CsrGraph& graph) {
+  WriteU64(out, graph.num_nodes());
+  for (std::size_t node = 0; node < graph.num_nodes(); ++node) {
+    const auto list = graph[node];
+    WriteU64(out, list.size());
+    out.write(reinterpret_cast<const char*>(list.data()),
+              static_cast<std::streamsize>(list.size() *
+                                           sizeof(CsrGraph::NodeId)));
+  }
+}
 
 bool ReadU32(std::istream& in, std::uint32_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
@@ -128,11 +140,12 @@ class DualLayerSerializer {
     std::vector<double> virtual_raw;
     std::uint32_t use_table = 0;
     std::vector<TupleId> chain;
+    std::vector<std::vector<CsrGraph::NodeId>> coarse_adj;
+    std::vector<std::vector<CsrGraph::NodeId>> fine_adj;
     if (!ReadString(in, &index.name_) || !ReadU32(in, &dim) || dim == 0 ||
         !ReadDoubles(in, &points_raw) || !ReadDoubles(in, &virtual_raw) ||
         !ReadIds(in, &index.coarse_of_) || !ReadIds(in, &index.fine_of_) ||
-        !ReadAdjacency(in, &index.coarse_out_) ||
-        !ReadAdjacency(in, &index.fine_out_) ||
+        !ReadAdjacency(in, &coarse_adj) || !ReadAdjacency(in, &fine_adj) ||
         !ReadAdjacency(in, &index.coarse_layers_) ||
         !ReadU32(in, &use_table) || !ReadIds(in, &chain)) {
       return Status::Corruption("truncated index file " + path);
@@ -152,26 +165,27 @@ class DualLayerSerializer {
 
     const std::size_t total = index.num_nodes();
     if (index.coarse_of_.size() != total || index.fine_of_.size() != total ||
-        index.coarse_out_.size() != total ||
-        index.fine_out_.size() != total) {
+        coarse_adj.size() != total || fine_adj.size() != total) {
       return Status::Corruption("node array size mismatch");
     }
 
     // Derived state is recomputed rather than stored.
     index.coarse_in_degree_.assign(total, 0);
     index.has_fine_in_.assign(total, 0);
-    for (const auto& edges : index.coarse_out_) {
+    for (const auto& edges : coarse_adj) {
       for (const auto target : edges) {
         if (target >= total) return Status::Corruption("edge out of range");
         ++index.coarse_in_degree_[target];
       }
     }
-    for (const auto& edges : index.fine_out_) {
+    for (const auto& edges : fine_adj) {
       for (const auto target : edges) {
         if (target >= total) return Status::Corruption("edge out of range");
         index.has_fine_in_[target] = 1;
       }
     }
+    index.coarse_out_ = CsrGraph::FromAdjacency(coarse_adj);
+    index.fine_out_ = CsrGraph::FromAdjacency(fine_adj);
     index.chain_pos_.assign(total, DualLayerIndex::kNoFineLayer);
     if (use_table != 0) {
       index.use_weight_table_ = true;

@@ -4,6 +4,14 @@
 
 namespace drli {
 
+std::vector<TopKResult> TopKIndex::QueryBatch(
+    const std::vector<TopKQuery>& queries) const {
+  std::vector<TopKResult> results;
+  results.reserve(queries.size());
+  for (const TopKQuery& query : queries) results.push_back(Query(query));
+  return results;
+}
+
 void ValidateQuery(const TopKQuery& query, std::size_t dim) {
   DRLI_CHECK_GE(query.k, 1u);
   DRLI_CHECK_EQ(query.weights.size(), dim)

@@ -31,10 +31,14 @@ struct ScoredTuple {
 struct QueryStats {
   std::size_t tuples_evaluated = 0;
   std::size_t virtual_evaluated = 0;
+  // Wall time of the Query call (seconds). Complements the paper's
+  // tuples-evaluated metric in benchmark output; summed by Merge.
+  double elapsed_seconds = 0.0;
 
   void Merge(const QueryStats& other) {
     tuples_evaluated += other.tuples_evaluated;
     virtual_evaluated += other.virtual_evaluated;
+    elapsed_seconds += other.elapsed_seconds;
   }
 };
 
@@ -62,6 +66,14 @@ class TopKIndex {
 
   // Answers `query`; thread-compatible (const, no shared mutable state).
   virtual TopKResult Query(const TopKQuery& query) const = 0;
+
+  // Answers a batch: results[i] corresponds to queries[i], each
+  // element-wise identical to a serial Query(queries[i]) call. The
+  // default implementation is that serial loop; implementations with
+  // per-thread workspaces may parallelize (DualLayerIndex fans the
+  // batch out over DRLI_THREADS workers).
+  virtual std::vector<TopKResult> QueryBatch(
+      const std::vector<TopKQuery>& queries) const;
 };
 
 // CHECK-validates that the query is well-formed for dimensionality d:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 
 namespace drli {
 
@@ -29,7 +30,10 @@ TopKResult Scan(const PointSet& points, const TopKQuery& query) {
 }
 
 TopKResult FullScanIndex::Query(const TopKQuery& query) const {
-  return Scan(points_, query);
+  Stopwatch timer;
+  TopKResult result = Scan(points_, query);
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
 }
 
 }  // namespace drli
