@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "cluster/kmeans.h"
+#include "common/point.h"
 #include "common/random.h"
 #include "core/eds.h"
 #include "core/rank_sweep_2d.h"
@@ -111,6 +112,60 @@ void BM_EdsFacetTest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EdsFacetTest)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+// Dimension-specialized point kernels (common/point.h): d = 2/3/4 hit
+// the unrolled fast paths, d = 5 exercises the generic fallback.
+void BM_DominatesKernel(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const PointSet pts = drli::GenerateAnticorrelated(1024, d, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bool dom = drli::Dominates(pts[i & 1023], pts[(i * 7 + 13) & 1023]);
+    benchmark::DoNotOptimize(dom);
+    ++i;
+  }
+}
+BENCHMARK(BM_DominatesKernel)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_WeaklyDominatesKernel(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const PointSet pts = drli::GenerateAnticorrelated(1024, d, 8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bool dom =
+        drli::WeaklyDominates(pts[i & 1023], pts[(i * 5 + 11) & 1023]);
+    benchmark::DoNotOptimize(dom);
+    ++i;
+  }
+}
+BENCHMARK(BM_WeaklyDominatesKernel)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_CompareKernel(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const PointSet pts = drli::GenerateAnticorrelated(1024, d, 9);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const drli::DomRel rel =
+        drli::Compare(pts[i & 1023], pts[(i * 3 + 17) & 1023]);
+    benchmark::DoNotOptimize(rel);
+    ++i;
+  }
+}
+BENCHMARK(BM_CompareKernel)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_ScoreKernel(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const PointSet pts = drli::GenerateAnticorrelated(1024, d, 10);
+  drli::Rng rng(11);
+  const std::vector<double> w = rng.SimplexWeight(d);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const double score = drli::Score(drli::PointView(w), pts[i & 1023]);
+    benchmark::DoNotOptimize(score);
+    ++i;
+  }
+}
+BENCHMARK(BM_ScoreKernel)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 
 void BM_KMeans(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -6,8 +6,9 @@
 
 namespace drli {
 
-bool Dominates(PointView a, PointView b) {
-  DRLI_DCHECK(a.size() == b.size());
+namespace point_internal {
+
+bool DominatesGeneric(PointView a, PointView b) {
   bool strict = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] > b[i]) return false;
@@ -16,16 +17,14 @@ bool Dominates(PointView a, PointView b) {
   return strict;
 }
 
-bool WeaklyDominates(PointView a, PointView b) {
-  DRLI_DCHECK(a.size() == b.size());
+bool WeaklyDominatesGeneric(PointView a, PointView b) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] > b[i]) return false;
   }
   return true;
 }
 
-DomRel Compare(PointView a, PointView b) {
-  DRLI_DCHECK(a.size() == b.size());
+DomRel CompareGeneric(PointView a, PointView b) {
   bool a_better = false;
   bool b_better = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -41,14 +40,15 @@ DomRel Compare(PointView a, PointView b) {
   return DomRel::kEqual;
 }
 
-double Score(PointView weights, PointView point) {
-  DRLI_DCHECK(weights.size() == point.size());
+double ScoreGeneric(PointView weights, PointView point) {
   double s = 0.0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     s += weights[i] * point[i];
   }
   return s;
 }
+
+}  // namespace point_internal
 
 PointSet::PointSet(std::size_t dim) : dim_(dim) {
   DRLI_CHECK(dim >= 1) << "PointSet requires dim >= 1";

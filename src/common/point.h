@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+
 namespace drli {
 
 // Index of a tuple within its PointSet / relation.
@@ -37,20 +39,98 @@ enum class DomRel {
   kIncomparable,  // neither dominates
 };
 
+// The dominance/score kernels below sit on every build and query hot
+// path (skyline peeling, ∀-edge detection, EDS tests, top-k scoring),
+// so the common dimensionalities d = 2/3/4 are fully unrolled inline
+// and everything else takes the generic loop. All specializations are
+// exact transcriptions of the generic code -- same comparisons, same
+// short-circuit order -- so results (and float semantics) are
+// bit-identical across paths.
+
+namespace point_internal {
+
+bool DominatesGeneric(PointView a, PointView b);
+bool WeaklyDominatesGeneric(PointView a, PointView b);
+DomRel CompareGeneric(PointView a, PointView b);
+double ScoreGeneric(PointView weights, PointView point);
+
+}  // namespace point_internal
+
 // Returns true iff a ≺ b: a_i <= b_i for all i and a_j < b_j for some j
 // (Definition 2; lower values are better throughout the library).
-bool Dominates(PointView a, PointView b);
+inline bool Dominates(PointView a, PointView b) {
+  DRLI_DCHECK(a.size() == b.size());
+  const double* x = a.data();
+  const double* y = b.data();
+  switch (a.size()) {
+    case 2:
+      return x[0] <= y[0] && x[1] <= y[1] && (x[0] < y[0] || x[1] < y[1]);
+    case 3:
+      return x[0] <= y[0] && x[1] <= y[1] && x[2] <= y[2] &&
+             (x[0] < y[0] || x[1] < y[1] || x[2] < y[2]);
+    case 4:
+      return x[0] <= y[0] && x[1] <= y[1] && x[2] <= y[2] && x[3] <= y[3] &&
+             (x[0] < y[0] || x[1] < y[1] || x[2] < y[2] || x[3] < y[3]);
+    default:
+      return point_internal::DominatesGeneric(a, b);
+  }
+}
 
 // Returns true iff a_i <= b_i for all i (a ≺ b or a == b). Used for the
 // zero layer, where a pseudo-tuple built from cluster minima may
 // coincide with a real tuple.
-bool WeaklyDominates(PointView a, PointView b);
+inline bool WeaklyDominates(PointView a, PointView b) {
+  DRLI_DCHECK(a.size() == b.size());
+  const double* x = a.data();
+  const double* y = b.data();
+  switch (a.size()) {
+    case 2:
+      return x[0] <= y[0] && x[1] <= y[1];
+    case 3:
+      return x[0] <= y[0] && x[1] <= y[1] && x[2] <= y[2];
+    case 4:
+      return x[0] <= y[0] && x[1] <= y[1] && x[2] <= y[2] && x[3] <= y[3];
+    default:
+      return point_internal::WeaklyDominatesGeneric(a, b);
+  }
+}
 
 // Full three-way-style comparison; one pass over the attributes.
-DomRel Compare(PointView a, PointView b);
+inline DomRel Compare(PointView a, PointView b) {
+  DRLI_DCHECK(a.size() == b.size());
+  if (a.size() > 4) return point_internal::CompareGeneric(a, b);
+  const double* x = a.data();
+  const double* y = b.data();
+  bool a_better = false;
+  bool b_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a_better |= x[i] < y[i];
+    b_better |= x[i] > y[i];
+  }
+  if (a_better && b_better) return DomRel::kIncomparable;
+  if (a_better) return DomRel::kDominates;
+  if (b_better) return DomRel::kDominatedBy;
+  return DomRel::kEqual;
+}
 
 // Linear score F(t) = sum_i w_i * t_i (Section II).
-double Score(PointView weights, PointView point);
+inline double Score(PointView weights, PointView point) {
+  DRLI_DCHECK(weights.size() == point.size());
+  const double* w = weights.data();
+  const double* p = point.data();
+  switch (weights.size()) {
+    // Left-to-right association, exactly like the generic loop, so the
+    // specialized path rounds identically.
+    case 2:
+      return w[0] * p[0] + w[1] * p[1];
+    case 3:
+      return (w[0] * p[0] + w[1] * p[1]) + w[2] * p[2];
+    case 4:
+      return ((w[0] * p[0] + w[1] * p[1]) + w[2] * p[2]) + w[3] * p[3];
+    default:
+      return point_internal::ScoreGeneric(weights, point);
+  }
+}
 
 // Flat row-major container of n points of fixed dimensionality.
 class PointSet {

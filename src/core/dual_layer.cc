@@ -33,17 +33,27 @@ DualLayerIndex DualLayerIndex::Build(PointSet points,
 
   AdjacencyBuilder coarse_adj(n);
   AdjacencyBuilder fine_adj(n);
+  Stopwatch phase;
   if (n > 0) {
     index.BuildCoarseLayers();
+    index.stats_.skyline_seconds = phase.ElapsedSeconds();
+    phase.Restart();
     index.BuildFineLayers(&fine_adj);
+    index.stats_.fine_peel_seconds = phase.ElapsedSeconds();
+    phase.Restart();
     index.BuildCoarseEdges(&coarse_adj);
+    index.stats_.coarse_edge_seconds = phase.ElapsedSeconds();
     if (options.build_zero_layer) {
+      phase.Restart();
       index.BuildZeroLayer(&coarse_adj, &fine_adj);
+      index.stats_.zero_layer_seconds = phase.ElapsedSeconds();
     }
   }
+  phase.Restart();
   index.coarse_out_ = CsrGraph::FromAdjacency(coarse_adj);
   index.fine_out_ = CsrGraph::FromAdjacency(fine_adj);
   index.FinalizeInitialNodes();
+  index.stats_.finalize_seconds = phase.ElapsedSeconds();
   index.stats_.build_seconds = timer.ElapsedSeconds();
   return index;
 }
@@ -73,6 +83,13 @@ DualLayerIndex::FinePeelResult DualLayerIndex::PeelFineLayers(
   // The previous sublayer lives in `pool`; the EDS LP needs pool-local
   // coordinates, so keep a parallel pool-id version of the facets.
   std::vector<std::vector<TupleId>> prev_facets_pool;
+  // Componentwise-min corner per facet, computed once per facet and
+  // reused as the O(d) EDS reject test against every target. Stored
+  // flat (facet-major) with the corner's attribute sum alongside: a
+  // corner whose sum exceeds the target's cannot weakly dominate it,
+  // which settles most rejections in one comparison.
+  std::vector<double> prev_corner_coords;
+  std::vector<double> prev_corner_sums;
 
   while (!remaining.empty()) {
     std::vector<TupleId> local_pool_ids;
@@ -98,10 +115,15 @@ DualLayerIndex::FinePeelResult DualLayerIndex::PeelFineLayers(
       member_nodes.push_back(node);
       out.fine_of.emplace_back(node, fine);
     }
+    const std::size_t d = pool.dim();
     std::vector<std::vector<NodeId>> facets;
     std::vector<std::vector<TupleId>> facets_pool;
+    std::vector<double> corner_coords;
+    std::vector<double> corner_sums;
     facets.reserve(csky.facets.size());
     facets_pool.reserve(csky.facets.size());
+    corner_coords.reserve(csky.facets.size() * d);
+    corner_sums.reserve(csky.facets.size());
     for (const auto& facet : csky.facets) {
       std::vector<NodeId> f_nodes;
       std::vector<TupleId> f_pool;
@@ -111,18 +133,53 @@ DualLayerIndex::FinePeelResult DualLayerIndex::PeelFineLayers(
         f_nodes.push_back(node_ids[remaining[local]]);
         f_pool.push_back(pool_ids[remaining[local]]);
       }
+      const std::size_t at = corner_coords.size();
+      corner_coords.resize(at + d);
+      double* corner = corner_coords.data() + at;
+      const PointView first = pool[f_pool[0]];
+      std::copy(first.begin(), first.end(), corner);
+      for (std::size_t v = 1; v < f_pool.size(); ++v) {
+        const PointView p = pool[f_pool[v]];
+        for (std::size_t j = 0; j < d; ++j) {
+          corner[j] = std::min(corner[j], p[j]);
+        }
+      }
+      double corner_sum = 0.0;
+      for (std::size_t j = 0; j < d; ++j) corner_sum += corner[j];
+      corner_sums.push_back(corner_sum);
       facets.push_back(std::move(f_nodes));
       facets_pool.push_back(std::move(f_pool));
     }
 
     // ∃-edges from sublayer fine-1 into this sublayer (Section III-B).
     if (fine > 0) {
+      Stopwatch eds_timer;
       for (std::size_t m = 0; m < member_nodes.size(); ++m) {
         const NodeId target_node = member_nodes[m];
         const PointView target = pool[local_pool_ids[csky.members[m]]];
+        double target_sum = 0.0;
+        for (std::size_t j = 0; j < d; ++j) target_sum += target[j];
         bool covered = false;
         for (std::size_t f = 0; f < prev_facets.size(); ++f) {
-          if (!FacetIsEds(pool, prev_facets_pool[f], target)) continue;
+          // Inline bbox reject on the flat corner array (identical
+          // decision and counter to FacetIsEds' own corner test, minus
+          // the call): the sum shortcut settles a reject in one compare
+          // when it fires (componentwise <= implies, with monotone
+          // rounding and the same association, sum <=), then the corner
+          // itself must weakly dominate the target.
+          if (prev_corner_sums[f] > target_sum) {
+            ++out.eds.bbox_rejects;
+            continue;
+          }
+          const double* corner = prev_corner_coords.data() + f * d;
+          if (!WeaklyDominates(PointView(corner, d), target)) {
+            ++out.eds.bbox_rejects;
+            continue;
+          }
+          if (!FacetIsEds(pool, prev_facets_pool[f], PointView(corner, d),
+                          target, &out.eds)) {
+            continue;
+          }
           for (const NodeId source : prev_facets[f]) {
             out.edges.emplace_back(source, target_node);
           }
@@ -131,10 +188,13 @@ DualLayerIndex::FinePeelResult DualLayerIndex::PeelFineLayers(
         }
         if (!covered) ++out.eds_uncovered;
       }
+      out.eds_seconds += eds_timer.ElapsedSeconds();
     }
 
     prev_facets = std::move(facets);
     prev_facets_pool = std::move(facets_pool);
+    prev_corner_coords = std::move(corner_coords);
+    prev_corner_sums = std::move(corner_sums);
 
     // Remove the sublayer from the remaining pool.
     std::vector<std::size_t> next;
@@ -160,6 +220,10 @@ void DualLayerIndex::ApplyFinePeel(const FinePeelResult& peel,
   stats_.num_fine_layers += peel.num_fine_layers;
   stats_.eds_uncovered += peel.eds_uncovered;
   stats_.csky_fallbacks += peel.csky_fallbacks;
+  stats_.eds_member_hits += peel.eds.member_hits;
+  stats_.eds_bbox_rejects += peel.eds.bbox_rejects;
+  stats_.eds_lp_calls += peel.eds.lp_calls;
+  stats_.eds_seconds += peel.eds_seconds;
 }
 
 void DualLayerIndex::BuildFineLayers(AdjacencyBuilder* fine_adj) {
@@ -195,6 +259,7 @@ void DualLayerIndex::BuildCoarseEdges(AdjacencyBuilder* coarse_adj) {
   if (coarse_layers_.size() < 2) return;
   const std::size_t pairs = coarse_layers_.size() - 1;
   std::vector<std::vector<std::pair<NodeId, NodeId>>> pair_edges(pairs);
+  std::vector<DominancePairStats> pair_stats(pairs);
   ParallelFor(
       pairs,
       [&](std::size_t i, std::size_t) {
@@ -202,10 +267,13 @@ void DualLayerIndex::BuildCoarseEdges(AdjacencyBuilder* coarse_adj) {
                              coarse_layers_[i + 1],
                              [&](TupleId source, TupleId target) {
                                pair_edges[i].emplace_back(source, target);
-                             });
+                             },
+                             &pair_stats[i]);
       },
       options_.build_threads);
   for (std::size_t i = 0; i < pairs; ++i) {
+    stats_.coarse_pairs_pruned += pair_stats[i].pairs_pruned;
+    stats_.coarse_pairs_tested += pair_stats[i].pairs_tested;
     for (const auto& [source, target] : pair_edges[i]) {
       (*coarse_adj)[source].push_back(target);
       ++coarse_in_degree_[target];

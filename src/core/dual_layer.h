@@ -37,6 +37,7 @@
 
 #include "common/csr.h"
 #include "common/point.h"
+#include "core/eds.h"
 #include "core/zero_layer.h"
 #include "geometry/convex_skyline.h"
 #include "skyline/skyline.h"
@@ -90,6 +91,31 @@ struct DualLayerBuildStats {
   std::size_t csky_fallbacks = 0;
   std::size_t num_virtual = 0;
   double build_seconds = 0.0;
+
+  // --- per-phase wall clock. In a serial build (build_threads = 1) the
+  // five phase timers sum to ≈ build_seconds; with worker threads each
+  // phase is still wall clock of that phase.
+  double skyline_seconds = 0.0;      // coarse layer peeling
+  double fine_peel_seconds = 0.0;    // fine sublayers + ∃-edge detection
+  double coarse_edge_seconds = 0.0;  // ∀-edge wiring
+  double zero_layer_seconds = 0.0;   // L0 (weight table / pseudo-tuples)
+  double finalize_seconds = 0.0;     // CSR flatten + initial-node scan
+
+  // --- EDS detection (Section III-B) instrumentation. Facet/target
+  // pairs are resolved by, in order: a facet member weakly dominating
+  // the target (member_hits), the facet's componentwise-min corner
+  // failing to dominate it (bbox_rejects), or the simplex LP
+  // (lp_calls). eds_seconds is CPU time summed across fine-peel tasks,
+  // so it can exceed fine_peel_seconds when build_threads > 1.
+  double eds_seconds = 0.0;
+  std::size_t eds_member_hits = 0;
+  std::size_t eds_bbox_rejects = 0;
+  std::size_t eds_lp_calls = 0;
+
+  // --- coarse ∀-edge detection instrumentation: candidate pairs
+  // skipped by the sort/bound pruning vs. pairs actually compared.
+  std::size_t coarse_pairs_pruned = 0;
+  std::size_t coarse_pairs_tested = 0;
 };
 
 // Reusable per-query workspace for DualLayerIndex::Query. Holds the
@@ -205,6 +231,8 @@ class DualLayerIndex final : public TopKIndex {
     std::size_t num_fine_layers = 0;
     std::size_t eds_uncovered = 0;
     std::size_t csky_fallbacks = 0;
+    EdsCounters eds;
+    double eds_seconds = 0.0;
   };
 
   DualLayerIndex() : points_(1), virtual_points_(1) {}

@@ -7,32 +7,50 @@
 
 namespace drli {
 
-bool FacetIsEds(const PointSet& points, const std::vector<TupleId>& facet,
-                PointView target) {
+Point FacetMinCorner(const PointSet& points,
+                     const std::vector<TupleId>& facet) {
   DRLI_CHECK(!facet.empty());
   const std::size_t d = points.dim();
+  Point corner(points[facet[0]].begin(), points[facet[0]].end());
+  for (std::size_t m = 1; m < facet.size(); ++m) {
+    const PointView p = points[facet[m]];
+    for (std::size_t j = 0; j < d; ++j) {
+      corner[j] = std::min(corner[j], p[j]);
+    }
+  }
+  return corner;
+}
+
+bool FacetIsEds(const PointSet& points, const std::vector<TupleId>& facet,
+                PointView min_corner, PointView target,
+                EdsCounters* counters) {
+  const std::size_t d = points.dim();
   DRLI_CHECK_EQ(target.size(), d);
+  DRLI_DCHECK(facet.size() >= 1);
+  DRLI_DCHECK(min_corner.size() == d);
+
+  // Necessary condition: the componentwise minimum of the facet must
+  // weakly dominate the target, otherwise no convex combination can.
+  if (!WeaklyDominates(min_corner, target)) {
+    if (counters != nullptr) ++counters->bbox_rejects;
+    return false;
+  }
 
   // Fast path: a single member weakly dominating the target already
   // certifies the facet (the virtual tuple is the member itself).
   for (TupleId id : facet) {
-    if (WeaklyDominates(points[id], target)) return true;
-  }
-
-  // Necessary condition: the componentwise minimum of the facet must
-  // weakly dominate the target, otherwise no convex combination can.
-  for (std::size_t j = 0; j < d; ++j) {
-    double lo = points[facet[0]][j];
-    for (std::size_t m = 1; m < facet.size(); ++m) {
-      lo = std::min(lo, points[facet[m]][j]);
+    if (WeaklyDominates(points[id], target)) {
+      if (counters != nullptr) ++counters->member_hits;
+      return true;
     }
-    if (lo > target[j]) return false;
   }
   if (facet.size() == 1) return false;  // single point already checked
 
   // LP feasibility over the barycentric weights lambda >= 0:
   //   sum_m lambda_m = 1,  sum_m lambda_m * t^m_j <= target_j  (all j).
+  if (counters != nullptr) ++counters->lp_calls;
   LinearProgram lp(facet.size());
+  lp.ReserveConstraints(d + 1);
   std::vector<double> row(facet.size(), 1.0);
   lp.AddConstraint(row, LpRelation::kEqual, 1.0);
   for (std::size_t j = 0; j < d; ++j) {
@@ -42,6 +60,12 @@ bool FacetIsEds(const PointSet& points, const std::vector<TupleId>& facet,
     lp.AddConstraint(row, LpRelation::kLessEq, target[j]);
   }
   return lp.IsFeasible();
+}
+
+bool FacetIsEds(const PointSet& points, const std::vector<TupleId>& facet,
+                PointView target) {
+  const Point corner = FacetMinCorner(points, facet);
+  return FacetIsEds(points, facet, corner, target, nullptr);
 }
 
 }  // namespace drli

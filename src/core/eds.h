@@ -5,19 +5,48 @@
 // When it does, every member of F ∃-dominates t', and at least one
 // member scores below t' under every strictly positive linear scoring
 // function (Lemma 2).
+//
+// The test is resolved by three stages of increasing cost:
+//   1. bbox reject: the componentwise-min corner of the facet fails to
+//      weakly dominate t' -> no convex combination can (O(d));
+//   2. member hit: a single facet member weakly dominates t' (the
+//      virtual tuple is the member itself);
+//   3. simplex LP over the barycentric weights (exact, expensive).
+// The corner of stage 1 depends only on the facet, so build loops that
+// test one facet against many targets precompute it once with
+// FacetMinCorner and call the prefiltered overload.
 
 #ifndef DRLI_CORE_EDS_H_
 #define DRLI_CORE_EDS_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/point.h"
 
 namespace drli {
 
+// How many facet/target pairs each stage resolved (see above).
+struct EdsCounters {
+  std::size_t bbox_rejects = 0;
+  std::size_t member_hits = 0;
+  std::size_t lp_calls = 0;
+};
+
+// Componentwise minimum of the facet members: the corner of the
+// smallest axis-aligned box containing the facet's simplex.
+Point FacetMinCorner(const PointSet& points, const std::vector<TupleId>& facet);
+
 // True iff conv{points[id] : id in facet} intersects {x : x <= target}
 // componentwise. Exact up to LP tolerance; facets of any size >= 1 are
-// accepted (degenerate fallback facets included).
+// accepted (degenerate fallback facets included). `min_corner` must be
+// FacetMinCorner(points, facet); `counters` may be null.
+bool FacetIsEds(const PointSet& points, const std::vector<TupleId>& facet,
+                PointView min_corner, PointView target,
+                EdsCounters* counters);
+
+// Convenience overload computing the corner on the fly (tests, single
+// facet/target probes).
 bool FacetIsEds(const PointSet& points, const std::vector<TupleId>& facet,
                 PointView target);
 

@@ -1,10 +1,10 @@
 #include "geometry/convex_hull.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <map>
-#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
@@ -13,32 +13,67 @@ namespace drli {
 
 namespace {
 
-// Working representation of one facet during construction.
+// Facet vertex/neighbour lists are stored inline (simplicial facets
+// have exactly d entries); dimensions beyond this cap report
+// kDegenerate, which callers already translate into their exact
+// fallbacks. Hull-based indexing is hopeless that deep anyway.
+constexpr std::size_t kMaxHullDim = 12;
+
+// Working representation of one facet during construction. The plane
+// is stored inline (fixed-size normal plus offset) so facet creation
+// does not heap-allocate per facet.
 struct FacetRec {
-  std::vector<std::int32_t> verts;  // d point indices
-  std::vector<std::int32_t> neigh;  // d facet ids, aligned with verts
-  Hyperplane plane;                 // outward unit normal
+  std::array<std::int32_t, kMaxHullDim> verts;  // d point indices
+  std::array<std::int32_t, kMaxHullDim> neigh;  // d facet ids, per vertex
+  std::array<double, kMaxHullDim> normal;       // outward unit normal
+  double offset = 0.0;                          // normal . x == offset
   std::vector<std::int32_t> outside;  // points strictly above this facet
   double furthest_dist = 0.0;
   std::int32_t furthest = -1;
   bool alive = true;
 };
 
+// Same accumulation order as Hyperplane::SignedDistance.
+inline double FacetDistance(const FacetRec& f, PointView p,
+                            std::size_t dim) {
+  double s = -f.offset;
+  for (std::size_t j = 0; j < dim; ++j) s += f.normal[j] * p[j];
+  return s;
+}
+
 // Hash key for a (d-1)-vertex ridge: sorted vertex ids.
 struct RidgeKey {
-  std::vector<std::int32_t> verts;
-  bool operator==(const RidgeKey& o) const { return verts == o.verts; }
+  std::array<std::int32_t, kMaxHullDim> verts;
+  std::uint32_t size = 0;
+  bool operator==(const RidgeKey& o) const {
+    if (size != o.size) return false;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      if (verts[i] != o.verts[i]) return false;
+    }
+    return true;
+  }
 };
 
-struct RidgeKeyHash {
-  std::size_t operator()(const RidgeKey& k) const {
-    std::size_t h = 1469598103934665603ull;
-    for (std::int32_t v : k.verts) {
-      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull;
-      h *= 1099511628211ull;
-    }
-    return h;
+std::size_t RidgeKeyHash(const RidgeKey& k) {
+  std::size_t h = 1469598103934665603ull;
+  for (std::uint32_t i = 0; i < k.size; ++i) {
+    h ^= static_cast<std::size_t>(k.verts[i]) + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
   }
+  return h;
+}
+
+// Slot of the flat linear-probing table used to pair apex ridges. The
+// table is hoisted across apexes and invalidated by bumping `stamp`
+// instead of clearing, so the pairing allocates nothing in steady
+// state. Each ridge occurs exactly twice on a closed horizon, so a
+// slot is inserted once and consumed (paired) once; no deletion.
+struct RidgeSlot {
+  RidgeKey key;
+  std::int32_t facet = -1;
+  std::uint32_t slot = 0;
+  std::uint32_t stamp = 0;
+  bool paired = false;
 };
 
 class HullBuilder {
@@ -60,7 +95,7 @@ class HullBuilder {
     return input_.size() + (sentinel_.empty() ? 0 : 1);
   }
 
-  bool MakePlane(const std::vector<std::int32_t>& verts, Hyperplane* plane);
+  bool MakePlane(const std::int32_t* verts, FacetRec* f);
   bool BuildInitialSimplex();
   bool ProcessOutsidePoints();
   void AssignInitialOutside();
@@ -79,14 +114,15 @@ class HullBuilder {
   // Per-facet visit stamps for the visibility BFS.
   std::vector<std::uint32_t> visit_stamp_;
   std::uint32_t current_stamp_ = 0;
+  std::vector<PointView> plane_pts_;  // MakePlane scratch
+  Hyperplane plane_scratch_;          // MakePlane scratch
 };
 
-bool HullBuilder::MakePlane(const std::vector<std::int32_t>& verts,
-                            Hyperplane* plane) {
-  std::vector<PointView> pts;
-  pts.reserve(verts.size());
-  for (std::int32_t v : verts) pts.push_back(PointAt(v));
-  if (!HyperplaneThroughPoints(pts, plane)) return false;
+bool HullBuilder::MakePlane(const std::int32_t* verts, FacetRec* f) {
+  plane_pts_.clear();
+  for (std::size_t s = 0; s < dim_; ++s) plane_pts_.push_back(PointAt(verts[s]));
+  Hyperplane* plane = &plane_scratch_;
+  if (!HyperplaneThroughPoints(plane_pts_, plane)) return false;
   // Orient outward: the interior reference point must be strictly below.
   const double d = plane->SignedDistance(PointView(interior_));
   if (std::fabs(d) < options_.eps * 0.5) return false;  // interior on plane
@@ -94,6 +130,8 @@ bool HullBuilder::MakePlane(const std::vector<std::int32_t>& verts,
     for (double& x : plane->normal) x = -x;
     plane->offset = -plane->offset;
   }
+  std::copy(plane->normal.begin(), plane->normal.end(), f->normal.begin());
+  f->offset = plane->offset;
   return true;
 }
 
@@ -163,12 +201,12 @@ bool HullBuilder::BuildInitialSimplex() {
   facets_.resize(dim_ + 1);
   for (std::size_t i = 0; i <= dim_; ++i) {
     FacetRec& f = facets_[i];
-    f.verts.reserve(dim_);
-    f.neigh.assign(dim_, -1);
+    f.neigh.fill(-1);
+    std::size_t vcount = 0;
     for (std::size_t j = 0; j <= dim_; ++j) {
-      if (j != i) f.verts.push_back(simplex_[j]);
+      if (j != i) f.verts[vcount++] = simplex_[j];
     }
-    if (!MakePlane(f.verts, &f.plane)) return false;
+    if (!MakePlane(f.verts.data(), &f)) return false;
     // Neighbour opposite f.verts[s]: f.verts[s] == simplex_[j], and the
     // ridge omitting both simplex_[i] and simplex_[j] is shared with
     // facet j.
@@ -196,7 +234,7 @@ void HullBuilder::AssignInitialOutside() {
     }
     PointView p = PointAt(id);
     for (FacetRec& f : facets_) {
-      const double dist = f.plane.SignedDistance(p);
+      const double dist = FacetDistance(f, p, dim_);
       if (dist > options_.eps) {
         f.outside.push_back(id);
         if (dist > f.furthest_dist) {
@@ -225,6 +263,19 @@ bool HullBuilder::ProcessOutsidePoints() {
     std::int32_t outer;
   };
   std::vector<Horizon> horizon;
+  std::vector<RidgeSlot> ridge_table;  // power-of-two linear probing
+  std::uint32_t ridge_stamp = 0;
+  std::vector<std::int32_t> new_facets;
+  // New-facet planes flattened to d normal entries plus the offset per
+  // facet, so the redistribution loop scans contiguous memory instead
+  // of chasing FacetRec -> heap-allocated normal per probe.
+  std::vector<double> new_planes;
+  // Apex distance per stamped facet, so the BFS evaluates each facet's
+  // plane once instead of once per incident edge.
+  std::vector<double> apex_dist;
+  // Retired outside-point buffers, recycled into new facets so the
+  // redistribution loop reuses capacity instead of reallocating.
+  std::vector<std::vector<std::int32_t>> spare_outside;
 
   while (!pending_.empty()) {
     const std::int32_t fid = pending_.back();
@@ -240,11 +291,15 @@ bool HullBuilder::ProcessOutsidePoints() {
     // Visibility BFS from f.
     ++current_stamp_;
     visit_stamp_.resize(facets_.size(), 0);
+    apex_dist.resize(facets_.size(), 0.0);
     visible.clear();
     horizon.clear();
     bfs.clear();
     bfs.push_back(fid);
     visit_stamp_[fid] = current_stamp_;
+    // The seed's apex distance was computed when the apex was assigned
+    // as its furthest outside point.
+    apex_dist[fid] = f.furthest_dist;
     while (!bfs.empty()) {
       const std::int32_t cur = bfs.back();
       bfs.pop_back();
@@ -253,17 +308,18 @@ bool HullBuilder::ProcessOutsidePoints() {
       for (std::size_t s = 0; s < dim_; ++s) {
         const std::int32_t nb = fc.neigh[s];
         DRLI_DCHECK(nb >= 0);
-        if (visit_stamp_[nb] == current_stamp_ && facets_[nb].alive &&
-            facets_[nb].plane.SignedDistance(apex_pt) > options_.eps) {
-          continue;  // already queued as visible
-        }
         if (visit_stamp_[nb] == current_stamp_) {
+          if (facets_[nb].alive && apex_dist[nb] > options_.eps) {
+            continue;  // already queued as visible
+          }
           // Already classified not-visible: horizon ridge.
           horizon.push_back(Horizon{cur, s, nb});
           continue;
         }
         visit_stamp_[nb] = current_stamp_;
-        if (facets_[nb].plane.SignedDistance(apex_pt) > options_.eps) {
+        const double dist = FacetDistance(facets_[nb], apex_pt, dim_);
+        apex_dist[nb] = dist;
+        if (dist > options_.eps) {
           bfs.push_back(nb);
         } else {
           horizon.push_back(Horizon{cur, s, nb});
@@ -273,22 +329,32 @@ bool HullBuilder::ProcessOutsidePoints() {
 
     if (horizon.empty()) return false;  // numerically inconsistent
 
-    // Create one new facet per horizon ridge.
-    std::unordered_map<RidgeKey, std::pair<std::int32_t, std::size_t>,
-                       RidgeKeyHash>
-        open_ridges;
-    std::vector<std::int32_t> new_facets;
+    // Create one new facet per horizon ridge. Size the ridge table for
+    // load factor <= 1/2 and invalidate previous contents by stamp.
+    const std::size_t expected_ridges = horizon.size() * (dim_ - 1);
+    std::size_t cap = 16;
+    while (cap < 2 * expected_ridges) cap <<= 1;
+    if (ridge_table.size() < cap) {
+      ridge_table.assign(cap, RidgeSlot{});
+      ridge_stamp = 0;
+    } else {
+      cap = ridge_table.size();
+    }
+    ++ridge_stamp;
+    const std::size_t ridge_mask = cap - 1;
+    std::size_t open_ridges = 0;
+    new_facets.clear();
     new_facets.reserve(horizon.size());
     for (const Horizon& h : horizon) {
       const FacetRec& vf = facets_[h.visible_facet];
       FacetRec nf;
-      nf.verts.reserve(dim_);
+      std::size_t vcount = 0;
       for (std::size_t s = 0; s < dim_; ++s) {
-        if (s != h.slot) nf.verts.push_back(vf.verts[s]);
+        if (s != h.slot) nf.verts[vcount++] = vf.verts[s];
       }
-      nf.verts.push_back(apex);
-      nf.neigh.assign(dim_, -1);
-      if (!MakePlane(nf.verts, &nf.plane)) return false;
+      nf.verts[vcount] = apex;
+      nf.neigh.fill(-1);
+      if (!MakePlane(nf.verts.data(), &nf)) return false;
       const auto new_id = static_cast<std::int32_t>(facets_.size());
 
       // Across the ridge without the apex lies the old outer facet.
@@ -307,19 +373,31 @@ bool HullBuilder::ProcessOutsidePoints() {
       // Ridges containing the apex pair up among the new facets.
       for (std::size_t s = 0; s + 1 < dim_; ++s) {
         RidgeKey key;
-        key.verts.reserve(dim_ - 1);
         for (std::size_t t = 0; t < dim_; ++t) {
-          if (t != s) key.verts.push_back(nf.verts[t]);
+          if (t != s) key.verts[key.size++] = nf.verts[t];
         }
-        std::sort(key.verts.begin(), key.verts.end());
-        auto it = open_ridges.find(key);
-        if (it == open_ridges.end()) {
-          open_ridges.emplace(std::move(key), std::make_pair(new_id, s));
-        } else {
-          const auto [other_id, other_slot] = it->second;
-          nf.neigh[s] = other_id;
-          facets_[other_id].neigh[other_slot] = new_id;
-          open_ridges.erase(it);
+        std::sort(key.verts.begin(), key.verts.begin() + key.size);
+        std::size_t h = RidgeKeyHash(key) & ridge_mask;
+        while (true) {
+          RidgeSlot& rs = ridge_table[h];
+          if (rs.stamp != ridge_stamp) {
+            rs.key = key;
+            rs.facet = new_id;
+            rs.slot = static_cast<std::uint32_t>(s);
+            rs.stamp = ridge_stamp;
+            rs.paired = false;
+            ++open_ridges;
+            break;
+          }
+          if (rs.key == key) {
+            if (rs.paired) return false;  // ridge seen three times
+            nf.neigh[s] = rs.facet;
+            facets_[rs.facet].neigh[rs.slot] = new_id;
+            rs.paired = true;
+            --open_ridges;
+            break;
+          }
+          h = (h + 1) & ridge_mask;
         }
       }
 
@@ -329,18 +407,33 @@ bool HullBuilder::ProcessOutsidePoints() {
       ++live_facets_;
       if (live_facets_ > options_.max_facets) return false;
     }
-    if (!open_ridges.empty()) return false;  // horizon not closed
+    if (open_ridges != 0) return false;  // horizon not closed
 
     // Redistribute the outside points of all visible facets.
+    const std::size_t pstride = dim_ + 1;
+    new_planes.clear();
+    for (const std::int32_t nid : new_facets) {
+      const FacetRec& nf = facets_[nid];
+      new_planes.insert(new_planes.end(), nf.normal.begin(),
+                        nf.normal.begin() + dim_);
+      new_planes.push_back(nf.offset);
+    }
     for (const std::int32_t vid : visible) {
       FacetRec& vf = facets_[vid];
       for (const std::int32_t q : vf.outside) {
         if (q == apex) continue;
         PointView qp = PointAt(q);
-        for (const std::int32_t nid : new_facets) {
-          FacetRec& nf = facets_[nid];
-          const double dist = nf.plane.SignedDistance(qp);
+        for (std::size_t k = 0; k < new_facets.size(); ++k) {
+          // Same accumulation order as Hyperplane::SignedDistance.
+          const double* pl = new_planes.data() + k * pstride;
+          double dist = -pl[dim_];
+          for (std::size_t j = 0; j < dim_; ++j) dist += pl[j] * qp[j];
           if (dist > options_.eps) {
+            FacetRec& nf = facets_[new_facets[k]];
+            if (nf.outside.capacity() == 0 && !spare_outside.empty()) {
+              nf.outside = std::move(spare_outside.back());
+              spare_outside.pop_back();
+            }
             nf.outside.push_back(q);
             if (dist > nf.furthest_dist) {
               nf.furthest_dist = dist;
@@ -350,8 +443,11 @@ bool HullBuilder::ProcessOutsidePoints() {
           }
         }
       }
-      vf.outside.clear();
-      vf.outside.shrink_to_fit();
+      if (vf.outside.capacity() != 0) {
+        vf.outside.clear();
+        spare_outside.push_back(std::move(vf.outside));
+        vf.outside = {};
+      }
       vf.alive = false;
       --live_facets_;
     }
@@ -373,8 +469,8 @@ void HullBuilder::Compact(ConvexHull* out) {
     const FacetRec& f = facets_[i];
     if (!f.alive) continue;
     if (sentinel_id_ >= 0 &&
-        std::find(f.verts.begin(), f.verts.end(), sentinel_id_) !=
-            f.verts.end()) {
+        std::find(f.verts.begin(), f.verts.begin() + dim_, sentinel_id_) !=
+            f.verts.begin() + dim_) {
       continue;
     }
     remap[i] = static_cast<std::int32_t>(out->facets.size());
@@ -385,8 +481,9 @@ void HullBuilder::Compact(ConvexHull* out) {
     if (remap[i] < 0) continue;
     const FacetRec& f = facets_[i];
     HullFacet& hf = out->facets[next++];
-    hf.vertices = f.verts;
-    hf.plane = f.plane;
+    hf.vertices.assign(f.verts.begin(), f.verts.begin() + dim_);
+    hf.plane.normal.assign(f.normal.begin(), f.normal.begin() + dim_);
+    hf.plane.offset = f.offset;
     hf.neighbors.assign(dim_, -1);
     for (std::size_t s = 0; s < dim_; ++s) {
       const std::int32_t nb = f.neigh[s];
@@ -400,8 +497,8 @@ void HullBuilder::Compact(ConvexHull* out) {
   // still reported as hull vertices), minus the sentinel itself.
   for (const FacetRec& f : facets_) {
     if (!f.alive) continue;
-    for (std::int32_t v : f.verts) {
-      if (v != sentinel_id_) is_vertex[v] = true;
+    for (std::size_t s = 0; s < dim_; ++s) {
+      if (f.verts[s] != sentinel_id_) is_vertex[f.verts[s]] = true;
     }
   }
   for (std::size_t i = 0; i < is_vertex.size(); ++i) {
@@ -411,6 +508,7 @@ void HullBuilder::Compact(ConvexHull* out) {
 
 HullStatus HullBuilder::Build(ConvexHull* out) {
   DRLI_CHECK(dim_ >= 2) << "convex hull requires dim >= 2";
+  if (dim_ > kMaxHullDim) return HullStatus::kDegenerate;
   if (options_.add_top_sentinel && input_.size() > 0) {
     // One point beyond the max corner in every coordinate; it is never
     // below any lower facet, so the lower hull is unchanged.

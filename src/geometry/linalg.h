@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/point.h"
 
 namespace drli {
@@ -25,6 +26,10 @@ bool Normalize(std::vector<double>* v);
 // elimination with partial pivoting.
 double Determinant(std::vector<double> m, std::size_t n);
 
+// Same elimination, destroying the caller's buffer in place (no copy);
+// the hot path for the hull's per-facet normals.
+double DeterminantInPlace(double* m, std::size_t n);
+
 // Solves A x = b for the n x n row-major matrix A (copied internally).
 // Returns false when A is singular within tolerance.
 bool SolveLinearSystem(std::span<const double> a, std::span<const double> b,
@@ -35,8 +40,14 @@ struct Hyperplane {
   std::vector<double> normal;  // unit length
   double offset = 0.0;
 
-  // Signed distance of p from the plane: normal . p - offset.
-  double SignedDistance(PointView p) const;
+  // Signed distance of p from the plane: normal . p - offset. Inline:
+  // this is the innermost test of the hull's point classification.
+  double SignedDistance(PointView p) const {
+    DRLI_DCHECK(p.size() == normal.size());
+    double s = -offset;
+    for (std::size_t i = 0; i < p.size(); ++i) s += normal[i] * p[i];
+    return s;
+  }
 };
 
 // Computes the hyperplane through the d points `pts[i]` (each of

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/check.h"
@@ -13,36 +14,48 @@ namespace {
 constexpr double kTol = 1e-9;
 
 // One simplex run over an explicit tableau.
-//   tableau: m rows, each with `cols` coefficient entries plus the rhs
-//            in the final slot.
+//   tableau: m rows of `cols` coefficient entries plus the rhs in the
+//            final slot, stored flat with stride cols + 1.
 //   basis:   basis[i] = column basic in row i.
 //   cost:    objective coefficients per column (minimization).
 //   can_enter: columns allowed to enter the basis.
 // Returns kOptimal/kUnbounded; on optimal, *objective holds the value.
-LpStatus RunSimplex(std::vector<std::vector<double>>& tableau,
+LpStatus RunSimplex(double* tableau, std::size_t m,
                     std::vector<std::size_t>& basis,
                     const std::vector<double>& cost,
                     const std::vector<bool>& can_enter, std::size_t cols,
                     double* objective) {
-  const std::size_t m = tableau.size();
+  const std::size_t stride = cols + 1;
   while (true) {
     // Reduced costs: rc_j = c_j - sum_i c_B(i) * T[i][j]. Recomputed
     // from scratch every iteration; the LPs in this library are tiny.
+    // Basic columns are summarized in a bitmask when they fit in one
+    // word (the common case), avoiding an O(m) scan per column.
+    std::uint64_t basic_mask = 0;
+    const bool small = cols <= 64;
+    if (small) {
+      for (std::size_t i = 0; i < m; ++i) basic_mask |= 1ull << basis[i];
+    }
     std::size_t entering = cols;
     for (std::size_t j = 0; j < cols; ++j) {
       if (!can_enter[j]) continue;
-      bool is_basic = false;
-      for (std::size_t i = 0; i < m; ++i) {
-        if (basis[i] == j) {
-          is_basic = true;
-          break;
+      bool is_basic;
+      if (small) {
+        is_basic = (basic_mask >> j) & 1;
+      } else {
+        is_basic = false;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (basis[i] == j) {
+            is_basic = true;
+            break;
+          }
         }
       }
       if (is_basic) continue;
       double rc = cost[j];
       for (std::size_t i = 0; i < m; ++i) {
         if (cost[basis[i]] != 0.0) {
-          rc -= cost[basis[i]] * tableau[i][j];
+          rc -= cost[basis[i]] * tableau[i * stride + j];
         }
       }
       if (rc < -kTol) {
@@ -53,7 +66,7 @@ LpStatus RunSimplex(std::vector<std::vector<double>>& tableau,
     if (entering == cols) {
       double obj = 0.0;
       for (std::size_t i = 0; i < m; ++i) {
-        obj += cost[basis[i]] * tableau[i][cols];
+        obj += cost[basis[i]] * tableau[i * stride + cols];
       }
       *objective = obj;
       return LpStatus::kOptimal;
@@ -63,9 +76,9 @@ LpStatus RunSimplex(std::vector<std::vector<double>>& tableau,
     std::size_t leaving = m;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < m; ++i) {
-      const double a = tableau[i][entering];
+      const double a = tableau[i * stride + entering];
       if (a <= kTol) continue;
-      const double ratio = tableau[i][cols] / a;
+      const double ratio = tableau[i * stride + cols] / a;
       if (ratio < best_ratio - kTol ||
           (ratio < best_ratio + kTol &&
            (leaving == m || basis[i] < basis[leaving]))) {
@@ -76,18 +89,29 @@ LpStatus RunSimplex(std::vector<std::vector<double>>& tableau,
     if (leaving == m) return LpStatus::kUnbounded;
 
     // Pivot on (leaving, entering).
-    const double pivot = tableau[leaving][entering];
-    for (double& v : tableau[leaving]) v /= pivot;
+    const double pivot = tableau[leaving * stride + entering];
+    double* lrow = tableau + leaving * stride;
+    for (std::size_t j = 0; j <= cols; ++j) lrow[j] /= pivot;
     for (std::size_t i = 0; i < m; ++i) {
       if (i == leaving) continue;
-      const double factor = tableau[i][entering];
+      const double factor = tableau[i * stride + entering];
       if (factor == 0.0) continue;
+      double* row = tableau + i * stride;
       for (std::size_t j = 0; j <= cols; ++j) {
-        tableau[i][j] -= factor * tableau[leaving][j];
+        row[j] -= factor * lrow[j];
       }
     }
     basis[leaving] = entering;
   }
+}
+
+// rhs-flipped relation of a row (rows with negative rhs are negated
+// during tableau assembly).
+LpRelation EffectiveRelation(LpRelation rel, double rhs) {
+  if (rhs >= 0) return rel;
+  if (rel == LpRelation::kLessEq) return LpRelation::kGreaterEq;
+  if (rel == LpRelation::kGreaterEq) return LpRelation::kLessEq;
+  return LpRelation::kEqual;
 }
 
 }  // namespace
@@ -100,8 +124,8 @@ LinearProgram::LinearProgram(std::size_t num_vars) : num_vars_(num_vars) {
 void LinearProgram::AddConstraint(std::span<const double> coeffs,
                                   LpRelation rel, double rhs) {
   DRLI_CHECK_EQ(coeffs.size(), num_vars_);
-  rows_.push_back(Row{std::vector<double>(coeffs.begin(), coeffs.end()),
-                      rel, rhs});
+  row_coeffs_.insert(row_coeffs_.end(), coeffs.begin(), coeffs.end());
+  rows_.push_back(RowMeta{rel, rhs});
 }
 
 void LinearProgram::SetMinimize(std::span<const double> coeffs) {
@@ -117,81 +141,81 @@ void LinearProgram::SetMaximize(std::span<const double> coeffs) {
   maximize_ = true;
 }
 
-LpResult LinearProgram::Solve() const {
-  const std::size_t m = rows_.size();
+LpResult LinearProgram::Solve() const { return SolveImpl(false); }
 
-  // Normalize rows to non-negative rhs, counting extra columns.
-  struct NormRow {
-    std::vector<double> coeffs;
-    LpRelation rel;
-    double rhs;
-  };
-  std::vector<NormRow> rows;
-  rows.reserve(m);
-  std::size_t num_slack = 0;
-  for (const Row& r : rows_) {
-    NormRow nr{r.coeffs, r.rel, r.rhs};
-    if (nr.rhs < 0) {
-      for (double& c : nr.coeffs) c = -c;
-      nr.rhs = -nr.rhs;
-      if (nr.rel == LpRelation::kLessEq) {
-        nr.rel = LpRelation::kGreaterEq;
-      } else if (nr.rel == LpRelation::kGreaterEq) {
-        nr.rel = LpRelation::kLessEq;
-      }
-    }
-    if (nr.rel != LpRelation::kEqual) ++num_slack;
-    rows.push_back(std::move(nr));
-  }
+bool LinearProgram::IsFeasible() const {
+  return SolveImpl(true).status == LpStatus::kOptimal;
+}
+
+LpResult LinearProgram::SolveImpl(bool feasibility_only) const {
+  const std::size_t m = rows_.size();
 
   // Column layout: [original vars][slack/surplus][artificials][rhs].
   // <= rows take a slack and need no artificial; >= and == rows take an
-  // artificial (>= additionally takes a surplus column).
+  // artificial (>= additionally takes a surplus column). Rows with a
+  // negative rhs are negated (flipping the relation) as the tableau is
+  // assembled, so no normalized copy of the rows is materialized.
+  std::size_t num_slack = 0;
   std::size_t num_artificial = 0;
-  for (const NormRow& r : rows) {
-    if (r.rel != LpRelation::kLessEq) ++num_artificial;
+  for (const RowMeta& r : rows_) {
+    const LpRelation rel = EffectiveRelation(r.rel, r.rhs);
+    if (rel != LpRelation::kEqual) ++num_slack;
+    if (rel != LpRelation::kLessEq) ++num_artificial;
   }
   const std::size_t slack_base = num_vars_;
   const std::size_t art_base = num_vars_ + num_slack;
   const std::size_t cols = art_base + num_artificial;
+  const std::size_t stride = cols + 1;
 
-  std::vector<std::vector<double>> tableau(
-      m, std::vector<double>(cols + 1, 0.0));
-  std::vector<std::size_t> basis(m, 0);
+  // Scratch reused across calls: the EDS facet test solves hundreds of
+  // thousands of tiny LPs per build, and per-call heap churn was a
+  // measurable fraction of build time. thread_local keeps the parallel
+  // build race-free.
+  thread_local std::vector<double> tableau;
+  thread_local std::vector<std::size_t> basis;
+  tableau.assign(m * stride, 0.0);
+  basis.assign(m, 0);
   std::size_t next_slack = slack_base;
   std::size_t next_art = art_base;
   for (std::size_t i = 0; i < m; ++i) {
-    const NormRow& r = rows[i];
-    for (std::size_t j = 0; j < num_vars_; ++j) tableau[i][j] = r.coeffs[j];
-    tableau[i][cols] = r.rhs;
-    switch (r.rel) {
+    const RowMeta& r = rows_[i];
+    const double* coeffs = row_coeffs_.data() + i * num_vars_;
+    const bool flip = r.rhs < 0;
+    double* row = tableau.data() + i * stride;
+    for (std::size_t j = 0; j < num_vars_; ++j) {
+      row[j] = flip ? -coeffs[j] : coeffs[j];
+    }
+    row[cols] = flip ? -r.rhs : r.rhs;
+    switch (EffectiveRelation(r.rel, r.rhs)) {
       case LpRelation::kLessEq:
-        tableau[i][next_slack] = 1.0;
+        row[next_slack] = 1.0;
         basis[i] = next_slack++;
         break;
       case LpRelation::kGreaterEq:
-        tableau[i][next_slack] = -1.0;
+        row[next_slack] = -1.0;
         ++next_slack;
-        tableau[i][next_art] = 1.0;
+        row[next_art] = 1.0;
         basis[i] = next_art++;
         break;
       case LpRelation::kEqual:
-        tableau[i][next_art] = 1.0;
+        row[next_art] = 1.0;
         basis[i] = next_art++;
         break;
     }
   }
 
   LpResult result;
+  thread_local std::vector<double> cost;
+  thread_local std::vector<bool> can_enter;
 
   // Phase 1: minimize the sum of artificials.
   if (num_artificial > 0) {
-    std::vector<double> cost(cols, 0.0);
+    cost.assign(cols, 0.0);
     for (std::size_t j = art_base; j < cols; ++j) cost[j] = 1.0;
-    std::vector<bool> can_enter(cols, true);
+    can_enter.assign(cols, true);
     double phase1_obj = 0.0;
-    const LpStatus status =
-        RunSimplex(tableau, basis, cost, can_enter, cols, &phase1_obj);
+    const LpStatus status = RunSimplex(tableau.data(), m, basis, cost,
+                                       can_enter, cols, &phase1_obj);
     DRLI_CHECK(status == LpStatus::kOptimal)
         << "phase-1 LP cannot be unbounded";
     if (phase1_obj > 1e-7) {
@@ -203,20 +227,22 @@ LpResult LinearProgram::Solve() const {
       if (basis[i] < art_base) continue;
       std::size_t pivot_col = cols;
       for (std::size_t j = 0; j < art_base; ++j) {
-        if (std::fabs(tableau[i][j]) > kTol) {
+        if (std::fabs(tableau[i * stride + j]) > kTol) {
           pivot_col = j;
           break;
         }
       }
       if (pivot_col == cols) continue;  // redundant row; artificial stays 0
-      const double pivot = tableau[i][pivot_col];
-      for (double& v : tableau[i]) v /= pivot;
+      const double pivot = tableau[i * stride + pivot_col];
+      double* prow = tableau.data() + i * stride;
+      for (std::size_t j = 0; j <= cols; ++j) prow[j] /= pivot;
       for (std::size_t r2 = 0; r2 < m; ++r2) {
         if (r2 == i) continue;
-        const double factor = tableau[r2][pivot_col];
+        const double factor = tableau[r2 * stride + pivot_col];
         if (factor == 0.0) continue;
+        double* row = tableau.data() + r2 * stride;
         for (std::size_t j = 0; j <= cols; ++j) {
-          tableau[r2][j] -= factor * tableau[i][j];
+          row[j] -= factor * prow[j];
         }
       }
       basis[i] = pivot_col;
@@ -224,13 +250,17 @@ LpResult LinearProgram::Solve() const {
   }
 
   // Phase 2: the real objective; artificial columns may not re-enter.
-  std::vector<double> cost(cols, 0.0);
-  for (std::size_t j = 0; j < num_vars_; ++j) cost[j] = objective_[j];
-  std::vector<bool> can_enter(cols, true);
+  // A feasibility-only solve keeps the zero objective, which makes this
+  // phase a no-op beyond the optimality check.
+  cost.assign(cols, 0.0);
+  if (!feasibility_only) {
+    for (std::size_t j = 0; j < num_vars_; ++j) cost[j] = objective_[j];
+  }
+  can_enter.assign(cols, true);
   for (std::size_t j = art_base; j < cols; ++j) can_enter[j] = false;
   double obj = 0.0;
   const LpStatus status =
-      RunSimplex(tableau, basis, cost, can_enter, cols, &obj);
+      RunSimplex(tableau.data(), m, basis, cost, can_enter, cols, &obj);
   if (status == LpStatus::kUnbounded) {
     result.status = LpStatus::kUnbounded;
     return result;
@@ -240,15 +270,9 @@ LpResult LinearProgram::Solve() const {
   result.objective = maximize_ ? -obj : obj;
   result.x.assign(num_vars_, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
-    if (basis[i] < num_vars_) result.x[basis[i]] = tableau[i][cols];
+    if (basis[i] < num_vars_) result.x[basis[i]] = tableau[i * stride + cols];
   }
   return result;
-}
-
-bool LinearProgram::IsFeasible() const {
-  LinearProgram feas = *this;
-  feas.objective_.assign(num_vars_, 0.0);
-  return feas.Solve().status == LpStatus::kOptimal;
 }
 
 }  // namespace drli

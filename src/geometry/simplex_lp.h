@@ -38,6 +38,12 @@ class LinearProgram {
   std::size_t num_vars() const { return num_vars_; }
   std::size_t num_constraints() const { return rows_.size(); }
 
+  // Reserves storage for `n` constraints (optional, a hot-path hint).
+  void ReserveConstraints(std::size_t n) {
+    rows_.reserve(n);
+    row_coeffs_.reserve(n * num_vars_);
+  }
+
   // Appends the constraint coeffs . x (rel) rhs.
   void AddConstraint(std::span<const double> coeffs, LpRelation rel,
                      double rhs);
@@ -55,14 +61,21 @@ class LinearProgram {
   bool IsFeasible() const;
 
  private:
-  struct Row {
-    std::vector<double> coeffs;
+  struct RowMeta {
     LpRelation rel;
     double rhs;
   };
 
+  // Shared two-phase body; feasibility_only runs phase 2 with a zero
+  // objective (equivalent to, but cheaper than, solving a copy with
+  // the objective cleared).
+  LpResult SolveImpl(bool feasibility_only) const;
+
   std::size_t num_vars_;
-  std::vector<Row> rows_;
+  std::vector<RowMeta> rows_;
+  // Constraint coefficients, flat with stride num_vars_; row i occupies
+  // [i * num_vars_, (i + 1) * num_vars_).
+  std::vector<double> row_coeffs_;
   std::vector<double> objective_;  // minimize form
   bool maximize_ = false;          // flips the reported objective sign
 };

@@ -1,0 +1,113 @@
+// Static kd-style bounds tree over a point subset, answering dominance
+// queries against it:
+//
+//  * AnyDominates(t)    -- does some member strictly dominate t?
+//  * ForEachDominators  -- report every member strictly dominating t.
+//
+// Nodes store the componentwise min and max corner of their subtree. A
+// subtree whose min corner fails to weakly dominate the target cannot
+// contain a dominator and is skipped in O(d); a subtree whose max
+// corner weakly dominates the target (and differs from it) consists
+// entirely of dominators and is accepted wholesale. Splits are median
+// by (coordinate, id) on the widest axis, so the tree shape -- and
+// with it every count reported through DominanceTreeStats -- is a
+// deterministic function of the input set.
+//
+// The tree copies the member coordinates into a contiguous buffer; it
+// does not keep a reference to the PointSet it was built from.
+
+#ifndef DRLI_SKYLINE_DOMINANCE_TREE_H_
+#define DRLI_SKYLINE_DOMINANCE_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+// Pruning counters for ForEachDominator. Every (member, target) pair
+// of a query lands in exactly one bucket, so over a query
+// pruned + tested == size().
+struct DominanceTreeStats {
+  // Pairs skipped wholesale because a subtree bound ruled them out.
+  std::size_t pruned = 0;
+  // Pairs resolved individually or by a whole-subtree accept.
+  std::size_t tested = 0;
+};
+
+class DominanceTree {
+ public:
+  DominanceTree() = default;
+
+  // Rebuilds the tree over points[ids[i]]. The ids must be distinct.
+  void Build(const PointSet& points, const std::vector<TupleId>& ids);
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  // True when some member strictly dominates t.
+  bool AnyDominates(PointView t) const;
+
+  // Invokes fn(id) for every member strictly dominating t. The
+  // reporting order is the tree's deterministic preorder, not id
+  // order. `stats` (optional) accumulates pruning counters.
+  void ForEachDominator(PointView t, const std::function<void(TupleId)>& fn,
+                        DominanceTreeStats* stats = nullptr) const;
+
+ private:
+  struct Node {
+    std::uint32_t begin = 0;  // member range [begin, end) in ids_/coords_
+    std::uint32_t end = 0;
+    std::int32_t right = -1;  // -1: leaf; left child is always self + 1
+  };
+
+  std::uint32_t BuildNode(std::uint32_t begin, std::uint32_t end,
+                          const std::vector<double>& raw,
+                          const std::vector<TupleId>& ids,
+                          std::vector<std::uint32_t>* perm);
+  bool AnyDominatesAt(std::uint32_t idx, PointView t) const;
+  void ForEachDominatorAt(std::uint32_t idx, PointView t,
+                          const std::function<void(TupleId)>& fn,
+                          DominanceTreeStats* stats) const;
+
+  std::size_t dim_ = 0;
+  std::vector<Node> nodes_;      // preorder
+  std::vector<double> bounds_;   // per node: min corner then max corner
+  std::vector<TupleId> ids_;     // members, grouped so leaves are contiguous
+  std::vector<double> coords_;   // ids_.size() * dim_, aligned with ids_
+};
+
+// Append-only set of points over a fixed PointSet answering
+// AnyDominates, used by the single-pass skyline layering. Internally a
+// DominanceTree over a snapshot of the members plus a small linear
+// tail of recent inserts; the tree is rebuilt (absorbing the tail)
+// once the tail exceeds a fixed fraction of the snapshot, so rebuild
+// work stays O(m log^2 m) per layer while queries mostly hit the tree.
+class IncrementalDominatorSet {
+ public:
+  explicit IncrementalDominatorSet(const PointSet& points)
+      : points_(&points), dim_(points.dim()) {}
+
+  std::size_t size() const { return members_.size(); }
+
+  void Add(TupleId id);
+  bool AnyDominates(PointView t) const;
+
+ private:
+  const PointSet* points_;
+  std::size_t dim_;
+  std::vector<TupleId> members_;  // tree snapshot prefix, then the tail
+  std::size_t tree_size_ = 0;     // members_[0, tree_size_) are in tree_
+  DominanceTree tree_;
+  // Tail coordinates, contiguous, with a componentwise-min corner per
+  // block of kTailBlock members for O(d) block rejection.
+  std::vector<double> tail_coords_;
+  std::vector<double> tail_block_min_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_SKYLINE_DOMINANCE_TREE_H_

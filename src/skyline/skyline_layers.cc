@@ -2,14 +2,69 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
 #include "geometry/convex_skyline.h"
+#include "skyline/dominance_tree.h"
 
 namespace drli {
 
 LayerDecomposition BuildSkylineLayers(const PointSet& points,
-                                      SkylineAlgorithm algorithm) {
+                                      SkylineAlgorithm /*algorithm*/) {
+  LayerDecomposition out;
+  const std::size_t n = points.size();
+  out.layer_of.assign(n, 0);
+  if (n == 0) return out;
+  const std::size_t d = points.dim();
+
+  // Ascending (attribute sum, id): every dominator of a point strictly
+  // precedes it (strict dominance implies a strictly smaller sum).
+  std::vector<std::pair<double, TupleId>> order;
+  order.reserve(n);
+  for (TupleId id = 0; id < n; ++id) {
+    const PointView p = points[id];
+    double s = 0.0;
+    for (std::size_t j = 0; j < d; ++j) s += p[j];
+    order.emplace_back(s, id);
+  }
+  std::sort(order.begin(), order.end());
+
+  // layer_of[p] = 1 + max layer among p's dominators, all of which are
+  // already placed. "Layer ℓ contains a dominator of p" is downward
+  // closed in ℓ (a layer-ℓ dominator is itself dominated by a chain
+  // through every earlier layer), so the target layer is the binary-
+  // searched least ℓ whose member set holds no dominator of p.
+  std::vector<IncrementalDominatorSet> windows;
+  for (const auto& [sum, id] : order) {
+    const PointView p = points[id];
+    std::size_t lo = 0;
+    std::size_t hi = windows.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (windows[mid].AnyDominates(p)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == windows.size()) {
+      windows.emplace_back(points);
+      out.layers.emplace_back();
+    }
+    windows[lo].Add(id);
+    out.layers[lo].push_back(id);
+    out.layer_of[id] = lo;
+  }
+  // Insertion was in sum order; the contract is ascending ids.
+  for (std::vector<TupleId>& layer : out.layers) {
+    std::sort(layer.begin(), layer.end());
+  }
+  return out;
+}
+
+LayerDecomposition BuildSkylineLayersByPeeling(const PointSet& points,
+                                               SkylineAlgorithm algorithm) {
   LayerDecomposition out;
   out.layer_of.assign(points.size(), 0);
   std::vector<TupleId> remaining(points.size());
@@ -72,25 +127,20 @@ ConvexLayerDecomposition BuildConvexLayers(const PointSet& points,
 void ForEachDominancePair(
     const PointSet& points, const std::vector<TupleId>& upper,
     const std::vector<TupleId>& lower,
-    const std::function<void(TupleId source, TupleId target)>& edge) {
-  const std::size_t d = points.dim();
-  std::vector<std::pair<double, TupleId>> upper_by_sum;
-  upper_by_sum.reserve(upper.size());
-  for (TupleId id : upper) {
-    double s = 0.0;
-    const PointView p = points[id];
-    for (std::size_t j = 0; j < d; ++j) s += p[j];
-    upper_by_sum.emplace_back(s, id);
-  }
-  std::sort(upper_by_sum.begin(), upper_by_sum.end());
+    const std::function<void(TupleId source, TupleId target)>& edge,
+    DominancePairStats* stats) {
+  if (upper.empty() || lower.empty()) return;
+  DominanceTree tree;
+  tree.Build(points, upper);
+  DominanceTreeStats tree_stats;
   for (TupleId target : lower) {
-    const PointView tp = points[target];
-    double target_sum = 0.0;
-    for (std::size_t j = 0; j < d; ++j) target_sum += tp[j];
-    for (const auto& [sum, source] : upper_by_sum) {
-      if (sum >= target_sum) break;
-      if (Dominates(points[source], tp)) edge(source, target);
-    }
+    tree.ForEachDominator(
+        points[target], [&](TupleId source) { edge(source, target); },
+        &tree_stats);
+  }
+  if (stats != nullptr) {
+    stats->pairs_pruned += tree_stats.pruned;
+    stats->pairs_tested += tree_stats.tested;
   }
 }
 

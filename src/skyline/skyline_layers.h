@@ -31,7 +31,25 @@ struct LayerDecomposition {
 };
 
 // Iterated skylines: layer 1 = SKY(R), layer i = SKY(R - earlier).
+//
+// Computed in a single pass rather than by repeated skyline peels:
+// points are processed in ascending attribute-sum order (every
+// dominator of a point strictly precedes it), and each point's layer
+// is 1 + the deepest layer holding one of its dominators. Because
+// dominance is transitive, "some member of layer ℓ dominates p" is
+// downward closed in ℓ, so that layer is found by binary search over
+// the layers built so far. The decomposition is unique, so the result
+// is identical to peeling; `algorithm` is kept for call-site
+// compatibility (it selected the per-peel skyline subroutine, which
+// the single-pass build no longer runs).
 LayerDecomposition BuildSkylineLayers(
+    const PointSet& points,
+    SkylineAlgorithm algorithm = SkylineAlgorithm::kSkyTree);
+
+// Reference implementation: repeated ComputeSkylineOfSubset peels with
+// `algorithm`. Same output as BuildSkylineLayers on every input (the
+// decomposition is unique); kept for equivalence tests and ablations.
+LayerDecomposition BuildSkylineLayersByPeeling(
     const PointSet& points,
     SkylineAlgorithm algorithm = SkylineAlgorithm::kSkyTree);
 
@@ -50,14 +68,32 @@ ConvexLayerDecomposition BuildConvexLayers(
     std::size_t max_layers = std::numeric_limits<std::size_t>::max(),
     SkylineAlgorithm algorithm = SkylineAlgorithm::kSkyTree);
 
+// Pruning effectiveness counters for ForEachDominancePair. Every
+// candidate (source, target) pair lands in exactly one bucket, so
+// pairs_pruned + pairs_tested == |upper| * |lower|.
+struct DominancePairStats {
+  // Pairs skipped wholesale because a subtree bound ruled them out.
+  std::size_t pairs_pruned = 0;
+  // Pairs resolved individually or by a whole-subtree accept.
+  std::size_t pairs_tested = 0;
+};
+
 // Invokes edge(t, t') for every pair t in `upper`, t' in `lower` with
-// t ≺ t'. Used to wire ∀-dominance edges between adjacent layers; sorts
-// `upper` by attribute sum so each scan stops early (a dominator always
-// has a strictly smaller sum).
+// t ≺ t'. Used to wire ∀-dominance edges between adjacent layers.
+//
+// Bounds-tree scan: `upper` is indexed by a kd-style tree whose nodes
+// carry componentwise min/max corners (DominanceTree); per target, a
+// subtree whose min corner fails to weakly dominate the target is
+// skipped in O(d) and a subtree whose max corner weakly dominates it
+// is accepted wholesale. Targets are visited in the given `lower`
+// order; the per-target source order is the tree's deterministic
+// preorder (callers must not rely on a particular source order).
+// `stats` (optional) accumulates pruning counters.
 void ForEachDominancePair(
     const PointSet& points, const std::vector<TupleId>& upper,
     const std::vector<TupleId>& lower,
-    const std::function<void(TupleId source, TupleId target)>& edge);
+    const std::function<void(TupleId source, TupleId target)>& edge,
+    DominancePairStats* stats = nullptr);
 
 }  // namespace drli
 

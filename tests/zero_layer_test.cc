@@ -41,14 +41,9 @@ TEST(WeightRangeTableTest, LookupMatchesArgminOnChain) {
     const Point w = rng.SimplexWeight(2);
     const TupleId via_table = table.chain()[table.Lookup(w[0])];
     // Brute-force argmin over the whole dataset.
-    TupleId best = 0;
     double best_score = Score(w, pts[0]);
     for (std::size_t i = 1; i < pts.size(); ++i) {
-      const double s = Score(w, pts[i]);
-      if (s < best_score) {
-        best_score = s;
-        best = static_cast<TupleId>(i);
-      }
+      best_score = std::min(best_score, Score(w, pts[i]));
     }
     EXPECT_NEAR(Score(w, pts[via_table]), best_score, 1e-9)
         << "w1=" << w[0];

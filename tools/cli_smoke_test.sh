@@ -10,8 +10,13 @@ trap 'rm -rf "$WORK"' EXIT
 "$CLI" generate --dist=ant --n=2000 --d=3 --seed=9 --out="$WORK/data.csv" \
   | grep -q "wrote 2000 x 3 ant tuples"
 
-"$CLI" build --input="$WORK/data.csv" --kind=dl+ --out="$WORK/index.bin" \
-  | grep -q "saved to"
+BUILD_OUT="$("$CLI" build --input="$WORK/data.csv" --kind=dl+ --out="$WORK/index.bin")"
+echo "$BUILD_OUT" | grep -q "saved to"
+# Per-phase build observability.
+echo "$BUILD_OUT" | grep -q "build phases: skyline="
+echo "$BUILD_OUT" | grep -q "fine_peel="
+echo "$BUILD_OUT" | grep -qE "eds: lp_calls=[0-9]+ bbox_rejects=[0-9]+"
+echo "$BUILD_OUT" | grep -qE "coarse edges: pairs_pruned=[0-9]+ pairs_tested=[0-9]+"
 
 "$CLI" stats --index="$WORK/index.bin" | grep -q "coarse layers:"
 

@@ -150,6 +150,18 @@ int CmdBuild(const Flags& flags) {
       DualLayerIndex::Build(dataset.value().points(), options);
   std::printf("built %s over %zu tuples in %.2fs\n", index.name().c_str(),
               index.size(), timer.ElapsedSeconds());
+  const DualLayerBuildStats& bs = index.build_stats();
+  std::printf(
+      "build phases: skyline=%.3fs fine_peel=%.3fs coarse_edge=%.3fs "
+      "zero_layer=%.3fs finalize=%.3fs\n",
+      bs.skyline_seconds, bs.fine_peel_seconds, bs.coarse_edge_seconds,
+      bs.zero_layer_seconds, bs.finalize_seconds);
+  std::printf(
+      "eds: lp_calls=%zu bbox_rejects=%zu member_hits=%zu (%.3fs)\n",
+      bs.eds_lp_calls, bs.eds_bbox_rejects, bs.eds_member_hits,
+      bs.eds_seconds);
+  std::printf("coarse edges: pairs_pruned=%zu pairs_tested=%zu\n",
+              bs.coarse_pairs_pruned, bs.coarse_pairs_tested);
   if (const Status status = SaveDualLayerIndex(index, out); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
