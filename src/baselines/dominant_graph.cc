@@ -1,5 +1,7 @@
 #include "baselines/dominant_graph.h"
 
+#include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "common/check.h"
@@ -86,11 +88,10 @@ TopKResult DominantGraphIndex::Query(const TopKQuery& query) const {
 
 TopKResult DominantGraphIndex::QueryMonotone(const MonotoneScorer& scorer,
                                              std::size_t k) const {
-  DRLI_CHECK_GE(k, 1u);
   const std::size_t total = num_nodes();
 
   TopKResult result;
-  if (total == 0) return result;
+  if (total == 0 || k == 0) return result;
 
   enum : std::uint8_t { kBlocked = 0, kQueued = 1, kPopped = 2 };
   std::vector<std::uint32_t> remaining = in_degree_;
@@ -108,9 +109,16 @@ TopKResult DominantGraphIndex::QueryMonotone(const MonotoneScorer& scorer,
   };
   std::priority_queue<Entry, std::vector<Entry>, Greater> queue;
 
+  // Once the k-th answer is known, only exact ties at its score can
+  // still enter the (score, id)-ordered result; probes above it are
+  // discarded without being charged to the cost metric (the original
+  // stop-at-k traversal would never have materialized them).
+  double tie_cutoff = std::numeric_limits<double>::infinity();
+
   auto try_enqueue = [&](NodeId node) {
     if (state[node] != kBlocked || remaining[node] != 0) return;
     const double score = scorer(node_point(node));
+    if (score > tie_cutoff) return;
     if (is_virtual(node)) {
       ++result.stats.virtual_evaluated;
     } else {
@@ -123,19 +131,27 @@ TopKResult DominantGraphIndex::QueryMonotone(const MonotoneScorer& scorer,
 
   for (NodeId node : initial_) try_enqueue(node);
 
-  while (result.items.size() < k && !queue.empty()) {
+  while (!queue.empty()) {
+    // Pops are non-decreasing: every blocked node has an in-queue
+    // ancestor scoring no higher than itself, so once the queue minimum
+    // is strictly worse than the k-th answer no tie can be hidden
+    // behind a blocked node.
+    if (result.items.size() >= k && queue.top().score > tie_cutoff) break;
     const Entry top = queue.top();
     queue.pop();
     state[top.node] = kPopped;
     if (!is_virtual(top.node)) {
       result.items.push_back(ScoredTuple{top.node, top.score});
-      if (result.items.size() == k) break;
+      if (result.items.size() == k) tie_cutoff = top.score;
     }
     for (const NodeId succ : out_[top.node]) {
       DRLI_DCHECK(remaining[succ] > 0);
       if (--remaining[succ] == 0) try_enqueue(succ);
     }
   }
+  // Ties freed late pop out of id order; restore the canonical order.
+  std::sort(result.items.begin(), result.items.end(), ResultOrderLess);
+  if (result.items.size() > k) result.items.resize(k);
   return result;
 }
 

@@ -40,7 +40,7 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
   const PointView w(query.weights);
 
   TopKResult result;
-  if (points_.empty()) return result;
+  if (points_.empty() || query.k == 0) return result;
   if (stats_.truncated) {
     DRLI_CHECK(query.k < layers_.size())
         << "k exceeds the peeled layer budget of this HL index";
@@ -48,17 +48,29 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
 
   TopKHeap heap(query.k);
   std::size_t layers_scanned = 0;
-  // Strictly increasing lower bound on the minimum score of every
-  // still-unscanned layer (HL+ only): convex-layer minima increase
-  // layer over layer, so the previous layer's minimum bounds them all.
+  // Weakly increasing lower bound on the minimum score of every
+  // still-unscanned layer: convex-layer minima increase layer over
+  // layer, so the previous layer's minimum bounds them all.
   double chain_bound = -std::numeric_limits<double>::infinity();
+  // Lower bound on every tuple in the unscanned suffix at loop exit;
+  // ties with the k-th answer remain possible while it is <= KthScore.
+  double separation = std::numeric_limits<double>::infinity();
+  bool scanned_all = true;
   for (const SortedLists& layer_lists : lists_) {
-    if (layers_scanned == query.k) break;  // k-layer guarantee
-    if (tight_threshold_ &&
-        std::max(chain_bound, LayerScoreLowerBound(layer_lists, w)) >=
-            heap.KthScore()) {
-      // No tuple in this or any later layer can enter the top-k.
+    if (layers_scanned == query.k) {  // k-layer guarantee
+      separation = chain_bound;
+      scanned_all = false;
       break;
+    }
+    if (tight_threshold_) {
+      const double layer_floor =
+          std::max(chain_bound, LayerScoreLowerBound(layer_lists, w));
+      if (layer_floor >= heap.KthScore()) {
+        // No tuple in this or any later layer can beat the top-k.
+        separation = layer_floor;
+        scanned_all = false;
+        break;
+      }
     }
     double layer_min_bound = 0.0;
     TaScanLayer(points_, layer_lists, w, &heap,
@@ -66,6 +78,30 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
                 &result.accessed);
     chain_bound = std::max(chain_bound, layer_min_bound);
     ++layers_scanned;
+  }
+  // Cross-layer tie-probe: the k-layer guarantee puts every unscanned
+  // tuple at or above the k-th answer, but an exact duplicate can still
+  // tie it and the canonical (score, id) order must then surface the
+  // smaller id. Walk the unscanned suffix charging only genuine ties
+  // (the tie-agnostic reference never materializes the rest) until a
+  // layer's true minimum strictly separates. Within-layer ties were
+  // already resolved by TaScanLayer's own probe.
+  if (!scanned_all && heap.size() == heap.k() &&
+      separation <= heap.KthScore()) {
+    const double kth = heap.KthScore();
+    for (std::size_t i = layers_scanned; i < layers_.size(); ++i) {
+      double layer_min = std::numeric_limits<double>::infinity();
+      for (TupleId id : layers_[i]) {
+        const double score = Score(w, points_[id]);
+        layer_min = std::min(layer_min, score);
+        if (score == kth) {
+          ++result.stats.tuples_evaluated;
+          result.accessed.push_back(id);
+          heap.Push(ScoredTuple{id, score});
+        }
+      }
+      if (layer_min > kth) break;
+    }
   }
   result.items = heap.SortedAscending();
   result.stats.elapsed_seconds = timer.ElapsedSeconds();

@@ -48,6 +48,10 @@ TopKResult ListIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
   ValidateQuery(query, points_.dim());
   TopKResult result;
+  if (query.k == 0) {
+    result.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
   switch (algorithm_) {
     case ListAlgorithm::kFa:
       result = QueryFa(query);
@@ -117,20 +121,29 @@ TopKResult ListIndex::QueryNra(const TopKQuery& query) const {
 
   struct Partial {
     std::uint32_t known_mask = 0;
-    double known_sum = 0.0;
+    Point values;  // revealed attribute values, canonical slots
   };
   std::unordered_map<TupleId, Partial> seen;
   seen.reserve(16 * k);
   std::vector<double> frontier(d, 0.0);
 
+  // Both bounds sum in canonical attribute order (never in list-reveal
+  // order): exact duplicates with equal known masks then carry
+  // bitwise-equal bounds, and a fully known tuple's bound is exactly
+  // Score(w, tuple). A running sum in reveal order drifts by an ulp
+  // and splits exact ties at the stop decision.
   auto bounds_of = [&](const Partial& p) {
-    double lower = p.known_sum, upper = p.known_sum;
+    double lower = 0.0, upper = 0.0;
     for (std::size_t attr = 0; attr < d; ++attr) {
-      if (p.known_mask & (1u << attr)) continue;
-      // An attribute not yet seen in list `attr` is at or beyond the
-      // frontier, and at most the list maximum.
-      lower += w[attr] * frontier[attr];
-      upper += w[attr] * attr_max[attr];
+      if (p.known_mask & (1u << attr)) {
+        lower += w[attr] * p.values[attr];
+        upper += w[attr] * p.values[attr];
+      } else {
+        // An attribute not yet seen in list `attr` is at or beyond the
+        // frontier, and at most the list maximum.
+        lower += w[attr] * frontier[attr];
+        upper += w[attr] * attr_max[attr];
+      }
     }
     return std::make_pair(lower, upper);
   };
@@ -141,9 +154,10 @@ TopKResult ListIndex::QueryNra(const TopKQuery& query) const {
       const SortedLists::Entry& e = lists_.At(attr, pos);
       frontier[attr] = e.value;
       Partial& p = seen[e.id];
+      if (p.values.empty()) p.values.assign(d, 0.0);
       if (!(p.known_mask & (1u << attr))) {
         p.known_mask |= (1u << attr);
-        p.known_sum += w[attr] * e.value;
+        p.values[attr] = e.value;
       }
     }
 
@@ -178,7 +192,10 @@ TopKResult ListIndex::QueryNra(const TopKQuery& query) const {
       }
       min_other_lower = std::min(min_other_lower, unseen_lower);
     }
-    if (kth_upper <= min_other_lower) {
+    // STRICT separation: at kth_upper == min_other_lower a tuple
+    // outside the candidate set could still realize an exact tie with
+    // a smaller id; keep scanning (exhaustion resolves ties exactly).
+    if (kth_upper < min_other_lower) {
       winners.assign(uppers.begin(), uppers.begin() + k);
       break;
     }
@@ -203,11 +220,7 @@ TopKResult ListIndex::QueryNra(const TopKQuery& query) const {
   for (const auto& [upper, id] : winners) {
     result.items.push_back(ScoredTuple{id, Score(w, points_[id])});
   }
-  std::sort(result.items.begin(), result.items.end(),
-            [](const ScoredTuple& a, const ScoredTuple& b) {
-              if (a.score != b.score) return a.score < b.score;
-              return a.id < b.id;
-            });
+  std::sort(result.items.begin(), result.items.end(), ResultOrderLess);
   return result;
 }
 

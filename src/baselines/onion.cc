@@ -33,7 +33,7 @@ TopKResult OnionIndex::Query(const TopKQuery& query) const {
   const PointView w(query.weights);
 
   TopKResult result;
-  if (points_.empty()) return result;
+  if (points_.empty() || query.k == 0) return result;
   if (stats_.truncated) {
     // The tail layer breaks the k-layer guarantee beyond the cap.
     DRLI_CHECK(query.k < layers_.size())
@@ -42,6 +42,7 @@ TopKResult OnionIndex::Query(const TopKQuery& query) const {
 
   TopKHeap heap(query.k);
   std::size_t layers_scanned = 0;
+  double prev_min = -std::numeric_limits<double>::infinity();
   for (const std::vector<TupleId>& layer : layers_) {
     if (layers_scanned == query.k) break;  // k-layer guarantee
     double layer_min = std::numeric_limits<double>::infinity();
@@ -53,9 +54,32 @@ TopKResult OnionIndex::Query(const TopKQuery& query) const {
       layer_min = std::min(layer_min, score);
     }
     ++layers_scanned;
+    prev_min = layer_min;
     // Layer minima strictly increase, so once the k-th best is at or
     // below this layer's minimum no later layer can improve the result.
     if (early_stop_ && heap.KthScore() <= layer_min) break;
+  }
+  // Tie-probe phase: layer minima only WEAKLY increase under exact
+  // duplicates, so at KthScore == prev_min an unscanned layer can still
+  // hold an equal-score tuple that the canonical (score, id) order must
+  // prefer. Probe forward until a layer's minimum strictly separates;
+  // probes are charged to the cost metric only when they actually tie
+  // (the classic tie-agnostic traversal never materializes the rest).
+  if (heap.size() == heap.k() && heap.KthScore() >= prev_min) {
+    const double kth = heap.KthScore();
+    for (std::size_t i = layers_scanned; i < layers_.size(); ++i) {
+      double layer_min = std::numeric_limits<double>::infinity();
+      for (TupleId id : layers_[i]) {
+        const double score = Score(w, points_[id]);
+        layer_min = std::min(layer_min, score);
+        if (score == kth) {
+          ++result.stats.tuples_evaluated;
+          result.accessed.push_back(id);
+          heap.Push(ScoredTuple{id, score});
+        }
+      }
+      if (layer_min > kth) break;
+    }
   }
   result.items = heap.SortedAscending();
   result.stats.elapsed_seconds = timer.ElapsedSeconds();

@@ -68,7 +68,7 @@ TopKResult PartitionedLayerIndex::Query(const TopKQuery& query) const {
   const PointView w(query.weights);
 
   TopKResult result;
-  if (points_.empty()) return result;
+  if (points_.empty() || query.k == 0) return result;
   const std::size_t p = layers_.size();
 
   TopKHeap heap(query.k);
@@ -101,6 +101,31 @@ TopKResult PartitionedLayerIndex::Query(const TopKQuery& query) const {
     }
     bound[best] = layer_min;
     ++cursor[best];
+  }
+  // Per-partition tie-probe: the bounds above put every unscanned tuple
+  // at or above the k-th answer, but an exact duplicate can still tie
+  // it and the canonical (score, id) order must then surface the
+  // smaller id. Walk each partition's unscanned suffix charging only
+  // genuine ties (the tie-agnostic reference never materializes the
+  // rest) until its layer minimum strictly separates.
+  if (heap.size() == heap.k()) {
+    const double kth = heap.KthScore();
+    for (std::size_t part = 0; part < p; ++part) {
+      if (bound[part] > kth) continue;
+      for (std::size_t i = cursor[part]; i < layers_[part].size(); ++i) {
+        double layer_min = std::numeric_limits<double>::infinity();
+        for (TupleId id : layers_[part][i]) {
+          const double score = Score(w, points_[id]);
+          layer_min = std::min(layer_min, score);
+          if (score == kth) {
+            ++result.stats.tuples_evaluated;
+            result.accessed.push_back(id);
+            heap.Push(ScoredTuple{id, score});
+          }
+        }
+        if (layer_min > kth) break;
+      }
+    }
   }
   result.items = heap.SortedAscending();
   result.stats.elapsed_seconds = timer.ElapsedSeconds();

@@ -30,10 +30,11 @@ double CosineSimilarity(PointView a, PointView b) {
 }  // namespace
 
 double MinQueryScoreGivenViewBound(PointView query_weights,
-                                   PointView view_weights,
-                                   double threshold) {
+                                   PointView view_weights, double threshold,
+                                   PointView box) {
   const std::size_t d = query_weights.size();
   DRLI_DCHECK(view_weights.size() == d);
+  DRLI_DCHECK(box.empty() || box.size() == d);
   if (threshold <= 0.0) return 0.0;
   // Fractional knapsack: buy view-score units at the cheapest
   // query-score price q_i / v_i first.
@@ -53,7 +54,8 @@ double MinQueryScoreGivenViewBound(PointView query_weights,
   double cost = 0.0;
   for (std::size_t i : order) {
     if (view_weights[i] <= 0.0) break;
-    const double take = std::min(1.0, remaining / view_weights[i]);
+    const double cap = box.empty() ? 1.0 : box[i];
+    const double take = std::min(cap, remaining / view_weights[i]);
     cost += query_weights[i] * take;
     remaining -= view_weights[i] * take;
     if (remaining <= 1e-12) return cost;
@@ -73,6 +75,15 @@ ViewIndex ViewIndex::Build(PointSet points, const ViewIndexOptions& options) {
                     : options.name;
 
   const std::size_t d = index.points_.dim();
+  // The stop bounds minimize over the data's bounding box; assuming the
+  // unit box silently breaks on data outside [0,1]^d.
+  index.attr_max_.assign(d, 0.0);
+  for (std::size_t i = 0; i < index.points_.size(); ++i) {
+    for (std::size_t a = 0; a < d; ++a) {
+      index.attr_max_[a] = std::max(index.attr_max_[a],
+                                    index.points_.At(i, a));
+    }
+  }
   const std::size_t num_views = std::max<std::size_t>(1, options.num_views);
   Rng rng(options.seed);
   index.view_weights_.push_back(Point(d, 1.0 / static_cast<double>(d)));
@@ -119,9 +130,12 @@ std::vector<std::size_t> ViewIndex::SelectViews(PointView weights,
 TopKResult ViewIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
   ValidateQuery(query, points_.dim());
-  TopKResult result = options_.algorithm == ViewAlgorithm::kPrefer
-                          ? QueryPrefer(query)
-                          : QueryLpta(query);
+  TopKResult result;
+  if (query.k > 0) {
+    result = options_.algorithm == ViewAlgorithm::kPrefer
+                 ? QueryPrefer(query)
+                 : QueryLpta(query);
+  }
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -142,8 +156,11 @@ TopKResult ViewIndex::QueryPrefer(const TopKQuery& query) const {
     result.accessed.push_back(entry.id);
     heap.Push(ScoredTuple{entry.id, score});
     // Watermark: every unseen tuple has view score >= entry.score, so
-    // its query score is at least the knapsack bound.
-    if (MinQueryScoreGivenViewBound(q, v, entry.score) >= heap.KthScore()) {
+    // its query score is at least the knapsack bound. STRICT stop so an
+    // unseen equal-score tuple can still claim its (score, id) slot.
+    if (MinQueryScoreGivenViewBound(q, v, entry.score,
+                                    PointView(attr_max_)) >
+        heap.KthScore()) {
       break;
     }
   }
@@ -183,7 +200,8 @@ TopKResult ViewIndex::QueryLpta(const TopKQuery& query) const {
     for (std::size_t j = 0; j < d; ++j) {
       std::fill(row.begin(), row.end(), 0.0);
       row[j] = 1.0;
-      lp.AddConstraint(row, LpRelation::kLessEq, 1.0);  // x_j <= 1
+      lp.AddConstraint(row, LpRelation::kLessEq,
+                       attr_max_[j]);  // x_j <= data max
     }
     for (const std::size_t view_id : selected) {
       const Point& vw = view_weights_[view_id];
@@ -193,9 +211,10 @@ TopKResult ViewIndex::QueryLpta(const TopKQuery& query) const {
     std::vector<double> objective(q.begin(), q.end());
     lp.SetMinimize(objective);
     const LpResult bound = lp.Solve();
+    // STRICT stop: equal-score ties beyond the frontier must be seen.
     if (bound.status == LpStatus::kInfeasible ||
         (bound.status == LpStatus::kOptimal &&
-         bound.objective >= heap.KthScore())) {
+         bound.objective > heap.KthScore())) {
       break;
     }
   }

@@ -83,16 +83,21 @@ class ViewIndex final : public TopKIndex {
   ViewIndexOptions options_;
   ViewIndexBuildStats stats_;
   PointSet points_;
+  Point attr_max_;  // per-attribute data maxima: the bounding box
   std::vector<Point> view_weights_;
   std::vector<std::vector<ViewEntry>> views_;  // ascending by score
 };
 
-// Exact minimum of q . x over {x in [0,1]^d : v . x >= threshold}, the
-// PREFER watermark bound: a fractional knapsack filled in increasing
-// q_i / v_i order. Returns +infinity when the constraint is infeasible
-// within the unit box. Exposed for tests.
+// Exact minimum of q . x over {x in [0, box] : v . x >= threshold},
+// the PREFER watermark bound: a fractional knapsack filled in
+// increasing q_i / v_i order. `box` holds the per-attribute maxima of
+// the data (empty = the unit box); bounding by the actual data box
+// matters because a [0,1] cap on data that exceeds it overestimates
+// the bound and stops the scan before true answers. Returns +infinity
+// when the constraint is infeasible within the box. Exposed for tests.
 double MinQueryScoreGivenViewBound(PointView query_weights,
-                                   PointView view_weights, double threshold);
+                                   PointView view_weights, double threshold,
+                                   PointView box = {});
 
 }  // namespace drli
 

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -61,7 +62,7 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
   const std::size_t total = num_nodes();
 
   TopKResult result;
-  if (total == 0) return result;
+  if (total == 0 || query.k == 0) return result;
 
   QueryScratch& s = *scratch;
   s.Prepare(total);
@@ -82,6 +83,13 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
     }
   };
 
+  // Once the k-th answer is known, only exact ties at its score can
+  // still change the (score, id)-ordered result. Probes above it are
+  // discarded unscored-as-far-as-the-cost-model-goes: the original
+  // algorithm would never have materialized them, so charging them
+  // would distort the Definition-9 metric on tie-free queries.
+  double tie_cutoff = std::numeric_limits<double>::infinity();
+
   // Precondition: `node` touched.
   auto try_enqueue = [&](NodeId node) {
     if (s.state_[node] != kBlocked) return;
@@ -90,6 +98,7 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
       return;
     }
     const double score = Score(w, node_point(node));
+    if (score > tie_cutoff) return;
     if (is_virtual(node)) {
       ++result.stats.virtual_evaluated;
     } else {
@@ -116,7 +125,15 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
     try_enqueue(node);
   }
 
-  while (result.items.size() < query.k && !s.heap_.empty()) {
+  while (!s.heap_.empty()) {
+    // Pops are non-decreasing in (score, node): every blocked node has
+    // an in-heap ancestor with a score no larger than its own, so once
+    // the heap minimum is strictly worse than the k-th answer no exact
+    // tie can be hiding behind a blocked node and the query is done.
+    if (result.items.size() >= query.k &&
+        s.heap_.front().score > tie_cutoff) {
+      break;
+    }
     std::pop_heap(s.heap_.begin(), s.heap_.end(), HeapEntryGreater{});
     const QueryScratch::HeapEntry top = s.heap_.back();
     s.heap_.pop_back();
@@ -125,7 +142,7 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
 
     if (!is_virtual(node)) {
       result.items.push_back(ScoredTuple{node, top.score});
-      if (result.items.size() == query.k) break;
+      if (result.items.size() == query.k) tie_cutoff = top.score;
     }
 
     // ∀-successors: free once every coarse in-neighbour popped.
@@ -156,6 +173,11 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
       }
     }
   }
+  // Equal-score tuples freed late (they were ∃- or chain-blocked behind
+  // an equal-score node) pop out of id order; restore the canonical
+  // (score, id) order and drop surplus ties beyond k.
+  std::sort(result.items.begin(), result.items.end(), ResultOrderLess);
+  if (result.items.size() > query.k) result.items.resize(query.k);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

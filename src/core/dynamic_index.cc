@@ -97,9 +97,27 @@ void DynamicDualLayerIndex::Compact() {
     live.Add(delta_[i]);
     live_ids.push_back(delta_ids_[i]);
   }
+  // Query's merged sort relies on base position order matching stable-id
+  // order to break exact score ties canonically, and the swap-remove in
+  // Erase permutes delta_ids_; restore ascending ids before rebuilding.
+  std::vector<TupleId> order(live_ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<TupleId>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](TupleId a, TupleId b) {
+    return live_ids[a] < live_ids[b];
+  });
+  PointSet sorted_live(dim_);
+  sorted_live.Reserve(live.size());
+  std::vector<TupleId> sorted_ids;
+  sorted_ids.reserve(live_ids.size());
+  for (TupleId pos : order) {
+    sorted_live.Add(live[pos]);
+    sorted_ids.push_back(live_ids[pos]);
+  }
 
-  base_ = DualLayerIndex::Build(std::move(live), options_.base);
-  base_ids_ = std::move(live_ids);
+  base_ = DualLayerIndex::Build(std::move(sorted_live), options_.base);
+  base_ids_ = std::move(sorted_ids);
   base_position_.clear();
   for (std::size_t i = 0; i < base_ids_.size(); ++i) {
     base_position_.emplace(base_ids_[i], static_cast<TupleId>(i));
@@ -126,6 +144,10 @@ TopKResult DynamicDualLayerIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
   ValidateQuery(query, dim_);
   TopKResult result;
+  if (query.k == 0) {
+    result.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
 
   // Base index: over-fetch to survive tombstone filtering.
   std::vector<ScoredTuple> candidates;
@@ -151,11 +173,10 @@ TopKResult DynamicDualLayerIndex::Query(const TopKQuery& query) const {
     result.accessed.push_back(delta_ids_[i]);
   }
 
-  std::sort(candidates.begin(), candidates.end(),
-            [](const ScoredTuple& a, const ScoredTuple& b) {
-              if (a.score != b.score) return a.score < b.score;
-              return a.id < b.id;
-            });
+  // Base results carry base positions whose order matches stable-id
+  // order (base_ids_ is ascending), so one canonical sort over the
+  // merged candidate set yields the exact (score, id) top-k.
+  std::sort(candidates.begin(), candidates.end(), ResultOrderLess);
   if (candidates.size() > query.k) candidates.resize(query.k);
   result.items = std::move(candidates);
   // This call's own wall time, not the sum of merged sub-query timings.

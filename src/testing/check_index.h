@@ -1,0 +1,63 @@
+// Structural invariant checker for DualLayerIndex (the "drli check"
+// oracle). CheckIndex revalidates a built or deserialized index against
+// the paper's definitions using only public accessors, so it works on
+// indexes that went through a save/load round trip:
+//
+//  * array shapes and CSR edge targets are in range;
+//  * every ∀-edge steps one coarse layer down under strict dominance
+//    (weak dominance for pseudo-tuple sources, Lemma 1), every ∃-edge
+//    steps one fine sublayer down inside one coarse layer;
+//  * coarse_in_degree / has_fine_in / initial_nodes match a recount
+//    from the adjacency;
+//  * coarse layers are exactly the iterated skyline (dominance-depth
+//    recomputation, capped by CheckOptions::max_pair_work with a
+//    sampled fallback), and adjacent-layer ∀-edges are complete;
+//  * fine sublayers are convex: per sampled weight, sublayer minima are
+//    non-decreasing in the fine index (so the first sublayer always
+//    holds a group minimizer);
+//  * each node's ∃-in-neighbour set is an existential dominance set of
+//    the node (FacetIsEds), in real and in virtual space;
+//  * the zero layer covers the first coarse layer, pseudo-tuple edges
+//    weakly dominate their targets, and the 2-d weight-range table
+//    agrees with brute force on sampled weights;
+//  * LayerGroups() partitions the real tuples, and the stats fields a
+//    deserialized index restores match the structure.
+
+#ifndef DRLI_TESTING_CHECK_INDEX_H_
+#define DRLI_TESTING_CHECK_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dual_layer.h"
+
+namespace drli {
+
+struct CheckOptions {
+  // Weight vectors sampled for the convexity / zero-layer checks.
+  std::size_t weight_samples = 16;
+  std::uint64_t seed = 12345;
+  // Budget (in point-pair comparisons) for the exact layer
+  // recomputation and the ∀-edge completeness check; above it the
+  // checker falls back to randomized pair sampling.
+  std::size_t max_pair_work = 4'000'000;
+  // Stop collecting failure messages past this count.
+  std::size_t max_failures = 32;
+};
+
+struct CheckReport {
+  std::vector<std::string> failures;
+  std::size_t invariants_checked = 0;
+
+  bool ok() const { return failures.empty(); }
+  // "OK (N invariants)" or the failure list, newline separated.
+  std::string ToString() const;
+};
+
+CheckReport CheckIndex(const DualLayerIndex& index,
+                       const CheckOptions& options = {});
+
+}  // namespace drli
+
+#endif  // DRLI_TESTING_CHECK_INDEX_H_

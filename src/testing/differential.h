@@ -1,0 +1,77 @@
+// Differential top-k oracle: one harness that builds every index
+// family over one dataset and asserts, query by query, that they all
+// return the same answer under the canonical (score asc, id asc) order
+// of ResultOrderLess. The reference is an independent brute-force scan
+// computed inside the harness, so a bug shared by an index family and
+// the ScanIndex still surfaces.
+//
+// Families fall into two tiers:
+//  * exact kinds return the identical (id, score) sequence -- every
+//    layer/graph/list family resolves ties with the canonical order;
+//  * score-only kinds (FA) guarantee the score sequence but may pick
+//    either tuple of an exactly tied pair.
+// On top of result equality the harness asserts the paper's access
+// containment: DL never evaluates more tuples than DG, and DL+ never
+// more than DG+ (Theorem 2's cost ordering on shared data).
+
+#ifndef DRLI_TESTING_DIFFERENTIAL_H_
+#define DRLI_TESTING_DIFFERENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "common/status.h"
+#include "core/index_registry.h"
+#include "topk/query.h"
+
+namespace drli {
+
+struct DifferentialOptions {
+  // Families compared by exact (id, score) sequence.
+  std::vector<std::string> exact_kinds = {"scan", "onion", "pli", "ta",
+                                          "nra",  "prefer", "lpta", "dg",
+                                          "dg+",  "hl",    "hl+",  "dl",
+                                          "dl+"};
+  // Families compared by score sequence only (tie ids may differ).
+  std::vector<std::string> score_only_kinds = {"fa"};
+  // Assert tuples_evaluated(dl) <= tuples_evaluated(dg) and
+  // dl+ <= dg+ whenever both members of a pair are present.
+  bool check_access_containment = true;
+};
+
+class DifferentialHarness {
+ public:
+  // Builds one index per configured kind over a copy of `points`.
+  static StatusOr<DifferentialHarness> Build(
+      const PointSet& points, const DifferentialOptions& options = {});
+
+  // Runs `query` through every family against the brute-force
+  // reference. Returns one human-readable line per mismatch; empty
+  // means all families agree.
+  std::vector<std::string> CheckQuery(const TopKQuery& query) const;
+
+  // The tie-broken brute-force answer (exposed for tests).
+  std::vector<ScoredTuple> Reference(const TopKQuery& query) const;
+
+  const PointSet& points() const { return points_; }
+  std::size_t num_families() const { return families_.size(); }
+
+ private:
+  DifferentialHarness() : points_(1) {}
+
+  struct Family {
+    std::string kind;
+    bool exact = true;
+    std::unique_ptr<TopKIndex> index;
+  };
+
+  PointSet points_;
+  DifferentialOptions options_;
+  std::vector<Family> families_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_TESTING_DIFFERENTIAL_H_

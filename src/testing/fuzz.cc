@@ -1,0 +1,288 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/random.h"
+#include "core/dual_layer.h"
+#include "core/dynamic_index.h"
+#include "data/generator.h"
+#include "testing/check_index.h"
+#include "testing/differential.h"
+#include "topk/query.h"
+
+namespace drli {
+
+namespace {
+
+void SnapToGrid(PointSet* points, std::size_t levels) {
+  for (std::size_t i = 0; i < points->size(); ++i) {
+    for (std::size_t a = 0; a < points->dim(); ++a) {
+      const double snapped =
+          std::round(points->At(i, a) * static_cast<double>(levels)) /
+          static_cast<double>(levels);
+      points->Set(i, a, snapped);
+    }
+  }
+}
+
+// Brute-force top-k over an id -> point map under the canonical order;
+// the mirror oracle for the dynamic index.
+std::vector<ScoredTuple> MirrorTopK(const std::map<TupleId, Point>& live,
+                                    const std::vector<double>& weights,
+                                    std::size_t k) {
+  std::vector<ScoredTuple> all;
+  all.reserve(live.size());
+  const PointView w(weights);
+  for (const auto& [id, point] : live) {
+    all.push_back(ScoredTuple{id, Score(w, PointView(point))});
+  }
+  std::sort(all.begin(), all.end(), ResultOrderLess);
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+void CompareToMirror(const TopKResult& got,
+                     const std::vector<ScoredTuple>& want,
+                     const char* when, std::size_t step,
+                     std::vector<std::string>* failures) {
+  if (got.items.size() != want.size()) {
+    std::ostringstream out;
+    out << "[dynamic] " << when << " step " << step << ": got "
+        << got.items.size() << " items, mirror has " << want.size();
+    failures->push_back(out.str());
+    return;
+  }
+  for (std::size_t rank = 0; rank < want.size(); ++rank) {
+    if (got.items[rank].id == want[rank].id &&
+        got.items[rank].score == want[rank].score) {
+      continue;
+    }
+    std::ostringstream out;
+    out << "[dynamic] " << when << " step " << step << ": rank " << rank
+        << " is (id " << got.items[rank].id << ", score "
+        << got.items[rank].score << "), mirror says (id " << want[rank].id
+        << ", score " << want[rank].score << ")";
+    failures->push_back(out.str());
+    return;
+  }
+}
+
+void RunDynamicOracle(std::uint64_t seed, const PointSet& dataset,
+                      std::vector<std::string>* failures) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const std::size_t d = dataset.dim();
+
+  // Start from a prefix of the dataset; its rows get base ids 0..m-1.
+  const std::size_t prefix = dataset.size() / 2;
+  PointSet initial(d);
+  for (std::size_t i = 0; i < prefix; ++i) initial.Add(dataset[i]);
+  DynamicDualLayerIndex dynamic(std::move(initial));
+  std::map<TupleId, Point> live;
+  std::vector<TupleId> live_ids;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    live.emplace(static_cast<TupleId>(i), dataset.Materialize(i));
+    live_ids.push_back(static_cast<TupleId>(i));
+  }
+
+  std::size_t next_row = prefix;  // dataset rows not yet inserted
+  const std::size_t steps = 2 * std::min<std::size_t>(dataset.size(), 40) + 12;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::size_t op = rng.Index(4);
+    if (op <= 1) {
+      // Insert: remaining dataset rows first (they carry the
+      // adversarial structure), then fresh random points.
+      Point point;
+      if (next_row < dataset.size()) {
+        point = dataset.Materialize(next_row++);
+      } else {
+        point.reserve(d);
+        for (std::size_t a = 0; a < d; ++a) point.push_back(rng.Uniform());
+      }
+      const TupleId id = dynamic.Insert(PointView(point));
+      if (live.count(id)) {
+        std::ostringstream out;
+        out << "[dynamic] step " << step << ": Insert reused live id " << id;
+        failures->push_back(out.str());
+        return;
+      }
+      live.emplace(id, std::move(point));
+      live_ids.push_back(id);
+    } else if (op == 2 && !live_ids.empty()) {
+      const std::size_t pick = rng.Index(live_ids.size());
+      const TupleId id = live_ids[pick];
+      live_ids[pick] = live_ids.back();
+      live_ids.pop_back();
+      if (!dynamic.Erase(id) || dynamic.Contains(id)) {
+        std::ostringstream out;
+        out << "[dynamic] step " << step << ": Erase(" << id
+            << ") failed or left the id live";
+        failures->push_back(out.str());
+        return;
+      }
+      live.erase(id);
+      if (dynamic.Erase(id)) {
+        std::ostringstream out;
+        out << "[dynamic] step " << step << ": double Erase(" << id
+            << ") claimed success";
+        failures->push_back(out.str());
+        return;
+      }
+    } else {
+      TopKQuery query;
+      query.k = rng.Index(live.size() + 3);  // covers k = 0 and k > n
+      query.weights = rng.SimplexWeight(d);
+      CompareToMirror(dynamic.Query(query),
+                      MirrorTopK(live, query.weights, query.k), "query",
+                      step, failures);
+      if (!failures->empty()) return;
+    }
+    if (dynamic.size() != live.size()) {
+      std::ostringstream out;
+      out << "[dynamic] step " << step << ": size() = " << dynamic.size()
+          << ", mirror has " << live.size();
+      failures->push_back(out.str());
+      return;
+    }
+  }
+
+  // Compact must preserve ids, membership, and answers.
+  dynamic.Compact();
+  TopKQuery query;
+  query.k = live.size() / 2 + 1;
+  query.weights = rng.SimplexWeight(d);
+  CompareToMirror(dynamic.Query(query),
+                  MirrorTopK(live, query.weights, query.k), "post-compact",
+                  steps, failures);
+}
+
+}  // namespace
+
+PointSet MakeFuzzDataset(std::uint64_t seed, const FuzzOptions& options,
+                         std::string* desc) {
+  Rng rng(seed);
+  const std::size_t d = 2 + rng.Index(4);
+  std::size_t n = 0;
+  switch (rng.Index(8)) {
+    case 0: n = 0; break;
+    case 1: n = 1; break;
+    case 2: n = 2 + rng.Index(7); break;  // around typical k values
+    default: n = 10 + rng.Index(options.max_n > 10 ? options.max_n - 10 : 1);
+  }
+  const Distribution dist = static_cast<Distribution>(rng.Index(3));
+  PointSet points =
+      Generate(dist, n, d, static_cast<std::uint64_t>(rng.Index(1u << 30)));
+
+  std::ostringstream shape;
+  shape << "d=" << d << " n=" << n << " " << DistributionName(dist);
+
+  if (n > 0 && rng.Index(2) == 0) {
+    const std::size_t levels = std::size_t{2} << rng.Index(4);  // 2..16
+    SnapToGrid(&points, levels);
+    shape << " grid=" << levels;
+  }
+  if (n >= 3 && rng.Index(4) == 0) {
+    // Coplanar rows: force a fraction onto the hyperplane sum(x) = c,
+    // which ties their scores under uniform weights.
+    const double c = 0.4 + rng.Uniform(0.0, 0.4) * static_cast<double>(d - 1);
+    const std::size_t count = 2 + rng.Index(points.size() - 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t row = rng.Index(points.size());
+      double rest = 0.0;
+      for (std::size_t a = 0; a + 1 < d; ++a) rest += points.At(row, a);
+      points.Set(row, d - 1, std::clamp(c - rest, 0.0, 1.0));
+    }
+    shape << " coplanar=" << count;
+  }
+  if (rng.Index(4) == 0) {
+    const std::size_t attr = rng.Index(d);
+    const double value = rng.Uniform();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      points.Set(i, attr, value);
+    }
+    shape << " const-attr=" << attr;
+  }
+  if (n > 0 && rng.Index(2) == 0) {
+    // Exact duplicates, appended so they share every coordinate.
+    const std::size_t count = 1 + rng.Index(points.size() / 4 + 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Point copy = points.Materialize(rng.Index(points.size()));
+      points.Add(PointView(copy));
+    }
+    shape << " dup=" << count;
+  }
+
+  if (desc != nullptr) *desc = shape.str();
+  return points;
+}
+
+FuzzCaseResult RunFuzzCase(std::uint64_t seed, const FuzzOptions& options) {
+  FuzzCaseResult result;
+  result.seed = seed;
+  PointSet dataset = MakeFuzzDataset(seed, options, &result.dataset_desc);
+  result.n = dataset.size();
+  result.d = dataset.dim();
+  Rng rng(seed + 0x6a09e667f3bcc909ULL);
+
+  if (options.check_structure) {
+    for (const bool zero_layer : {false, true}) {
+      DualLayerOptions build;
+      build.build_zero_layer = zero_layer;
+      const DualLayerIndex index = DualLayerIndex::Build(dataset, build);
+      CheckOptions check;
+      check.seed = seed;
+      const CheckReport report = CheckIndex(index, check);
+      for (const std::string& failure : report.failures) {
+        result.failures.push_back(std::string("[check ") +
+                                  (zero_layer ? "dl+" : "dl") + "] " +
+                                  failure);
+      }
+    }
+  }
+
+  StatusOr<DifferentialHarness> harness = DifferentialHarness::Build(dataset);
+  if (!harness.ok()) {
+    result.failures.push_back("[differential] harness build failed: " +
+                              harness.status().ToString());
+    return result;
+  }
+  std::vector<TopKQuery> queries;
+  const std::size_t n = dataset.size();
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, n, n + 3}) {
+    TopKQuery query;
+    query.k = k;
+    query.weights = rng.SimplexWeight(dataset.dim());
+    queries.push_back(std::move(query));
+  }
+  {
+    // Uniform weights maximize score collisions on grid-snapped and
+    // coplanar data.
+    TopKQuery query;
+    query.k = std::min<std::size_t>(3, n + 1);
+    query.weights.assign(dataset.dim(),
+                         1.0 / static_cast<double>(dataset.dim()));
+    queries.push_back(std::move(query));
+  }
+  for (std::size_t i = 0; i < options.queries_per_case; ++i) {
+    TopKQuery query;
+    query.k = 1 + rng.Index(n + 2);
+    query.weights = rng.SimplexWeight(dataset.dim());
+    queries.push_back(std::move(query));
+  }
+  for (const TopKQuery& query : queries) {
+    std::vector<std::string> failures = harness.value().CheckQuery(query);
+    result.failures.insert(result.failures.end(), failures.begin(),
+                           failures.end());
+    if (!result.failures.empty()) return result;
+  }
+
+  if (options.dynamic) {
+    RunDynamicOracle(seed, dataset, &result.failures);
+  }
+  return result;
+}
+
+}  // namespace drli

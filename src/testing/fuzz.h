@@ -1,0 +1,60 @@
+// Seeded invariant fuzzer. One seed deterministically derives an
+// adversarial dataset (distribution, dimension d in [2, 5], tiny to
+// medium n, grid-snapped coordinates, exact duplicates, coplanar rows,
+// constant attributes), then drives three oracles over it:
+//
+//  1. CheckIndex on fresh DL and DL+ builds (structural invariants);
+//  2. the differential harness across every index family, with
+//     degenerate queries (k = 0, k = n, k > n) and tied weights mixed
+//     into the sampled ones;
+//  3. optionally a DynamicDualLayerIndex under interleaved insert /
+//     delete / query / Compact, compared against a brute-force mirror
+//     of the live set.
+//
+// Everything is derived from the case seed, so any failure replays
+// with `drli_fuzz --replay=<seed>`.
+
+#ifndef DRLI_TESTING_FUZZ_H_
+#define DRLI_TESTING_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+struct FuzzOptions {
+  // Also exercise DynamicDualLayerIndex with interleaved updates.
+  bool dynamic = true;
+  // Run CheckIndex on DL / DL+ builds of the dataset.
+  bool check_structure = true;
+  // Randomized queries per case, on top of the fixed degenerate ones.
+  std::size_t queries_per_case = 4;
+  // Upper bound on the generated dataset size.
+  std::size_t max_n = 160;
+};
+
+struct FuzzCaseResult {
+  std::uint64_t seed = 0;
+  std::size_t n = 0;
+  std::size_t d = 0;
+  std::string dataset_desc;
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+// The deterministic dataset for `seed` (exposed for replay tooling);
+// `desc` (optional) receives a short human-readable shape summary.
+PointSet MakeFuzzDataset(std::uint64_t seed, const FuzzOptions& options,
+                         std::string* desc);
+
+// Runs the full case for `seed`. Never throws; failures are collected
+// as human-readable lines prefixed with the oracle that found them.
+FuzzCaseResult RunFuzzCase(std::uint64_t seed, const FuzzOptions& options = {});
+
+}  // namespace drli
+
+#endif  // DRLI_TESTING_FUZZ_H_

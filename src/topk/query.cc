@@ -13,7 +13,6 @@ std::vector<TopKResult> TopKIndex::QueryBatch(
 }
 
 void ValidateQuery(const TopKQuery& query, std::size_t dim) {
-  DRLI_CHECK_GE(query.k, 1u);
   DRLI_CHECK_EQ(query.weights.size(), dim)
       << "weight vector dimensionality mismatch";
   for (double w : query.weights) {

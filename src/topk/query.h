@@ -25,6 +25,17 @@ struct ScoredTuple {
   double score = 0.0;
 };
 
+// Canonical result order shared by every index family: ascending score
+// (lower is better), ties broken by ascending tuple id. All TopKIndex
+// implementations return result.items sorted by this rule and resolve
+// exact score ties in its favour, so any two families agree on the
+// exact (id, score) sequence -- the contract the differential oracle in
+// src/testing/ relies on.
+inline bool ResultOrderLess(const ScoredTuple& a, const ScoredTuple& b) {
+  if (a.score != b.score) return a.score < b.score;
+  return a.id < b.id;
+}
+
 // Cost accounting (Definition 9): a tuple counts as evaluated when it is
 // accessed and its score computed. Pseudo-tuples of the zero layer are
 // tracked separately -- they are not relation tuples.
@@ -77,7 +88,8 @@ class TopKIndex {
 };
 
 // CHECK-validates that the query is well-formed for dimensionality d:
-// k >= 1, |weights| == d, weights strictly positive.
+// |weights| == d, weights strictly positive. k = 0 is legal and yields
+// an empty result; k > n is legal and returns all n tuples.
 void ValidateQuery(const TopKQuery& query, std::size_t dim);
 
 }  // namespace drli

@@ -20,11 +20,7 @@ TopKResult Scan(const PointSet& points, const TopKQuery& query) {
   result.stats.tuples_evaluated = points.size();
   const std::size_t k = std::min(query.k, result.items.size());
   std::partial_sort(result.items.begin(), result.items.begin() + k,
-                    result.items.end(),
-                    [](const ScoredTuple& a, const ScoredTuple& b) {
-                      if (a.score != b.score) return a.score < b.score;
-                      return a.id < b.id;
-                    });
+                    result.items.end(), ResultOrderLess);
   result.items.resize(k);
   return result;
 }

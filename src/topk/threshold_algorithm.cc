@@ -8,41 +8,33 @@
 
 namespace drli {
 
-namespace {
-
-bool ScoreLess(const ScoredTuple& a, const ScoredTuple& b) {
-  if (a.score != b.score) return a.score < b.score;
-  return a.id < b.id;
-}
-
-}  // namespace
-
-TopKHeap::TopKHeap(std::size_t k) : k_(k) {
-  DRLI_CHECK_GE(k, 1u);
-  heap_.reserve(k);
-}
+TopKHeap::TopKHeap(std::size_t k) : k_(k) { heap_.reserve(k); }
 
 void TopKHeap::Push(ScoredTuple t) {
+  if (k_ == 0) return;
   if (heap_.size() < k_) {
     heap_.push_back(t);
-    std::push_heap(heap_.begin(), heap_.end(), ScoreLess);
+    std::push_heap(heap_.begin(), heap_.end(), ResultOrderLess);
     return;
   }
-  if (ScoreLess(t, heap_.front())) {
-    std::pop_heap(heap_.begin(), heap_.end(), ScoreLess);
+  if (ResultOrderLess(t, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), ResultOrderLess);
     heap_.back() = t;
-    std::push_heap(heap_.begin(), heap_.end(), ScoreLess);
+    std::push_heap(heap_.begin(), heap_.end(), ResultOrderLess);
   }
 }
 
 double TopKHeap::KthScore() const {
+  // k = 0 holds nothing: every tuple already "exceeds" the k-th best,
+  // so callers' stop conditions fire immediately.
+  if (k_ == 0) return -std::numeric_limits<double>::infinity();
   if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
   return heap_.front().score;
 }
 
 std::vector<ScoredTuple> TopKHeap::SortedAscending() const {
   std::vector<ScoredTuple> out = heap_;
-  std::sort(out.begin(), out.end(), ScoreLess);
+  std::sort(out.begin(), out.end(), ResultOrderLess);
   return out;
 }
 
@@ -57,7 +49,8 @@ void TaScanLayer(const PointSet& points, const SortedLists& lists,
   double best_seen = std::numeric_limits<double>::infinity();
   double threshold = 0.0;
   bool exhausted = true;
-  for (std::size_t pos = 0; pos < n; ++pos) {
+  std::size_t pos = 0;
+  for (; pos < n; ++pos) {
     // Sorted access: one entry from each list (round-robin depth pos).
     threshold = 0.0;
     for (std::size_t attr = 0; attr < d; ++attr) {
@@ -73,9 +66,10 @@ void TaScanLayer(const PointSet& points, const SortedLists& lists,
       }
     }
     // Every unseen tuple ranks at or beyond the frontier in all lists,
-    // so its score is >= threshold.
+    // so its score is >= threshold (classic TA stop).
     if (threshold >= heap->KthScore()) {
       exhausted = false;
+      ++pos;
       break;
     }
   }
@@ -83,6 +77,32 @@ void TaScanLayer(const PointSet& points, const SortedLists& lists,
     // Unseen tuples score >= the final threshold; when the lists were
     // exhausted everything was seen.
     *layer_min_bound = exhausted ? best_seen : std::min(best_seen, threshold);
+  }
+  // Tie-probe: at threshold == KthScore an unseen tuple can still tie
+  // the k-th answer exactly, and the canonical (score, id) order must
+  // surface the smaller id. Keep scanning, but charge only genuine
+  // ties: a tuple first seen past the classic stop has every attribute
+  // at or beyond the stop frontier, so it scores >= the stop threshold
+  // = KthScore; anything strictly above is discarded without being
+  // counted (the tie-agnostic reference never materializes it).
+  if (!exhausted && threshold == heap->KthScore()) {
+    const double kth = heap->KthScore();
+    for (; pos < n; ++pos) {
+      double probe_threshold = 0.0;
+      for (std::size_t attr = 0; attr < d; ++attr) {
+        const SortedLists::Entry& e = lists.At(attr, pos);
+        probe_threshold += weights[attr] * e.value;
+        if (seen.insert(e.id).second) {
+          const double score = Score(weights, points[e.id]);
+          if (score == kth) {
+            ++*evaluated;
+            if (accessed != nullptr) accessed->push_back(e.id);
+            heap->Push(ScoredTuple{e.id, score});
+          }
+        }
+      }
+      if (probe_threshold > kth) break;
+    }
   }
 }
 

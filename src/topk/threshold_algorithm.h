@@ -1,7 +1,10 @@
 // The Threshold Algorithm (Fagin et al.) over per-attribute sorted
 // lists, in the form the Hybrid-Layer index uses it: sorted access in
 // round-robin order, random access to complete each newly seen tuple,
-// and the stop condition threshold >= current k-th best score.
+// and the classic stop condition threshold >= current k-th best score.
+// A trailing tie-probe resolves exact score ties under the canonical
+// (score, id) order of ResultOrderLess without charging the cost
+// metric for non-tied probes.
 
 #ifndef DRLI_TOPK_THRESHOLD_ALGORITHM_H_
 #define DRLI_TOPK_THRESHOLD_ALGORITHM_H_
@@ -14,7 +17,9 @@
 
 namespace drli {
 
-// Bounded max-heap keeping the k lowest-scoring tuples seen so far.
+// Bounded max-heap keeping the k lowest tuples seen so far in the
+// canonical (score, id) order. k = 0 is legal: Push is a no-op and
+// KthScore reports -infinity so scan loops terminate immediately.
 class TopKHeap {
  public:
   explicit TopKHeap(std::size_t k);
@@ -39,7 +44,11 @@ class TopKHeap {
 // sorted access is scored once (counted in *evaluated) and offered to
 // *heap. Scanning stops when the TA threshold (the weighted sum of the
 // current list frontier) reaches heap->KthScore(), or the lists are
-// exhausted.
+// exhausted. When the stop is an exact tie (threshold == KthScore) an
+// uncharged probe continues until strict separation, counting and
+// keeping only tuples that tie the k-th score, so the result is exact
+// under ResultOrderLess while the cost metric matches the classic
+// tie-agnostic algorithm.
 //
 // When `layer_min_bound` is non-null it receives a lower bound on the
 // minimum score of ANY tuple in the layer: min(best seen score, final

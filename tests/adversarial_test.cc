@@ -2,7 +2,9 @@
 // point general position is the easy case; these datasets are the ones
 // that break tolerance-based hulls and dominance bookkeeping.
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "gtest/gtest.h"
 
@@ -128,6 +130,52 @@ TEST(AdversarialTest, TwoClustersFarApart) {
              rng.Uniform(0.95, 1.0), rng.Uniform(0.95, 1.0)});
   }
   CheckAllIndexes(pts, 10, 10);
+}
+
+// Degenerate-input audit: every registered family must survive the
+// empty relation, a single tuple, k = 0, k = n, and k > n, returning
+// exactly min(k, n) tuples in canonical order and agreeing with the
+// scan oracle throughout.
+TEST(DegenerateInputTest, EveryFamilyHandlesDegenerateShapes) {
+  Rng rng(99);
+  for (const std::size_t d : {2u, 3u}) {
+    for (const std::size_t n : {0u, 1u, 2u, 5u}) {
+      PointSet pts(d);
+      for (std::size_t i = 0; i < n; ++i) {
+        Point p;
+        for (std::size_t a = 0; a < d; ++a) p.push_back(rng.Uniform());
+        pts.Add(PointView(p));
+      }
+      for (const std::string& kind : KnownIndexKinds()) {
+        IndexBuildConfig config;
+        config.kind = kind;
+        auto index = BuildIndex(config, pts);
+        ASSERT_TRUE(index.ok()) << kind << " n=" << n << " d=" << d;
+        for (const std::size_t k :
+             {std::size_t{0}, std::size_t{1}, n, n + 1, n + 7}) {
+          TopKQuery query;
+          query.weights = rng.SimplexWeight(d);
+          query.k = k;
+          const TopKResult result = index.value()->Query(query);
+          const std::string what = kind + " n=" + std::to_string(n) +
+                                   " d=" + std::to_string(d) +
+                                   " k=" + std::to_string(k);
+          ASSERT_EQ(result.items.size(), std::min(k, n)) << what;
+          for (std::size_t r = 0; r < result.items.size(); ++r) {
+            EXPECT_LT(result.items[r].id, n) << what;
+            if (r > 0) {
+              EXPECT_FALSE(
+                  ResultOrderLess(result.items[r], result.items[r - 1]))
+                  << what << " rank " << r;
+            }
+          }
+          EXPECT_TRUE(testing_util::ResultsEquivalent(Scan(pts, query),
+                                                      result))
+              << what;
+        }
+      }
+    }
+  }
 }
 
 TEST(AdversarialTest, PowersOfTwoMagnitudes) {

@@ -1,0 +1,134 @@
+// The invariant checker itself: a correct build of any shape must pass,
+// a structurally corrupted index must fail, and the checker must keep
+// working on indexes that went through a serialization round trip.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/dual_layer.h"
+#include "core/serialization.h"
+#include "data/generator.h"
+#include "testing/check_index.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+void ExpectClean(const DualLayerIndex& index, const std::string& what) {
+  const CheckReport report = CheckIndex(index);
+  EXPECT_TRUE(report.ok()) << what << ":\n" << report.ToString();
+  EXPECT_GT(report.invariants_checked, 0u) << what;
+}
+
+TEST(CheckIndexTest, CleanBuildsAcrossShapes) {
+  for (const Distribution dist :
+       {Distribution::kIndependent, Distribution::kAnticorrelated,
+        Distribution::kCorrelated}) {
+    for (const std::size_t d : {2u, 3u, 5u}) {
+      const PointSet points = Generate(dist, 220, d, 7 * d);
+      for (const bool zero_layer : {false, true}) {
+        DualLayerOptions options;
+        options.build_zero_layer = zero_layer;
+        ExpectClean(DualLayerIndex::Build(points, options),
+                    std::string(DistributionName(dist)) + " d=" +
+                        std::to_string(d) +
+                        (zero_layer ? " dl+" : " dl"));
+      }
+    }
+  }
+}
+
+TEST(CheckIndexTest, FineLayersDisabled) {
+  // The ablation that reduces DL to a Dominant Graph still has to obey
+  // every invariant that remains (one sublayer per coarse layer).
+  const PointSet points = Generate(Distribution::kAnticorrelated, 300, 3, 11);
+  DualLayerOptions options;
+  options.enable_fine_layers = false;
+  ExpectClean(DualLayerIndex::Build(points, options), "fine disabled");
+}
+
+TEST(CheckIndexTest, ToyAndDegenerateDatasets) {
+  ExpectClean(DualLayerIndex::Build(testing_util::MakeToyDataset()), "toy");
+  ExpectClean(DualLayerIndex::Build(PointSet(3)), "empty");
+  PointSet one(4);
+  one.Add({0.1, 0.2, 0.3, 0.4});
+  DualLayerOptions plus;
+  plus.build_zero_layer = true;
+  ExpectClean(DualLayerIndex::Build(one, plus), "single tuple dl+");
+  PointSet dups(2);
+  for (int i = 0; i < 16; ++i) dups.Add({0.5, 0.5});
+  ExpectClean(DualLayerIndex::Build(dups, plus), "all duplicates dl+");
+}
+
+TEST(CheckIndexTest, LoadedRoundTripsPass) {
+  for (const std::size_t d : {2u, 3u}) {
+    const PointSet points = Generate(Distribution::kAnticorrelated, 250, d, 5);
+    DualLayerOptions options;
+    options.build_zero_layer = true;  // 2-d: weight table; 3-d: clusters
+    const DualLayerIndex built = DualLayerIndex::Build(points, options);
+    const std::string path =
+        ::testing::TempDir() + "check_round_trip_" + std::to_string(d) +
+        ".bin";
+    ASSERT_TRUE(SaveDualLayerIndex(built, path).ok());
+    auto loaded = LoadDualLayerIndex(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectClean(loaded.value(), "round trip d=" + std::to_string(d));
+    std::remove(path.c_str());
+  }
+}
+
+// Flipping one coarse-layer assignment in the serialized bytes must be
+// caught: the dominance-depth recomputation (and the edge/layer-group
+// consistency checks) pin every assignment exactly.
+TEST(CheckIndexTest, CorruptedCoarseAssignmentFails) {
+  const PointSet points = Generate(Distribution::kAnticorrelated, 400, 3, 13);
+  const DualLayerIndex built = DualLayerIndex::Build(points);
+  ASSERT_TRUE(CheckIndex(built).ok());
+
+  const std::string path = ::testing::TempDir() + "check_corrupt.bin";
+  ASSERT_TRUE(SaveDualLayerIndex(built, path).ok());
+
+  // Layout: magic u32, version u32, name (u64 + bytes), dim u32,
+  // points (u64 + doubles), virtual (u64 + doubles), coarse_of
+  // (u64 + u32 entries), ...
+  const std::size_t offset =
+      4 + 4 + 8 + built.name().size() + 4 +
+      8 + built.points().raw().size() * sizeof(double) +
+      8 + built.virtual_points().raw().size() * sizeof(double) + 8;
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  std::uint32_t layer = 0;
+  file.seekg(static_cast<std::streamoff>(offset));
+  file.read(reinterpret_cast<char*>(&layer), sizeof(layer));
+  ASSERT_EQ(layer, built.coarse_layer_of(0));  // offset arithmetic sanity
+  layer ^= 1u;
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(reinterpret_cast<const char*>(&layer), sizeof(layer));
+  file.close();
+
+  auto corrupted = LoadDualLayerIndex(path);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status().ToString();
+  const CheckReport report = CheckIndex(corrupted.value());
+  EXPECT_FALSE(report.ok())
+      << "corrupted coarse assignment passed the checker";
+  std::remove(path.c_str());
+}
+
+TEST(CheckIndexTest, ReportListsWhatWasChecked) {
+  const PointSet points = Generate(Distribution::kIndependent, 120, 2, 3);
+  DualLayerOptions options;
+  options.build_zero_layer = true;
+  const CheckReport report =
+      CheckIndex(DualLayerIndex::Build(points, options));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_NE(report.ToString().find("OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drli

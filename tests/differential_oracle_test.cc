@@ -1,0 +1,117 @@
+// Differential oracle: every registered index family must return the
+// same (tie-broken) top-k as the brute-force reference, and the
+// dual-resolution traversals must not evaluate more tuples than their
+// single-resolution counterparts, on benchmark-style and tie-heavy
+// adversarial datasets alike.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "testing/differential.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+std::vector<TopKQuery> QueryBattery(std::size_t n, std::size_t d,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TopKQuery> queries;
+  for (const std::size_t k :
+       {std::size_t{0}, std::size_t{1}, std::size_t{5}, n / 2, n, n + 4}) {
+    queries.push_back(TopKQuery{rng.SimplexWeight(d), k});
+  }
+  // Uniform weights maximize score collisions.
+  queries.push_back(
+      TopKQuery{Point(d, 1.0 / static_cast<double>(d)), n / 3 + 1});
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(
+        TopKQuery{rng.SimplexWeight(d), 1 + rng.Index(n + 1)});
+  }
+  return queries;
+}
+
+void ExpectAllFamiliesAgree(const PointSet& points, std::uint64_t seed,
+                            const std::string& what) {
+  auto harness = DifferentialHarness::Build(points);
+  ASSERT_TRUE(harness.ok()) << what << ": " << harness.status().ToString();
+  EXPECT_GE(harness.value().num_families(), 7u);
+  for (const TopKQuery& query :
+       QueryBattery(points.size(), points.dim(), seed)) {
+    const std::vector<std::string> failures =
+        harness.value().CheckQuery(query);
+    for (const std::string& failure : failures) {
+      ADD_FAILURE() << what << ": " << failure;
+    }
+    if (!failures.empty()) return;
+  }
+}
+
+// The four benchmark-style dataset shapes from the paper's evaluation
+// grid: {independent, anticorrelated} x {d=2, d=4}.
+TEST(DifferentialOracleTest, IndependentD2) {
+  ExpectAllFamiliesAgree(Generate(Distribution::kIndependent, 300, 2, 21),
+                         101, "ind d=2");
+}
+
+TEST(DifferentialOracleTest, IndependentD4) {
+  ExpectAllFamiliesAgree(Generate(Distribution::kIndependent, 300, 4, 22),
+                         102, "ind d=4");
+}
+
+TEST(DifferentialOracleTest, AnticorrelatedD2) {
+  ExpectAllFamiliesAgree(
+      Generate(Distribution::kAnticorrelated, 300, 2, 23), 103, "ant d=2");
+}
+
+TEST(DifferentialOracleTest, AnticorrelatedD4) {
+  ExpectAllFamiliesAgree(
+      Generate(Distribution::kAnticorrelated, 300, 4, 24), 104, "ant d=4");
+}
+
+TEST(DifferentialOracleTest, CorrelatedD3) {
+  ExpectAllFamiliesAgree(Generate(Distribution::kCorrelated, 300, 3, 25),
+                         105, "cor d=3");
+}
+
+// Tie-heavy adversarial shapes: exact duplicates and integer grids
+// produce bitwise score ties that the canonical (score, id) order must
+// resolve identically in every family.
+TEST(DifferentialOracleTest, IntegerGridWithDuplicates) {
+  PointSet points(3);
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 5; ++y) {
+      for (int z = 0; z < 5; ++z) {
+        points.Add({x / 5.0, y / 5.0, z / 5.0});
+      }
+    }
+  }
+  for (int i = 0; i < 30; ++i) points.Add(points.Materialize(i * 4));
+  ExpectAllFamiliesAgree(points, 106, "grid+dups d=3");
+}
+
+TEST(DifferentialOracleTest, AllIdenticalTuples) {
+  PointSet points(4);
+  for (int i = 0; i < 48; ++i) points.Add({0.3, 0.4, 0.5, 0.6});
+  ExpectAllFamiliesAgree(points, 107, "identical d=4");
+}
+
+TEST(DifferentialOracleTest, ToyDataset) {
+  ExpectAllFamiliesAgree(testing_util::MakeToyDataset(), 108, "toy");
+}
+
+TEST(DifferentialOracleTest, TinyDatasets) {
+  ExpectAllFamiliesAgree(PointSet(3), 109, "empty");
+  PointSet one(2);
+  one.Add({0.4, 0.6});
+  ExpectAllFamiliesAgree(one, 110, "single");
+  ExpectAllFamiliesAgree(Generate(Distribution::kIndependent, 7, 5, 26),
+                         111, "n=7 d=5");
+}
+
+}  // namespace
+}  // namespace drli

@@ -2,6 +2,9 @@
 // randomized inputs, beyond pointwise agreement with the scan oracle.
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -131,6 +134,91 @@ TEST_P(IndexPropertyTest, NoDuplicateIdsInResult) {
 }
 
 // Structural transformations preserve answers.
+// Pairs engineered to hit every comparison branch: random general
+// position, exact equality, single-attribute perturbations, and
+// partial ties from grid snapping.
+std::vector<std::pair<Point, Point>> KernelPairs(std::size_t d,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Point, Point>> pairs;
+  auto random_point = [&] {
+    Point p;
+    for (std::size_t a = 0; a < d; ++a) p.push_back(rng.Uniform());
+    return p;
+  };
+  for (int i = 0; i < 200; ++i) {
+    pairs.emplace_back(random_point(), random_point());
+  }
+  for (int i = 0; i < 100; ++i) {
+    const Point p = random_point();
+    pairs.emplace_back(p, p);  // exact equality
+    Point q = p;
+    q[rng.Index(d)] += rng.Uniform(-0.5, 0.5);  // differ in one attribute
+    pairs.emplace_back(p, q);
+    Point snapped_a = p, snapped_b = random_point();
+    for (std::size_t a = 0; a < d; ++a) {
+      snapped_a[a] = std::round(snapped_a[a] * 4.0) / 4.0;
+      snapped_b[a] = std::round(snapped_b[a] * 4.0) / 4.0;
+    }
+    pairs.emplace_back(snapped_a, snapped_b);  // partial ties
+  }
+  return pairs;
+}
+
+// The d = 2/3/4 unrolled kernels advertise bit-identical results to
+// the generic loop; cross-check all four kernels on both paths.
+TEST(KernelCrossCheckTest, UnrolledMatchesGenericBitwise) {
+  for (const std::size_t d : {2u, 3u, 4u}) {
+    Rng rng(1000 + d);
+    for (const auto& [a, b] : KernelPairs(d, 500 + d)) {
+      const PointView va(a), vb(b);
+      EXPECT_EQ(Dominates(va, vb), point_internal::DominatesGeneric(va, vb));
+      EXPECT_EQ(WeaklyDominates(va, vb),
+                point_internal::WeaklyDominatesGeneric(va, vb));
+      EXPECT_EQ(Compare(va, vb), point_internal::CompareGeneric(va, vb));
+      const Point w = rng.SimplexWeight(d);
+      // Bitwise equality, not EXPECT_NEAR: the unrolled Score must
+      // round identically to the generic left-to-right sum.
+      EXPECT_EQ(Score(w, va), point_internal::ScoreGeneric(w, va));
+      EXPECT_EQ(Score(w, vb), point_internal::ScoreGeneric(w, vb));
+    }
+  }
+}
+
+// d = 5 exercises only the generic path, so pin its semantics through
+// the predicate algebra instead of a second implementation.
+TEST(KernelCrossCheckTest, GenericD5SelfConsistent) {
+  const std::size_t d = 5;
+  Rng rng(77);
+  for (const auto& [a, b] : KernelPairs(d, 42)) {
+    const PointView va(a), vb(b);
+    const bool dom = Dominates(va, vb);
+    const bool weak = Dominates(va, vb) || a == b;
+    EXPECT_EQ(WeaklyDominates(va, vb), weak);
+    if (dom) {
+      EXPECT_FALSE(Dominates(vb, va));  // antisymmetry
+      const Point w = rng.SimplexWeight(d);
+      EXPECT_LE(Score(w, va), Score(w, vb));  // monotone consequence
+    }
+    switch (Compare(va, vb)) {
+      case DomRel::kEqual:
+        EXPECT_EQ(a, b);
+        break;
+      case DomRel::kDominates:
+        EXPECT_TRUE(dom);
+        break;
+      case DomRel::kDominatedBy:
+        EXPECT_TRUE(Dominates(vb, va));
+        break;
+      case DomRel::kIncomparable:
+        EXPECT_FALSE(dom);
+        EXPECT_FALSE(Dominates(vb, va));
+        EXPECT_NE(a, b);
+        break;
+    }
+  }
+}
+
 TEST(TransformationPropertyTest, AttributePermutationSymmetry) {
   const PointSet pts = GenerateAnticorrelated(400, 3, 91);
   // Rotate attributes: (a0, a1, a2) -> (a2, a0, a1).

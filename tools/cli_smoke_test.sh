@@ -35,6 +35,11 @@ echo "$BUILD_OUT" | grep -qE "coarse edges: pairs_pruned=[0-9]+ pairs_tested=[0-
 "$CLI" generate --dist=ind --n=300 --d=2 --seed=3 --out="$WORK/d2.csv" >/dev/null
 "$CLI" sweep --input="$WORK/d2.csv" --k=3 --reverse=0 | grep -q "weight-space partition"
 
+# Invariant checker: saved index and on-the-fly builds both pass.
+"$CLI" check --index="$WORK/index.bin" | grep -q "OK"
+"$CLI" check --input="$WORK/data.csv" --kind=dl --samples=8 | grep -q "OK"
+"$CLI" check --input="$WORK/d2.csv" --kind=dl+ | grep -q "OK"
+
 # Error paths exit non-zero.
 if "$CLI" build --input="$WORK/data.csv" --kind=onion --out="$WORK/x.bin" 2>/dev/null; then
   echo "expected failure for non-serializable kind" >&2
@@ -50,6 +55,10 @@ if "$CLI" sweep --input="$WORK/data.csv" --k=3 2>/dev/null; then
 fi
 if "$CLI" frobnicate 2>/dev/null; then
   echo "expected usage failure" >&2
+  exit 1
+fi
+if "$CLI" check --input="$WORK/data.csv" --kind=onion 2>/dev/null; then
+  echo "expected failure for non-checkable kind" >&2
   exit 1
 fi
 

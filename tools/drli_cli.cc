@@ -7,6 +7,8 @@
 //   drli query    --input=data.csv --kind=hl+ --weights=0.5,0.5 --k=5
 //   drli compare  --input=data.csv --kinds=dg,dg+,dl,dl+ --k=10 --queries=50
 //   drli sweep    --input=data2d.csv --k=5 --reverse=42
+//   drli check    --index=index.bin
+//   drli check    --input=data.csv --kind=dl+ --samples=32
 //
 // `build`/`stats` operate on the serializable dual-resolution index;
 // `query` and `compare` accept any index kind (built on the fly from
@@ -30,6 +32,7 @@
 #include "core/serialization.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "testing/check_index.h"
 
 namespace drli {
 namespace {
@@ -79,7 +82,8 @@ std::vector<std::string> SplitComma(const std::string& value) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: drli <generate|build|stats|query|compare|sweep> [--flags]\n"
+               "usage: drli <generate|build|stats|query|compare|sweep|check>"
+               " [--flags]\n"
                "see the header of tools/drli_cli.cc for examples\n");
   return 2;
 }
@@ -374,6 +378,50 @@ int CmdSweep(const Flags& flags) {
   return 0;
 }
 
+// Structural invariant audit of a dual-resolution index, either loaded
+// from disk or built on the fly from a CSV.
+int CmdCheck(const Flags& flags) {
+  std::optional<DualLayerIndex> index;
+  const std::string index_path = GetFlag(flags, "index");
+  if (!index_path.empty()) {
+    auto loaded = LoadDualLayerIndex(index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    index.emplace(std::move(loaded).value());
+  } else {
+    auto dataset = LoadInput(flags);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+      return 1;
+    }
+    const std::string kind = GetFlag(flags, "kind", "dl+");
+    if (kind != "dl" && kind != "dl+") {
+      std::fprintf(stderr, "check builds dl or dl+; got %s\n", kind.c_str());
+      return 2;
+    }
+    DualLayerOptions options;
+    options.build_zero_layer = (kind == "dl+");
+    options.zero_layer_clusters = GetSizeFlag(flags, "clusters", 0);
+    index.emplace(
+        DualLayerIndex::Build(dataset.value().points(), options));
+  }
+
+  CheckOptions options;
+  options.weight_samples = GetSizeFlag(flags, "samples", 16);
+  options.seed = GetSizeFlag(flags, "seed", 12345);
+  const CheckReport report = CheckIndex(*index, options);
+  std::printf("%s: n=%zu, %zu invariants checked\n", index->name().c_str(),
+              index->size(), report.invariants_checked);
+  if (report.ok()) {
+    std::printf("OK\n");
+    return 0;
+  }
+  std::fprintf(stderr, "%s", report.ToString().c_str());
+  return 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -384,6 +432,7 @@ int Main(int argc, char** argv) {
   if (command == "query") return CmdQuery(flags);
   if (command == "compare") return CmdCompare(flags);
   if (command == "sweep") return CmdSweep(flags);
+  if (command == "check") return CmdCheck(flags);
   return Usage();
 }
 
