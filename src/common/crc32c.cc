@@ -1,0 +1,70 @@
+#include "common/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace drli {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+struct Tables {
+  // table[0] is the classic byte-at-a-time table; tables 1..7 extend it
+  // to slice-by-8 (each table shifts the previous one by one byte).
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& t = GetTables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+
+  while (size > 0 &&
+         (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --size;
+  }
+  while (size >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);  // p is 8-aligned here; memcpy for form
+    chunk ^= crc;               // little-endian: crc folds into low bytes
+    crc = t[7][chunk & 0xFFu] ^ t[6][(chunk >> 8) & 0xFFu] ^
+          t[5][(chunk >> 16) & 0xFFu] ^ t[4][(chunk >> 24) & 0xFFu] ^
+          t[3][(chunk >> 32) & 0xFFu] ^ t[2][(chunk >> 40) & 0xFFu] ^
+          t[1][(chunk >> 48) & 0xFFu] ^ t[0][(chunk >> 56) & 0xFFu];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace drli

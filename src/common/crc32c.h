@@ -1,0 +1,21 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78): the payload
+// checksum of snapshot format v2 (core/serialization). Software
+// slice-by-8 implementation -- ~1 byte/cycle, no SSE4.2 requirement --
+// so checksums are identical across every build target.
+
+#ifndef DRLI_COMMON_CRC32C_H_
+#define DRLI_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drli {
+
+// CRC-32C of `size` bytes starting at `data`. `seed` chains incremental
+// computation: Crc32c(p, a + b) == Crc32c(p + a, b, Crc32c(p, a)).
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+}  // namespace drli
+
+#endif  // DRLI_COMMON_CRC32C_H_

@@ -1,5 +1,6 @@
 #include "common/csr.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/check.h"
@@ -14,14 +15,48 @@ CsrGraph CsrGraph::FromAdjacency(
   DRLI_CHECK(total <= std::numeric_limits<std::uint32_t>::max())
       << "edge count overflows 32-bit CSR offsets";
 
-  graph.offsets_.reserve(adjacency.size() + 1);
-  graph.targets_.reserve(total);
-  graph.offsets_.push_back(0);
+  graph.offsets_vec_.reserve(adjacency.size() + 1);
+  graph.targets_vec_.reserve(total);
+  graph.offsets_vec_.push_back(0);
   for (const auto& list : adjacency) {
-    graph.targets_.insert(graph.targets_.end(), list.begin(), list.end());
-    graph.offsets_.push_back(static_cast<std::uint32_t>(graph.targets_.size()));
+    graph.targets_vec_.insert(graph.targets_vec_.end(), list.begin(),
+                              list.end());
+    graph.offsets_vec_.push_back(
+        static_cast<std::uint32_t>(graph.targets_vec_.size()));
   }
   return graph;
+}
+
+CsrGraph CsrGraph::FromVectors(std::vector<std::uint32_t> offsets,
+                               std::vector<NodeId> targets) {
+  DRLI_CHECK(offsets.empty() ||
+             (offsets.front() == 0 && offsets.back() == targets.size()));
+  CsrGraph graph;
+  graph.offsets_vec_ = std::move(offsets);
+  graph.targets_vec_ = std::move(targets);
+  return graph;
+}
+
+CsrGraph CsrGraph::FromViews(std::span<const std::uint32_t> offsets,
+                             std::span<const NodeId> targets,
+                             std::shared_ptr<const void> keepalive) {
+  DRLI_CHECK(offsets.empty()
+                 ? targets.empty()
+                 : offsets.front() == 0 && offsets.back() == targets.size());
+  CsrGraph graph;
+  graph.view_offsets_ = offsets.empty() ? nullptr : offsets.data();
+  graph.view_targets_ = targets.data();
+  graph.view_num_offsets_ = offsets.size();
+  graph.view_num_targets_ = targets.size();
+  graph.keepalive_ = std::move(keepalive);
+  // An empty view degenerates to an (empty) owning graph, which keeps
+  // the owns_data() discriminator (view_offsets_ != nullptr) honest.
+  return graph;
+}
+
+bool CsrGraph::operator==(const CsrGraph& other) const {
+  return std::ranges::equal(offsets(), other.offsets()) &&
+         std::ranges::equal(targets(), other.targets());
 }
 
 }  // namespace drli

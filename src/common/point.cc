@@ -54,11 +54,43 @@ PointSet::PointSet(std::size_t dim) : dim_(dim) {
   DRLI_CHECK(dim >= 1) << "PointSet requires dim >= 1";
 }
 
+PointSet PointSet::FromVector(std::size_t dim, std::vector<double> values) {
+  PointSet out(dim);
+  DRLI_CHECK_EQ(values.size() % dim, 0u);
+  out.data_ = std::move(values);
+  return out;
+}
+
+PointSet PointSet::FromView(std::size_t dim, const double* values,
+                            std::size_t num_values,
+                            std::shared_ptr<const void> keepalive) {
+  PointSet out(dim);
+  DRLI_CHECK_EQ(num_values % dim, 0u);
+  DRLI_CHECK(values != nullptr || num_values == 0);
+  out.view_ = values;
+  out.view_values_ = num_values;
+  out.keepalive_ = std::move(keepalive);
+  return out;
+}
+
 TupleId PointSet::Add(PointView p) {
   DRLI_CHECK_EQ(p.size(), dim_);
+  DRLI_CHECK(owns_data()) << "Add on a view-backed PointSet";
   const TupleId id = static_cast<TupleId>(size());
   data_.insert(data_.end(), p.begin(), p.end());
   return id;
+}
+
+void PointSet::Reserve(std::size_t n) {
+  DRLI_CHECK(owns_data()) << "Reserve on a view-backed PointSet";
+  data_.reserve(n * dim_);
+}
+
+void PointSet::Clear() {
+  data_.clear();
+  view_ = nullptr;
+  view_values_ = 0;
+  keepalive_.reset();
 }
 
 TupleId PointSet::Add(std::initializer_list<double> p) {

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -133,10 +134,25 @@ inline double Score(PointView weights, PointView point) {
 }
 
 // Flat row-major container of n points of fixed dimensionality.
+//
+// Two storage modes: owning (a std::vector filled via Add, the normal
+// build path) and view-backed (a borrowed span over external memory,
+// e.g. an mmap-ed snapshot section, guarded by a shared keepalive).
+// Readers are oblivious to the mode; mutators require owns_data().
 class PointSet {
  public:
   // An empty set of `dim`-dimensional points; dim >= 1.
   explicit PointSet(std::size_t dim);
+
+  // Owning set adopting a pre-filled flat buffer (num_values % dim == 0).
+  static PointSet FromVector(std::size_t dim, std::vector<double> values);
+
+  // View-backed set over `num_values` doubles at `values`, which must
+  // stay valid for as long as `keepalive` is held (typically the mmap
+  // of a snapshot file). Copies share the view and the keepalive.
+  static PointSet FromView(std::size_t dim, const double* values,
+                           std::size_t num_values,
+                           std::shared_ptr<const void> keepalive);
 
   // Copyable and movable: a PointSet is a plain value.
   PointSet(const PointSet&) = default;
@@ -145,20 +161,22 @@ class PointSet {
   PointSet& operator=(PointSet&&) = default;
 
   std::size_t dim() const { return dim_; }
-  std::size_t size() const { return data_.size() / dim_; }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return num_values() / dim_; }
+  bool empty() const { return num_values() == 0; }
+  bool owns_data() const { return view_ == nullptr; }
 
   // Appends a point; returns its TupleId (= insertion index).
   TupleId Add(PointView p);
   TupleId Add(std::initializer_list<double> p);
 
   PointView operator[](std::size_t i) const {
-    return PointView(data_.data() + i * dim_, dim_);
+    return PointView(base() + i * dim_, dim_);
   }
   double At(std::size_t i, std::size_t attr) const {
-    return data_[i * dim_ + attr];
+    return base()[i * dim_ + attr];
   }
   void Set(std::size_t i, std::size_t attr, double value) {
+    DRLI_DCHECK(owns_data());
     data_[i * dim_ + attr] = value;
   }
 
@@ -166,17 +184,28 @@ class PointSet {
   Point Materialize(std::size_t i) const;
 
   // Underlying flat buffer, for serialization.
-  const std::vector<double>& raw() const { return data_; }
+  std::span<const double> raw() const {
+    return std::span<const double>(base(), num_values());
+  }
 
-  void Reserve(std::size_t n) { data_.reserve(n * dim_); }
-  void Clear() { data_.clear(); }
+  void Reserve(std::size_t n);
+  void Clear();
 
   // Returns the subset selected by `ids`, in order.
   PointSet Subset(const std::vector<TupleId>& ids) const;
 
  private:
+  const double* base() const { return view_ != nullptr ? view_ : data_.data(); }
+  std::size_t num_values() const {
+    return view_ != nullptr ? view_values_ : data_.size();
+  }
+
   std::size_t dim_;
   std::vector<double> data_;
+  // View mode; null in owning mode.
+  const double* view_ = nullptr;
+  std::size_t view_values_ = 0;
+  std::shared_ptr<const void> keepalive_;
 };
 
 // Debug formatting, e.g. "(0.25, 0.75)".

@@ -208,6 +208,13 @@ class DualLayerIndex final : public TopKIndex {
     return has_fine_in_;
   }
   const std::vector<NodeId>& initial_nodes() const { return initial_; }
+  // Real tuples grouped by coarse layer, in layer order (the iterated
+  // skylines). Exposed for the invariant checker and serialization;
+  // a deserialized index restores this from the snapshot, where the
+  // loader range-validates every member id against coarse_layer_of.
+  const std::vector<std::vector<TupleId>>& coarse_layers() const {
+    return coarse_layers_;
+  }
   // Real tuples grouped by (coarse layer, fine sublayer), in layer
   // order -- the disk clustering unit for storage/page_layout.
   std::vector<std::vector<TupleId>> LayerGroups() const;

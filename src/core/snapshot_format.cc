@@ -1,0 +1,48 @@
+#include "core/snapshot_format.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace drli {
+namespace snapshot {
+
+const char* SectionKindName(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kName:
+      return "name";
+    case SectionKind::kPoints:
+      return "points";
+    case SectionKind::kVirtualPoints:
+      return "virtual_points";
+    case SectionKind::kCoarseOf:
+      return "coarse_of";
+    case SectionKind::kFineOf:
+      return "fine_of";
+    case SectionKind::kCoarseOffsets:
+      return "coarse_offsets";
+    case SectionKind::kCoarseTargets:
+      return "coarse_targets";
+    case SectionKind::kFineOffsets:
+      return "fine_offsets";
+    case SectionKind::kFineTargets:
+      return "fine_targets";
+    case SectionKind::kLayerOffsets:
+      return "layer_offsets";
+    case SectionKind::kLayerMembers:
+      return "layer_members";
+    case SectionKind::kWeightChain:
+      return "weight_chain";
+  }
+  return "?";
+}
+
+std::uint32_t ComputeHeaderCrc(const HeaderV2& header) {
+  HeaderV2 copy;
+  std::memcpy(&copy, &header, sizeof(copy));
+  copy.header_crc = 0;
+  return Crc32c(&copy, sizeof(copy));
+}
+
+}  // namespace snapshot
+}  // namespace drli

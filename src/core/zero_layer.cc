@@ -33,6 +33,28 @@ WeightRangeTable WeightRangeTable::Build(const PointSet& points,
   return table;
 }
 
+bool WeightRangeTable::ValidateChain(const PointSet& points,
+                                     const std::vector<TupleId>& chain) {
+  if (points.dim() != 2) return false;
+  for (TupleId id : chain) {
+    if (id >= points.size()) return false;
+  }
+  double prev_breakpoint = 0.0;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const PointView a = points[chain[i]];
+    const PointView b = points[chain[i + 1]];
+    if (!(a[0] < b[0] && a[1] > b[1])) return false;
+    // Same arithmetic as Build, so the convexity check here accepts
+    // exactly the chains whose breakpoints Build finds decreasing.
+    const double big_a = a[0] - b[0];
+    const double big_b = a[1] - b[1];
+    const double breakpoint = big_b / (big_b - big_a);
+    if (i > 0 && !(prev_breakpoint > breakpoint)) return false;
+    prev_breakpoint = breakpoint;
+  }
+  return true;
+}
+
 std::size_t WeightRangeTable::Lookup(double w1) const {
   DRLI_CHECK(!chain_.empty());
   // First position whose breakpoint is <= w1 (breakpoints descend):

@@ -32,6 +32,14 @@ class WeightRangeTable {
   static WeightRangeTable Build(const PointSet& points,
                                 std::vector<TupleId> chain);
 
+  // True iff `chain` satisfies Build's preconditions on `points`: dim
+  // 2, every id in range, strictly descending left to right, and
+  // strictly convex (decreasing breakpoints). The snapshot loader runs
+  // this on untrusted chains so a corrupt file is rejected with a
+  // Status instead of tripping the CHECKs inside Build.
+  static bool ValidateChain(const PointSet& points,
+                            const std::vector<TupleId>& chain);
+
   bool empty() const { return chain_.empty(); }
   std::size_t size() const { return chain_.size(); }
   const std::vector<TupleId>& chain() const { return chain_; }

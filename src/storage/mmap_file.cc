@@ -1,0 +1,47 @@
+#include "storage/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace drli {
+
+StatusOr<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " + err);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  const std::uint8_t* data = nullptr;
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("cannot mmap " + path + ": " + err);
+    }
+    data = static_cast<const std::uint8_t*>(mapped);
+  }
+  // The mapping persists after the descriptor closes.
+  ::close(fd);
+  return std::shared_ptr<MmapFile>(new MmapFile(data, size));
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace drli

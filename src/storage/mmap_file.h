@@ -1,0 +1,43 @@
+// Read-only memory-mapped file with shared ownership. The zero-copy
+// snapshot loader (core/serialization, format v2) points PointSet /
+// CsrGraph views directly at the mapping; each view holds a
+// shared_ptr<MmapFile> keepalive, so the mapping lives exactly as long
+// as the last structure referencing it -- the index can outlive the
+// loader, move across threads, or be destroyed in any order.
+
+#ifndef DRLI_STORAGE_MMAP_FILE_H_
+#define DRLI_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace drli {
+
+class MmapFile {
+ public:
+  // Maps `path` read-only (MAP_PRIVATE). An empty file maps to
+  // data() == nullptr, size() == 0.
+  static StatusOr<std::shared_ptr<MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  MmapFile(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_STORAGE_MMAP_FILE_H_

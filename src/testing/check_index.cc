@@ -44,6 +44,7 @@ class Checker {
   void CheckShapes();
   void CheckEdgeSoundness();
   void CheckDegreeRecounts();
+  void CheckLayerMembership();
   void CheckCoarseLayers();
   void CheckCoarseEdgeCompleteness();
   void CheckFineConvexity();
@@ -202,6 +203,38 @@ void Checker::CheckDegreeRecounts() {
     Fail("initial_nodes has ", index_.initial_nodes().size(),
          " entries, recount (in-degree 0, no fine in-edge) finds ",
          initial.size(), " or differs in membership/order");
+  }
+}
+
+void Checker::CheckLayerMembership() {
+  Checked();
+  // The stored coarse layer lists must partition the real tuples and
+  // agree with coarse_layer_of -- the audit the snapshot loader applies
+  // to untrusted files, repeated here so live indexes are covered too.
+  const std::vector<std::vector<TupleId>>& layers = index_.coarse_layers();
+  std::vector<std::uint8_t> seen(n(), 0);
+  std::size_t members = 0;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    for (TupleId id : layers[l]) {
+      if (id >= n()) {
+        Fail("coarse_layers[", l, "] lists out-of-range id ", id);
+        return;
+      }
+      if (seen[id]) {
+        Fail("tuple ", id, " is listed in two coarse layers");
+        return;
+      }
+      seen[id] = 1;
+      ++members;
+      if (index_.coarse_layer_of(static_cast<NodeId>(id)) != l) {
+        Fail("coarse_layers[", l, "] lists tuple ", id,
+             " but coarse_layer_of says ",
+             index_.coarse_layer_of(static_cast<NodeId>(id)));
+      }
+    }
+  }
+  if (members != n()) {
+    Fail("coarse_layers list ", members, " of ", n(), " tuples");
   }
 }
 
@@ -558,6 +591,7 @@ CheckReport Checker::Run() {
   if (!shapes_ok_) return std::move(report_);  // later checks would index OOB
   CheckEdgeSoundness();
   CheckDegreeRecounts();
+  CheckLayerMembership();
   CheckCoarseLayers();
   CheckCoarseEdgeCompleteness();
   CheckFineConvexity();

@@ -1,0 +1,363 @@
+#include "testing/fault_inject.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/crc32c.h"
+#include "common/random.h"
+#include "core/serialization.h"
+
+namespace drli {
+namespace testing {
+
+namespace {
+
+using snapshot::HeaderV2;
+using snapshot::SectionEntry;
+using snapshot::SectionKind;
+
+}  // namespace
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DRLI_CHECK(bool(in)) << "cannot open " << path;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  DRLI_CHECK(size >= 0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  DRLI_CHECK(bool(in)) << "short read on " << path;
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DRLI_CHECK(bool(out)) << "cannot open " << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  DRLI_CHECK(bool(out)) << "short write on " << path;
+}
+
+SnapshotV2Editor::SnapshotV2Editor(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes)) {
+  DRLI_CHECK_GE(bytes_.size(), sizeof(HeaderV2));
+  const HeaderV2 h = header();
+  DRLI_CHECK(h.magic == snapshot::kMagic && h.version == snapshot::kVersionV2);
+  DRLI_CHECK_LE(h.section_table_offset +
+                    std::uint64_t{h.num_sections} * sizeof(SectionEntry),
+                bytes_.size());
+}
+
+HeaderV2 SnapshotV2Editor::header() const {
+  HeaderV2 h;
+  std::memcpy(&h, bytes_.data(), sizeof(h));
+  return h;
+}
+
+void SnapshotV2Editor::SetHeader(const HeaderV2& header, bool reseal) {
+  HeaderV2 h = header;
+  if (reseal) h.header_crc = snapshot::ComputeHeaderCrc(h);
+  std::memcpy(bytes_.data(), &h, sizeof(h));
+}
+
+std::size_t SnapshotV2Editor::num_sections() const {
+  return header().num_sections;
+}
+
+SectionEntry SnapshotV2Editor::entry(std::size_t i) const {
+  const HeaderV2 h = header();
+  DRLI_CHECK_LT(i, h.num_sections);
+  SectionEntry e;
+  std::memcpy(&e,
+              bytes_.data() + h.section_table_offset + i * sizeof(SectionEntry),
+              sizeof(e));
+  return e;
+}
+
+void SnapshotV2Editor::SetEntry(std::size_t i, const SectionEntry& entry) {
+  const HeaderV2 h = header();
+  DRLI_CHECK_LT(i, h.num_sections);
+  std::memcpy(bytes_.data() + h.section_table_offset + i * sizeof(SectionEntry),
+              &entry, sizeof(entry));
+  ResealTable();
+}
+
+void SnapshotV2Editor::ResealTable() {
+  HeaderV2 h = header();
+  h.section_table_crc =
+      Crc32c(bytes_.data() + h.section_table_offset,
+             std::uint64_t{h.num_sections} * sizeof(SectionEntry));
+  SetHeader(h);
+}
+
+int SnapshotV2Editor::FindSection(SectionKind kind) const {
+  for (std::size_t i = 0; i < num_sections(); ++i) {
+    if (entry(i).kind == static_cast<std::uint32_t>(kind)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void SnapshotV2Editor::PatchSection(SectionKind kind,
+                                    std::uint64_t offset_in_section,
+                                    const void* data, std::size_t len) {
+  const int i = FindSection(kind);
+  DRLI_CHECK_GE(i, 0) << "no section " << snapshot::SectionKindName(kind);
+  SectionEntry e = entry(static_cast<std::size_t>(i));
+  DRLI_CHECK_LE(offset_in_section + len, e.length);
+  std::memcpy(bytes_.data() + e.offset + offset_in_section, data, len);
+  e.crc = Crc32c(bytes_.data() + e.offset, e.length);
+  SetEntry(static_cast<std::size_t>(i), e);
+}
+
+std::string FaultSweepReport::ToString() const {
+  std::ostringstream out;
+  out << cases << " mutant load(s), " << rejected << " rejected, "
+      << undetected << " loaded";
+  if (!violations.empty()) {
+    out << ", " << violations.size() << " violation(s):";
+    for (const std::string& v : violations) out << "\n  " << v;
+  }
+  return out.str();
+}
+
+FaultSweepReport RunSnapshotFaultSweep(const std::string& path,
+                                       const FaultSweepOptions& options) {
+  FaultSweepReport report;
+  const std::vector<std::uint8_t> bytes = ReadFileBytes(path);
+  if (bytes.size() < 8) {
+    report.violations.push_back("snapshot smaller than its magic/version");
+    return report;
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  const bool v2 = version == snapshot::kVersionV2;
+
+  const auto inspected = InspectSnapshot(path);
+  if (!inspected.ok()) {
+    report.violations.push_back("pristine snapshot fails inspection: " +
+                                inspected.status().ToString());
+    return report;
+  }
+  const SnapshotInfo& info = inspected.value();
+
+  const std::string tmp = path + ".fault";
+  const auto probe = [&](const std::vector<std::uint8_t>& mutant,
+                         const std::string& what, bool must_reject) {
+    WriteFileBytes(tmp, mutant);
+    for (const bool mmap : {true, false}) {
+      SnapshotLoadOptions load;
+      load.prefer_mmap = mmap;
+      const auto loaded = LoadDualLayerIndex(tmp, load);
+      ++report.cases;
+      if (loaded.ok()) {
+        ++report.undetected;
+        if (must_reject) {
+          report.violations.push_back(what + " loaded successfully via " +
+                                      (mmap ? "mmap" : "owning read"));
+        }
+        continue;
+      }
+      const StatusCode code = loaded.status().code();
+      if (code == StatusCode::kCorruption || code == StatusCode::kIoError) {
+        ++report.rejected;
+      } else {
+        report.violations.push_back(what + " returned unexpected status: " +
+                                    loaded.status().ToString());
+      }
+    }
+  };
+
+  // --- family 1: truncation at every section boundary (and +/- 1).
+  std::set<std::uint64_t> cuts = {0, 4, 8, bytes.size() - 1};
+  for (const SnapshotSectionInfo& row : info.sections) {
+    for (const std::int64_t delta : {-1, 0, 1}) {
+      const std::uint64_t edges[] = {row.offset, row.offset + row.length};
+      for (const std::uint64_t edge : edges) {
+        const std::int64_t cut = static_cast<std::int64_t>(edge) + delta;
+        if (cut >= 0 && cut < static_cast<std::int64_t>(bytes.size())) {
+          cuts.insert(static_cast<std::uint64_t>(cut));
+        }
+      }
+    }
+  }
+  for (const std::uint64_t cut : cuts) {
+    std::vector<std::uint8_t> mutant(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(cut));
+    probe(mutant, "truncation to " + std::to_string(cut) + " bytes",
+          /*must_reject=*/true);
+  }
+
+  // --- family 2: random single-byte flips. v2 must detect every one
+  // (all bytes are covered by a CRC, the zero-padding rule, or the
+  // exact-size rule); v1 has no checksums, so only no-crash is
+  // asserted there.
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < options.num_flips; ++i) {
+    const std::size_t pos = rng.Index(bytes.size());
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(1u << rng.Index(8));
+    std::vector<std::uint8_t> mutant = bytes;
+    mutant[pos] ^= mask;
+    probe(mutant,
+          "byte flip at " + std::to_string(pos) + " mask " +
+              std::to_string(mask),
+          /*must_reject=*/v2);
+  }
+
+  // --- family 3: adversarial metadata with CRCs fixed up, so the
+  // mutation reaches the bounds checks instead of the checksum gate.
+  if (v2) {
+    const auto with_editor = [&](const std::string& what, auto mutate) {
+      SnapshotV2Editor editor(bytes);
+      mutate(editor);
+      probe(editor.bytes(), what, /*must_reject=*/true);
+    };
+    with_editor("huge num_points", [](SnapshotV2Editor& e) {
+      HeaderV2 h = e.header();
+      h.num_points = std::uint64_t{1} << 40;
+      e.SetHeader(h);
+    });
+    with_editor("num_points + num_virtual overflowing 32-bit ids",
+                [](SnapshotV2Editor& e) {
+                  HeaderV2 h = e.header();
+                  h.num_points = 0xffffffffull;
+                  h.num_virtual = 0xffffffffull;
+                  e.SetHeader(h);
+                });
+    with_editor("zero dim", [](SnapshotV2Editor& e) {
+      HeaderV2 h = e.header();
+      h.dim = 0;
+      e.SetHeader(h);
+    });
+    with_editor("dim above kMaxDim", [](SnapshotV2Editor& e) {
+      HeaderV2 h = e.header();
+      h.dim = snapshot::kMaxDim + 1;
+      e.SetHeader(h);
+    });
+    with_editor("zero sections", [](SnapshotV2Editor& e) {
+      HeaderV2 h = e.header();
+      h.num_sections = 0;
+      e.SetHeader(h);
+    });
+    with_editor("section table pushed out of range", [&](SnapshotV2Editor& e) {
+      HeaderV2 h = e.header();
+      h.section_table_offset = bytes.size();
+      e.SetHeader(h);
+    });
+    with_editor("unknown header flag", [](SnapshotV2Editor& e) {
+      HeaderV2 h = e.header();
+      h.flags |= 0x80000000u;
+      e.SetHeader(h);
+    });
+    with_editor("huge section length", [](SnapshotV2Editor& e) {
+      SectionEntry entry = e.entry(1);
+      entry.length = 0xffffffffffffff00ull;
+      e.SetEntry(1, entry);
+    });
+    with_editor("section offset past end of file", [&](SnapshotV2Editor& e) {
+      SectionEntry entry = e.entry(1);
+      entry.offset = (bytes.size() / snapshot::kSectionAlignment + 2) *
+                     snapshot::kSectionAlignment;
+      e.SetEntry(1, entry);
+    });
+    with_editor("misaligned section offset", [](SnapshotV2Editor& e) {
+      SectionEntry entry = e.entry(1);
+      entry.offset += 1;
+      e.SetEntry(1, entry);
+    });
+    with_editor("unknown section kind", [](SnapshotV2Editor& e) {
+      SectionEntry entry = e.entry(0);
+      entry.kind = 77;
+      e.SetEntry(0, entry);
+    });
+    with_editor("duplicate section kind", [](SnapshotV2Editor& e) {
+      SectionEntry entry = e.entry(1);
+      entry.kind = e.entry(0).kind;
+      e.SetEntry(1, entry);
+    });
+    with_editor("overlapping sections", [](SnapshotV2Editor& e) {
+      SectionEntry entry = e.entry(1);
+      entry.offset = e.entry(0).offset;
+      e.SetEntry(1, entry);
+    });
+    {
+      // Shrink the points section with its CRC recomputed over the
+      // shorter payload: the CRC passes, the shape check must not.
+      SnapshotV2Editor editor(bytes);
+      const int i = editor.FindSection(SectionKind::kPoints);
+      if (i >= 0 && editor.entry(static_cast<std::size_t>(i)).length >= 8) {
+        SectionEntry entry = editor.entry(static_cast<std::size_t>(i));
+        entry.length -= 8;
+        entry.crc = Crc32c(bytes.data() + entry.offset, entry.length);
+        editor.SetEntry(static_cast<std::size_t>(i), entry);
+        probe(editor.bytes(), "shrunk points section with resealed CRC",
+              /*must_reject=*/true);
+      }
+    }
+    {
+      // Nonzero byte in the padding gap between table and first section.
+      SnapshotV2Editor editor(bytes);
+      const HeaderV2 h = editor.header();
+      const std::uint64_t table_end =
+          h.section_table_offset +
+          std::uint64_t{h.num_sections} * sizeof(SectionEntry);
+      std::uint64_t first = bytes.size();
+      for (std::size_t i = 0; i < editor.num_sections(); ++i) {
+        first = std::min(first, editor.entry(i).offset);
+      }
+      if (first > table_end) {
+        std::vector<std::uint8_t> mutant = bytes;
+        mutant[table_end] = 0xAB;
+        probe(mutant, "nonzero padding byte", /*must_reject=*/true);
+      }
+    }
+    {
+      std::vector<std::uint8_t> mutant = bytes;
+      mutant.push_back(0);
+      probe(mutant, "trailing byte appended", /*must_reject=*/true);
+    }
+  } else {
+    // v1: adversarial length prefixes. The bounded reader must reject
+    // every count that exceeds the bytes actually left in the file --
+    // these are exactly the inputs that used to reach resize(n).
+    for (const SnapshotSectionInfo& row : info.sections) {
+      const std::uint64_t prefix_offset =
+          row.name == "weight_chain" ? row.offset + 4 : row.offset;
+      const std::uint64_t huge_lengths[] = {
+          0xffffffffffffffffull, 0x7fffffffffffffffull, bytes.size()};
+      for (const std::uint64_t huge : huge_lengths) {
+        std::vector<std::uint8_t> mutant = bytes;
+        std::memcpy(mutant.data() + prefix_offset, &huge, sizeof(huge));
+        probe(mutant,
+              "v1 " + row.name + " length prefix = " + std::to_string(huge),
+              /*must_reject=*/true);
+      }
+    }
+    // The dim field sits right after the name segment.
+    const std::uint64_t dim_offset =
+        info.sections.front().offset + info.sections.front().length;
+    for (const std::uint32_t bad_dim : {0u, snapshot::kMaxDim + 1}) {
+      std::vector<std::uint8_t> mutant = bytes;
+      std::memcpy(mutant.data() + dim_offset, &bad_dim, sizeof(bad_dim));
+      probe(mutant, "v1 dim = " + std::to_string(bad_dim),
+            /*must_reject=*/true);
+    }
+  }
+
+  std::remove(tmp.c_str());
+  return report;
+}
+
+}  // namespace testing
+}  // namespace drli

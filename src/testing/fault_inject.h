@@ -1,0 +1,103 @@
+// Snapshot fault injection: systematically corrupts an index snapshot
+// on disk and asserts that LoadDualLayerIndex rejects every mutant with
+// a clean Status (never a crash, hang, or -- for checksummed v2 files
+// -- a silent success).
+//
+// Three mutation families:
+//  * truncation at every section boundary and one byte around it;
+//  * random single-byte flips (position and bit drawn from a seed);
+//  * adversarial metadata patches -- huge/zero lengths, out-of-range or
+//    misaligned offsets, bogus header geometry -- with the CRCs fixed
+//    up so the mutation reaches the bounds-checking code instead of
+//    dying at the checksum gate.
+//
+// For v2 every mutant must fail to load (the format is fully
+// tamper-evident). For v1 random flips only assert no-crash: the
+// legacy stream has no checksums, which is the motivation for v2;
+// adversarial length prefixes must still be rejected by the bounded
+// reader.
+
+#ifndef DRLI_TESTING_FAULT_INJECT_H_
+#define DRLI_TESTING_FAULT_INJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/snapshot_format.h"
+
+namespace drli {
+namespace testing {
+
+struct FaultSweepOptions {
+  std::uint64_t seed = 1;
+  // Random single-byte flips to try (DRLI_FAULT_FLIPS overrides in the
+  // fuzz driver; the acceptance sweep uses >= 1000).
+  std::size_t num_flips = 1000;
+};
+
+struct FaultSweepReport {
+  std::size_t cases = 0;       // mutants attempted
+  std::size_t rejected = 0;    // load returned Corruption / IoError
+  std::size_t undetected = 0;  // mutant loaded OK (only legal for v1 flips)
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// Runs the sweep against the snapshot at `path` (either format; the
+// family mix adapts to the version). Mutants are written next to
+// `path` and removed afterwards. Every mutated load runs both the mmap
+// and the owning-read path.
+FaultSweepReport RunSnapshotFaultSweep(const std::string& path,
+                                       const FaultSweepOptions& options = {});
+
+// --- low-level helpers, shared with tests ---
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path);
+void WriteFileBytes(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes);
+
+// In-memory editor for a well-formed v2 snapshot that keeps the file
+// self-consistent: any mutation through it re-seals the affected
+// section CRC, the section table CRC and the header CRC. Tests use it
+// to plant semantically corrupt but checksum-valid payloads (e.g. a
+// coarse-layer permutation the loader accepts but CheckIndex rejects).
+class SnapshotV2Editor {
+ public:
+  // CHECK-fails unless `bytes` starts with a v2 header.
+  explicit SnapshotV2Editor(std::vector<std::uint8_t> bytes);
+
+  snapshot::HeaderV2 header() const;
+  // Overwrites the header; recomputes header_crc first unless
+  // `reseal` is false (for planting deliberately bad header CRCs).
+  void SetHeader(const snapshot::HeaderV2& header, bool reseal = true);
+
+  std::size_t num_sections() const;
+  snapshot::SectionEntry entry(std::size_t i) const;
+  // Overwrites entry `i` and re-seals the table and header CRCs. The
+  // entry's own `crc` field is stored as given (callers patch it when
+  // they mutate the payload through PatchSection, and leave it stale
+  // on purpose for adversarial metadata mutants).
+  void SetEntry(std::size_t i, const snapshot::SectionEntry& entry);
+
+  // Index into the entry table of the section of `kind`; -1 if absent.
+  int FindSection(snapshot::SectionKind kind) const;
+  // Overwrites `len` payload bytes at `offset_in_section` and re-seals
+  // the section CRC (and table/header CRCs). CHECK-fails out of range.
+  void PatchSection(snapshot::SectionKind kind, std::uint64_t offset_in_section,
+                    const void* data, std::size_t len);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  void ResealTable();
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace testing
+}  // namespace drli
+
+#endif  // DRLI_TESTING_FAULT_INJECT_H_

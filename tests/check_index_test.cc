@@ -4,7 +4,6 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "core/serialization.h"
 #include "data/generator.h"
 #include "testing/check_index.h"
+#include "testing/fault_inject.h"
 #include "test_util.h"
 
 namespace drli {
@@ -82,9 +82,11 @@ TEST(CheckIndexTest, LoadedRoundTripsPass) {
   }
 }
 
-// Flipping one coarse-layer assignment in the serialized bytes must be
-// caught: the dominance-depth recomputation (and the edge/layer-group
-// consistency checks) pin every assignment exactly.
+// Swapping two tuples between adjacent coarse layers -- consistently,
+// in both the coarse_of section and the layer member lists, with every
+// CRC resealed -- produces a snapshot the loader must accept (its
+// cross-checks all pass) but the checker must reject: the
+// dominance-depth recomputation pins every assignment exactly.
 TEST(CheckIndexTest, CorruptedCoarseAssignmentFails) {
   const PointSet points = Generate(Distribution::kAnticorrelated, 400, 3, 13);
   const DualLayerIndex built = DualLayerIndex::Build(points);
@@ -93,24 +95,21 @@ TEST(CheckIndexTest, CorruptedCoarseAssignmentFails) {
   const std::string path = ::testing::TempDir() + "check_corrupt.bin";
   ASSERT_TRUE(SaveDualLayerIndex(built, path).ok());
 
-  // Layout: magic u32, version u32, name (u64 + bytes), dim u32,
-  // points (u64 + doubles), virtual (u64 + doubles), coarse_of
-  // (u64 + u32 entries), ...
-  const std::size_t offset =
-      4 + 4 + 8 + built.name().size() + 4 +
-      8 + built.points().raw().size() * sizeof(double) +
-      8 + built.virtual_points().raw().size() * sizeof(double) + 8;
-  std::fstream file(path,
-                    std::ios::in | std::ios::out | std::ios::binary);
-  ASSERT_TRUE(file.good());
-  std::uint32_t layer = 0;
-  file.seekg(static_cast<std::streamoff>(offset));
-  file.read(reinterpret_cast<char*>(&layer), sizeof(layer));
-  ASSERT_EQ(layer, built.coarse_layer_of(0));  // offset arithmetic sanity
-  layer ^= 1u;
-  file.seekp(static_cast<std::streamoff>(offset));
-  file.write(reinterpret_cast<const char*>(&layer), sizeof(layer));
-  file.close();
+  const std::vector<std::vector<TupleId>>& layers = built.coarse_layers();
+  ASSERT_GE(layers.size(), 2u);
+  const TupleId u = layers[0].front();  // flat member position 0
+  const TupleId v = layers[1].front();  // flat member position |layer 0|
+  const std::uint64_t pos_v = layers[0].size();
+
+  testing::SnapshotV2Editor editor(testing::ReadFileBytes(path));
+  const std::uint32_t layer_of_u = 1, layer_of_v = 0;
+  editor.PatchSection(snapshot::SectionKind::kCoarseOf,
+                      std::uint64_t{u} * 4, &layer_of_u, 4);
+  editor.PatchSection(snapshot::SectionKind::kCoarseOf,
+                      std::uint64_t{v} * 4, &layer_of_v, 4);
+  editor.PatchSection(snapshot::SectionKind::kLayerMembers, 0, &v, 4);
+  editor.PatchSection(snapshot::SectionKind::kLayerMembers, pos_v * 4, &u, 4);
+  testing::WriteFileBytes(path, editor.bytes());
 
   auto corrupted = LoadDualLayerIndex(path);
   ASSERT_TRUE(corrupted.ok()) << corrupted.status().ToString();

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -30,9 +31,9 @@ TEST(GeneratorTest, SizesAndRanges) {
 TEST(GeneratorTest, DeterministicBySeed) {
   const PointSet a = GenerateAnticorrelated(100, 3, 9);
   const PointSet b = GenerateAnticorrelated(100, 3, 9);
-  EXPECT_EQ(a.raw(), b.raw());
+  EXPECT_TRUE(std::ranges::equal(a.raw(), b.raw()));
   const PointSet c = GenerateAnticorrelated(100, 3, 10);
-  EXPECT_NE(a.raw(), c.raw());
+  EXPECT_FALSE(std::ranges::equal(a.raw(), c.raw()));
 }
 
 TEST(GeneratorTest, AnticorrelatedHasNegativePairwiseCorrelation) {

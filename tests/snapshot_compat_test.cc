@@ -1,0 +1,124 @@
+// Cross-version compatibility against checked-in golden snapshots.
+//
+// tests/golden/ holds one v1 and one v2 snapshot per recipe, produced
+// by the deterministic build over a seeded generator. Loading them
+// with today's loader and cross-checking answers against a freshly
+// built index proves that (a) old v1 files written before the v2
+// format existed keep loading, and (b) a future format change cannot
+// silently orphan existing v2 files.
+//
+// Regenerate after an *intentional* format change with:
+//   DRLI_REGEN_GOLDEN=1 ./snapshot_compat_test
+// which rewrites the fixtures in the source tree.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/dual_layer.h"
+#include "core/serialization.h"
+#include "data/generator.h"
+#include "testing/check_index.h"
+#include "test_util.h"
+
+#ifndef DRLI_TEST_GOLDEN_DIR
+#error "DRLI_TEST_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace drli {
+namespace {
+
+struct GoldenRecipe {
+  const char* name;
+  Distribution dist;
+  std::size_t n;
+  std::size_t d;
+  std::uint64_t seed;
+  bool zero_layer;
+};
+
+// d=3 exercises the clustered pseudo-tuple zero layer; d=2 exercises
+// the weight-range-table chain. Both shapes must survive either format.
+constexpr GoldenRecipe kRecipes[] = {
+    {"dl_plus_d3", Distribution::kAnticorrelated, 300, 3, 42, true},
+    {"dl_plus_wt_d2", Distribution::kAnticorrelated, 300, 2, 43, true},
+};
+
+std::string GoldenPath(const GoldenRecipe& recipe, std::uint32_t version) {
+  return std::string(DRLI_TEST_GOLDEN_DIR) + "/" + recipe.name + "_v" +
+         std::to_string(version) + ".bin";
+}
+
+DualLayerIndex BuildRecipe(const GoldenRecipe& recipe) {
+  const PointSet points =
+      Generate(recipe.dist, recipe.n, recipe.d, recipe.seed);
+  DualLayerOptions options;
+  options.build_zero_layer = recipe.zero_layer;
+  return DualLayerIndex::Build(points, options);
+}
+
+TEST(SnapshotCompatTest, GoldenFixturesLoadAndAnswerIdentically) {
+  const bool regen = std::getenv("DRLI_REGEN_GOLDEN") != nullptr;
+  for (const GoldenRecipe& recipe : kRecipes) {
+    const DualLayerIndex fresh = BuildRecipe(recipe);
+    for (const std::uint32_t version :
+         {snapshot::kVersionV1, snapshot::kVersionV2}) {
+      const std::string path = GoldenPath(recipe, version);
+      if (regen) {
+        SnapshotSaveOptions save;
+        save.format_version = version;
+        ASSERT_TRUE(SaveDualLayerIndex(fresh, path, save).ok()) << path;
+      }
+      ASSERT_TRUE(std::filesystem::exists(path))
+          << path << " missing -- run with DRLI_REGEN_GOLDEN=1";
+
+      auto loaded = LoadDualLayerIndex(path);
+      ASSERT_TRUE(loaded.ok())
+          << path << ": " << loaded.status().ToString();
+      EXPECT_EQ(loaded.value().size(), recipe.n) << path;
+      EXPECT_EQ(loaded.value().points().dim(), recipe.d) << path;
+      EXPECT_EQ(loaded.value().uses_weight_table(),
+                fresh.uses_weight_table())
+          << path;
+      EXPECT_TRUE(CheckIndex(loaded.value()).ok()) << path;
+
+      // Answers from the fixture must match a from-scratch build.
+      // Scores only, not traversal counters: a legitimate future build
+      // change may alter the structure while answers stay correct.
+      for (const TopKQuery& query : testing_util::RandomQueries(
+               recipe.d, /*k=*/10, /*count=*/20, /*seed=*/recipe.seed)) {
+        EXPECT_TRUE(testing_util::ResultsEquivalent(
+            fresh.Query(query), loaded.value().Query(query)))
+            << path;
+      }
+    }
+  }
+}
+
+TEST(SnapshotCompatTest, GoldenInfoMatchesRecipe) {
+  for (const GoldenRecipe& recipe : kRecipes) {
+    for (const std::uint32_t version :
+         {snapshot::kVersionV1, snapshot::kVersionV2}) {
+      const std::string path = GoldenPath(recipe, version);
+      if (!std::filesystem::exists(path)) {
+        GTEST_SKIP() << path << " missing -- run with DRLI_REGEN_GOLDEN=1";
+      }
+      const auto info = InspectSnapshot(path);
+      ASSERT_TRUE(info.ok()) << info.status().ToString();
+      EXPECT_EQ(info.value().version, version);
+      EXPECT_EQ(info.value().num_points, recipe.n);
+      EXPECT_EQ(info.value().dim, recipe.d);
+      if (version == snapshot::kVersionV2) {
+        for (const SnapshotSectionInfo& row : info.value().sections) {
+          EXPECT_TRUE(row.crc_ok) << path << " section " << row.name;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drli

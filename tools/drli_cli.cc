@@ -3,6 +3,7 @@
 //   drli generate --dist=ant --n=20000 --d=4 --seed=1 --out=data.csv
 //   drli build    --input=data.csv --kind=dl+ --out=index.bin
 //   drli stats    --index=index.bin
+//   drli inspect  --index=index.bin
 //   drli query    --index=index.bin --weights=0.3,0.3,0.4 --k=10
 //   drli query    --input=data.csv --kind=hl+ --weights=0.5,0.5 --k=5
 //   drli compare  --input=data.csv --kinds=dg,dg+,dl,dl+ --k=10 --queries=50
@@ -82,7 +83,8 @@ std::vector<std::string> SplitComma(const std::string& value) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: drli <generate|build|stats|query|compare|sweep|check>"
+               "usage: drli "
+               "<generate|build|stats|inspect|query|compare|sweep|check>"
                " [--flags]\n"
                "see the header of tools/drli_cli.cc for examples\n");
   return 2;
@@ -166,11 +168,67 @@ int CmdBuild(const Flags& flags) {
       bs.eds_seconds);
   std::printf("coarse edges: pairs_pruned=%zu pairs_tested=%zu\n",
               bs.coarse_pairs_pruned, bs.coarse_pairs_tested);
-  if (const Status status = SaveDualLayerIndex(index, out); !status.ok()) {
+  SnapshotSaveOptions save;
+  const std::string format = GetFlag(flags, "format", "v2");
+  if (format == "v1") {
+    save.format_version = snapshot::kVersionV1;
+  } else if (format != "v2") {
+    std::fprintf(stderr, "unknown --format=%s (v1|v2)\n", format.c_str());
+    return 2;
+  }
+  if (const Status status = SaveDualLayerIndex(index, out, save);
+      !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("saved to %s\n", out.c_str());
+  std::printf("saved to %s (%s)\n", out.c_str(), format.c_str());
+  return 0;
+}
+
+// Snapshot metadata without constructing the index: format version,
+// shape, and (for v2) the section table with recomputed CRCs.
+int CmdInspect(const Flags& flags) {
+  const std::string path = GetFlag(flags, "index");
+  if (path.empty()) {
+    std::fprintf(stderr, "--index=<file> is required\n");
+    return 2;
+  }
+  const auto inspected = InspectSnapshot(path);
+  if (!inspected.ok()) {
+    std::fprintf(stderr, "%s\n", inspected.status().ToString().c_str());
+    return 1;
+  }
+  const SnapshotInfo& info = inspected.value();
+  std::printf("%s: snapshot v%u, %llu bytes\n", path.c_str(), info.version,
+              static_cast<unsigned long long>(info.file_size));
+  std::printf("n=%zu d=%zu pseudo-tuples=%zu 2-d weight table: %s\n",
+              info.num_points, info.dim, info.num_virtual,
+              info.use_weight_table ? "yes" : "no");
+  if (info.version == snapshot::kVersionV1) {
+    std::printf("%-18s %10s %12s\n", "segment", "offset", "bytes");
+    for (const SnapshotSectionInfo& row : info.sections) {
+      std::printf("%-18s %10llu %12llu\n", row.name.c_str(),
+                  static_cast<unsigned long long>(row.offset),
+                  static_cast<unsigned long long>(row.length));
+    }
+    std::printf("(v1 stream: no checksums; rebuild with `drli build` to get "
+                "a v2 snapshot)\n");
+    return 0;
+  }
+  std::printf("%-16s %10s %12s %10s %s\n", "section", "offset", "bytes",
+              "crc32c", "ok");
+  bool all_ok = true;
+  for (const SnapshotSectionInfo& row : info.sections) {
+    std::printf("%-16s %10llu %12llu %10x %s\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.offset),
+                static_cast<unsigned long long>(row.length), row.crc,
+                row.crc_ok ? "yes" : "NO");
+    all_ok = all_ok && row.crc_ok;
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "section checksum mismatch: snapshot is corrupt\n");
+    return 1;
+  }
   return 0;
 }
 
@@ -429,6 +487,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
   if (command == "stats") return CmdStats(flags);
+  if (command == "inspect") return CmdInspect(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "compare") return CmdCompare(flags);
   if (command == "sweep") return CmdSweep(flags);

@@ -3,6 +3,8 @@
 //   drli_fuzz --cases=500 --seed=1        # seeds 1..500
 //   drli_fuzz --replay=391                # one failing seed, verbose
 //   drli_fuzz --cases=200 --dynamic=0     # skip the DynamicIndex oracle
+//   drli_fuzz --snapshot-faults --flips=20000 --seed=7
+//                                         # snapshot corruption sweep
 //
 // Every case builds a fresh adversarial dataset from its seed (exact
 // duplicates, grid-snapped coordinates, coplanar rows, d in 2..5, tiny
@@ -12,11 +14,17 @@
 // prints "FAIL seed=<seed>" and the process exits nonzero; the same
 // seed reproduces the case deterministically.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "core/dual_layer.h"
+#include "core/serialization.h"
+#include "data/generator.h"
+#include "testing/fault_inject.h"
 #include "testing/fuzz.h"
 
 namespace drli {
@@ -25,21 +33,87 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: drli_fuzz [--cases=N] [--seed=S] [--replay=SEED]\n"
-               "                 [--dynamic=0|1] [--max-n=N]\n");
+               "                 [--dynamic=0|1] [--max-n=N]\n"
+               "       drli_fuzz --snapshot-faults [--flips=N] [--seed=S]\n");
   return 2;
+}
+
+// Snapshot corruption sweep: builds one index per family (plain DL,
+// clustered DL+, 2-d weight-table DL+), saves it in both formats, and
+// runs the full fault matrix against each file. Nonzero exit on any
+// crash-free-but-wrong outcome; a crash takes the process down, which
+// the nightly ASan/UBSan job reports with a trace.
+int RunSnapshotFaults(std::size_t flips, std::uint64_t seed) {
+  struct Config {
+    const char* label;
+    std::size_t d;
+    bool zero_layer;
+  };
+  const Config configs[] = {
+      {"dl_4d", 4, false},
+      {"dl_plus_4d", 4, true},
+      {"dl_plus_2d", 2, true},
+  };
+  const std::string base =
+      "/tmp/drli_faults_" + std::to_string(getpid()) + "_";
+  bool ok = true;
+  for (const Config& config : configs) {
+    const PointSet points =
+        Generate(Distribution::kAnticorrelated, 400, config.d, seed);
+    DualLayerOptions options;
+    options.build_zero_layer = config.zero_layer;
+    const DualLayerIndex index = DualLayerIndex::Build(points, options);
+    for (const std::uint32_t version :
+         {snapshot::kVersionV1, snapshot::kVersionV2}) {
+      const std::string path = base + config.label + "_v" +
+                               std::to_string(version) + ".bin";
+      SnapshotSaveOptions save;
+      save.format_version = version;
+      if (const Status status = SaveDualLayerIndex(index, path, save);
+          !status.ok()) {
+        std::printf("FAIL %s: %s\n", path.c_str(),
+                    status.ToString().c_str());
+        ok = false;
+        continue;
+      }
+      testing::FaultSweepOptions sweep;
+      sweep.seed = seed;
+      sweep.num_flips = flips;
+      const testing::FaultSweepReport report =
+          testing::RunSnapshotFaultSweep(path, sweep);
+      std::printf("%s v%u: %s\n", config.label, version,
+                  report.ToString().c_str());
+      ok = ok && report.ok();
+      std::remove(path.c_str());
+    }
+  }
+  std::printf(ok ? "snapshot fault sweep ok\n"
+                 : "snapshot fault sweep FAILED\n");
+  return ok ? 0 : 1;
 }
 
 int Main(int argc, char** argv) {
   std::size_t cases = 100;
   std::uint64_t first_seed = 1;
   bool replay = false;
+  bool snapshot_faults = false;
+  // DRLI_FAULT_FLIPS pre-sets the flip budget (the nightly job raises
+  // it); --flips= wins over the environment.
+  std::size_t flips = 1000;
+  if (const char* env = std::getenv("DRLI_FAULT_FLIPS")) {
+    flips = std::strtoul(env, nullptr, 10);
+  }
   FuzzOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* prefix) -> const char* {
       return arg.c_str() + std::strlen(prefix);
     };
-    if (arg.rfind("--cases=", 0) == 0) {
+    if (arg == "--snapshot-faults") {
+      snapshot_faults = true;
+    } else if (arg.rfind("--flips=", 0) == 0) {
+      flips = std::strtoul(value("--flips="), nullptr, 10);
+    } else if (arg.rfind("--cases=", 0) == 0) {
       cases = std::strtoul(value("--cases="), nullptr, 10);
     } else if (arg.rfind("--seed=", 0) == 0) {
       first_seed = std::strtoull(value("--seed="), nullptr, 10);
@@ -55,6 +129,7 @@ int Main(int argc, char** argv) {
       return Usage();
     }
   }
+  if (snapshot_faults) return RunSnapshotFaults(flips, first_seed);
 
   std::size_t failed = 0;
   for (std::size_t i = 0; i < cases; ++i) {
