@@ -43,6 +43,10 @@ struct Row {
   double build_seconds_serial = 0;  // build_threads = 1
   double build_seconds_parallel = 0;
   double single_query_seconds = 0;  // serial loop, reused scratch
+  // Same loop with an armed-but-never-firing ExecBudget (generous
+  // max_evals + deadline + live cancel token): the serving-path cost of
+  // metering every traversal step through BudgetGate.
+  double single_query_budgeted_seconds = 0;
   double batch_qps_1t = 0;
   double batch_qps_nt = 0;
   double avg_tuples = 0;  // Definition 9, for cross-checking
@@ -92,6 +96,27 @@ Row Measure(std::size_t n, std::size_t d, std::size_t num_queries,
   row.avg_tuples =
       static_cast<double>(tuples) / static_cast<double>(num_queries);
 
+  // Budget-gate overhead: identical queries, budgets armed wide enough
+  // that no query ever trips (every result must stay complete).
+  CancelToken cancel;
+  std::vector<TopKQuery> budgeted = queries;
+  for (TopKQuery& query : budgeted) {
+    query.budget.deadline_seconds = 3600.0;
+    query.budget.max_evals = n + 1;
+    query.budget.cancel = &cancel;
+  }
+  std::size_t budgeted_tuples = 0;
+  timer.Restart();
+  for (const TopKQuery& query : budgeted) {
+    const TopKResult result = index.Query(query, &scratch);
+    DRLI_CHECK(result.complete()) << "armed budget tripped unexpectedly";
+    budgeted_tuples += result.stats.tuples_evaluated;
+  }
+  row.single_query_budgeted_seconds =
+      timer.ElapsedSeconds() / static_cast<double>(num_queries);
+  DRLI_CHECK(budgeted_tuples == tuples)
+      << "budgeted traversal changed the evaluation count";
+
   // Batch throughput: identical workload, 1 worker vs. `threads`.
   setenv("DRLI_THREADS", "1", 1);
   timer.Restart();
@@ -131,12 +156,16 @@ int main(int argc, char** argv) {
       Row row = Measure(n, d, num_queries, threads);
       std::printf(
           "n=%-7zu d=%zu build_serial=%.3fs build_parallel=%.3fs "
-          "query=%.2fus qps_1t=%.0f qps_%zut=%.0f speedup=%.2fx "
-          "tuples=%.1f\n",
+          "query=%.2fus budgeted=%.2fus overhead=%+.1f%% "
+          "qps_1t=%.0f qps_%zut=%.0f speedup=%.2fx tuples=%.1f\n",
           row.n, row.d, row.build_seconds_serial, row.build_seconds_parallel,
-          row.single_query_seconds * 1e6, row.batch_qps_1t, row.threads,
-          row.batch_qps_nt, row.batch_qps_nt / row.batch_qps_1t,
-          row.avg_tuples);
+          row.single_query_seconds * 1e6,
+          row.single_query_budgeted_seconds * 1e6,
+          100.0 * (row.single_query_budgeted_seconds /
+                       row.single_query_seconds -
+                   1.0),
+          row.batch_qps_1t, row.threads, row.batch_qps_nt,
+          row.batch_qps_nt / row.batch_qps_1t, row.avg_tuples);
       std::fflush(stdout);
       rows.push_back(row);
     }
@@ -155,11 +184,13 @@ int main(int argc, char** argv) {
         buffer, sizeof(buffer),
         "  {\"n\": %zu, \"d\": %zu, \"batch\": %zu, \"threads\": %zu, "
         "\"build_seconds_serial\": %.6f, \"build_seconds_parallel\": %.6f, "
-        "\"single_query_seconds\": %.9f, \"batch_qps_1t\": %.1f, "
+        "\"single_query_seconds\": %.9f, "
+        "\"single_query_budgeted_seconds\": %.9f, \"batch_qps_1t\": %.1f, "
         "\"batch_qps_nt\": %.1f, \"avg_tuples\": %.2f}%s\n",
         r.n, r.d, r.batch, r.threads, r.build_seconds_serial,
-        r.build_seconds_parallel, r.single_query_seconds, r.batch_qps_1t,
-        r.batch_qps_nt, r.avg_tuples, i + 1 < rows.size() ? "," : "");
+        r.build_seconds_parallel, r.single_query_seconds,
+        r.single_query_budgeted_seconds, r.batch_qps_1t, r.batch_qps_nt,
+        r.avg_tuples, i + 1 < rows.size() ? "," : "");
     out << buffer;
   }
   out << "]\n";

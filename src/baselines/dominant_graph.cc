@@ -77,21 +77,30 @@ DominantGraphIndex DominantGraphIndex::Build(
 
 TopKResult DominantGraphIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
-  ValidateQuery(query, points_.dim());
+  if (const Status status = ValidateQuery(query, points_.dim());
+      !status.ok()) {
+    return InvalidQueryResult(status);
+  }
   // Copy the weights so the scorer does not dangle on the span.
   const Point weights = query.weights;
   TopKResult result = QueryMonotone(
-      [weights](PointView p) { return Score(weights, p); }, query.k);
+      [weights](PointView p) { return Score(weights, p); }, query.k,
+      query.budget);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
 
 TopKResult DominantGraphIndex::QueryMonotone(const MonotoneScorer& scorer,
-                                             std::size_t k) const {
+                                             std::size_t k,
+                                             const ExecBudget& budget) const {
   const std::size_t total = num_nodes();
 
   TopKResult result;
-  if (total == 0 || k == 0) return result;
+  if (total == 0 || k == 0) {
+    FinalizeComplete(result);
+    return result;
+  }
+  BudgetGate gate(budget);
 
   enum : std::uint8_t { kBlocked = 0, kQueued = 1, kPopped = 2 };
   std::vector<std::uint32_t> remaining = in_degree_;
@@ -131,12 +140,23 @@ TopKResult DominantGraphIndex::QueryMonotone(const MonotoneScorer& scorer,
 
   for (NodeId node : initial_) try_enqueue(node);
 
+  Termination stop = Termination::kComplete;
+  double frontier = -std::numeric_limits<double>::infinity();
+
   while (!queue.empty()) {
     // Pops are non-decreasing: every blocked node has an in-queue
     // ancestor scoring no higher than itself, so once the queue minimum
     // is strictly worse than the k-th answer no tie can be hidden
     // behind a blocked node.
     if (result.items.size() >= k && queue.top().score > tie_cutoff) break;
+    // Budget check at the pop boundary: every unreturned tuple is in
+    // the queue, behind an in-queue ancestor, or tie-filtered above
+    // tie_cutoff, so min(queue minimum, tie_cutoff) bounds them all.
+    if (stop = gate.Step(result.stats.tuples_evaluated);
+        stop != Termination::kComplete) {
+      frontier = std::min(queue.top().score, tie_cutoff);
+      break;
+    }
     const Entry top = queue.top();
     queue.pop();
     state[top.node] = kPopped;
@@ -152,6 +172,11 @@ TopKResult DominantGraphIndex::QueryMonotone(const MonotoneScorer& scorer,
   // Ties freed late pop out of id order; restore the canonical order.
   std::sort(result.items.begin(), result.items.end(), ResultOrderLess);
   if (result.items.size() > k) result.items.resize(k);
+  if (stop == Termination::kComplete) {
+    FinalizeComplete(result);
+  } else {
+    FinalizePartial(result, stop, frontier);
+  }
   return result;
 }
 

@@ -59,8 +59,8 @@ class DominantGraphIndex final : public TopKIndex {
   // members. (The dual-resolution index cannot offer this: ∃-dominance
   // is a convexity argument and requires linear scoring.)
   using MonotoneScorer = std::function<double(PointView)>;
-  TopKResult QueryMonotone(const MonotoneScorer& scorer,
-                           std::size_t k) const;
+  TopKResult QueryMonotone(const MonotoneScorer& scorer, std::size_t k,
+                           const ExecBudget& budget = {}) const;
 
   const PointSet& points() const { return points_; }
   const PointSet& virtual_points() const { return virtual_points_; }

@@ -36,16 +36,27 @@ HybridLayerIndex HybridLayerIndex::Build(PointSet points,
 
 TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
-  ValidateQuery(query, points_.dim());
-  const PointView w(query.weights);
-
-  TopKResult result;
-  if (points_.empty() || query.k == 0) return result;
-  if (stats_.truncated) {
-    DRLI_CHECK(query.k < layers_.size())
-        << "k exceeds the peeled layer budget of this HL index";
+  if (const Status status = ValidateQuery(query, points_.dim());
+      !status.ok()) {
+    return InvalidQueryResult(status);
   }
 
+  TopKResult result;
+  if (points_.empty() || query.k == 0) {
+    FinalizeComplete(result);
+    return result;
+  }
+  if (stats_.truncated && query.k >= layers_.size()) {
+    // The tail layer breaks the k-layer guarantee beyond the cap; an
+    // oversized k is a recoverable rejection, not a process abort.
+    return InvalidQueryResult(Status::InvalidArgument(
+        "k exceeds the peeled layer budget of this HL index"));
+  }
+  const PointView w(query.weights);
+
+  BudgetGate gate(query.budget);
+  TaScanControl control;
+  control.gate = &gate;
   TopKHeap heap(query.k);
   std::size_t layers_scanned = 0;
   // Weakly increasing lower bound on the minimum score of every
@@ -56,7 +67,8 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
   // ties with the k-th answer remain possible while it is <= KthScore.
   double separation = std::numeric_limits<double>::infinity();
   bool scanned_all = true;
-  for (const SortedLists& layer_lists : lists_) {
+  for (std::size_t layer = 0; layer < lists_.size(); ++layer) {
+    const SortedLists& layer_lists = lists_[layer];
     if (layers_scanned == query.k) {  // k-layer guarantee
       separation = chain_bound;
       scanned_all = false;
@@ -75,7 +87,29 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
     double layer_min_bound = 0.0;
     TaScanLayer(points_, layer_lists, w, &heap,
                 &result.stats.tuples_evaluated, &layer_min_bound,
-                &result.accessed);
+                &result.accessed, &control);
+    if (control.stop != Termination::kComplete) {
+      // Budget tripped mid-layer. Unoffered tuples of this layer are
+      // bounded by the TA frontier. Unscanned deeper layers: convex
+      // minima weakly increase, so they are bounded by this layer's
+      // (partial) minimum bound, the chain bound, and -- often tightest
+      // -- the next layer's own attribute floor. Completed layers'
+      // unoffered tuples and heap evictions are at or above the k-th
+      // heap entry (HeapFrontier).
+      double deeper = std::max(chain_bound, layer_min_bound);
+      if (layer + 1 < lists_.size()) {
+        deeper = std::max(deeper, LayerScoreLowerBound(lists_[layer + 1], w));
+      } else {
+        deeper = std::numeric_limits<double>::infinity();
+      }
+      result.items = heap.SortedAscending();
+      if (result.items.size() > query.k) result.items.resize(query.k);
+      FinalizePartial(
+          result, control.stop,
+          HeapFrontier(heap, std::min(control.frontier, deeper)));
+      result.stats.elapsed_seconds = timer.ElapsedSeconds();
+      return result;
+    }
     chain_bound = std::max(chain_bound, layer_min_bound);
     ++layers_scanned;
   }
@@ -90,6 +124,16 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
       separation <= heap.KthScore()) {
     const double kth = heap.KthScore();
     for (std::size_t i = layers_scanned; i < layers_.size(); ++i) {
+      if (const Termination stop =
+              gate.Step(result.stats.tuples_evaluated);
+          stop != Termination::kComplete) {
+        // Past the k-layer stop every unreturned tuple scores >= kth;
+        // only exact ties at kth are still unresolved.
+        result.items = heap.SortedAscending();
+        FinalizePartial(result, stop, kth);
+        result.stats.elapsed_seconds = timer.ElapsedSeconds();
+        return result;
+      }
       double layer_min = std::numeric_limits<double>::infinity();
       for (TupleId id : layers_[i]) {
         const double score = Score(w, points_[id]);
@@ -104,6 +148,7 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
     }
   }
   result.items = heap.SortedAscending();
+  FinalizeComplete(result);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

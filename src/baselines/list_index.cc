@@ -46,9 +46,13 @@ std::string ListIndex::name() const {
 
 TopKResult ListIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
-  ValidateQuery(query, points_.dim());
+  if (const Status status = ValidateQuery(query, points_.dim());
+      !status.ok()) {
+    return InvalidQueryResult(status);
+  }
   TopKResult result;
   if (query.k == 0) {
+    FinalizeComplete(result);
     result.stats.elapsed_seconds = timer.ElapsedSeconds();
     return result;
   }
@@ -71,13 +75,27 @@ TopKResult ListIndex::QueryFa(const TopKQuery& query) const {
   const std::size_t d = points_.dim();
   const std::size_t n = points_.size();
   TopKResult result;
-  if (n == 0) return result;
+  if (n == 0) {
+    FinalizeComplete(result);
+    return result;
+  }
+  BudgetGate gate(query.budget);
+  Termination stop = Termination::kComplete;
 
   // Phase 1: sorted access until k tuples were seen in every list.
+  // Nothing is scored yet, so the step budget cannot trip here; the
+  // gate still honours deadlines and cancellation.
   std::unordered_map<TupleId, std::size_t> seen_count;
   seen_count.reserve(4 * query.k * d);
   std::size_t fully_seen = 0;
   for (std::size_t pos = 0; pos < n && fully_seen < query.k; ++pos) {
+    if (stop = gate.Step(result.stats.tuples_evaluated);
+        stop != Termination::kComplete) {
+      // No tuple has been scored: nothing to return or certify.
+      FinalizePartial(result, stop,
+                      -std::numeric_limits<double>::infinity());
+      return result;
+    }
     for (std::size_t attr = 0; attr < d; ++attr) {
       if (++seen_count[lists_.At(attr, pos).id] == d) ++fully_seen;
     }
@@ -86,22 +104,45 @@ TopKResult ListIndex::QueryFa(const TopKQuery& query) const {
   // Phase 2: random access to complete every tuple seen anywhere.
   TopKHeap heap(query.k);
   for (const auto& [id, count] : seen_count) {
+    if (stop = gate.Step(result.stats.tuples_evaluated);
+        stop != Termination::kComplete) {
+      break;
+    }
     heap.Push(ScoredTuple{id, Score(query.weights, points_[id])});
     ++result.stats.tuples_evaluated;
     result.accessed.push_back(id);
   }
   result.items = heap.SortedAscending();
+  if (stop == Termination::kComplete) {
+    FinalizeComplete(result);
+  } else {
+    // The unscored remainder of the candidate set is unbounded, so a
+    // mid-phase-2 stop certifies nothing.
+    FinalizePartial(result, stop, -std::numeric_limits<double>::infinity());
+  }
   return result;
 }
 
 TopKResult ListIndex::QueryTa(const TopKQuery& query) const {
   TopKResult result;
-  if (points_.empty()) return result;
+  if (points_.empty()) {
+    FinalizeComplete(result);
+    return result;
+  }
+  BudgetGate gate(query.budget);
+  TaScanControl control;
+  control.gate = &gate;
   TopKHeap heap(query.k);
   TaScanLayer(points_, lists_, query.weights, &heap,
               &result.stats.tuples_evaluated, /*layer_min_bound=*/nullptr,
-              &result.accessed);
+              &result.accessed, &control);
   result.items = heap.SortedAscending();
+  if (control.stop == Termination::kComplete) {
+    FinalizeComplete(result);
+  } else {
+    FinalizePartial(result, control.stop,
+                    HeapFrontier(heap, control.frontier));
+  }
   return result;
 }
 
@@ -112,6 +153,9 @@ TopKResult ListIndex::QueryNra(const TopKQuery& query) const {
   if (n == 0) return result;
   const std::size_t k = std::min(query.k, n);
   const PointView w(query.weights);
+  BudgetGate gate(query.budget);
+  Termination stop = Termination::kComplete;
+  double partial_frontier = -std::numeric_limits<double>::infinity();
 
   // Per-attribute domain maxima tighten the upper bounds.
   std::vector<double> attr_max(d);
@@ -150,6 +194,44 @@ TopKResult ListIndex::QueryNra(const TopKQuery& query) const {
 
   std::vector<std::pair<double, TupleId>> winners;  // (upper, id)
   for (std::size_t pos = 0; pos < n; ++pos) {
+    // Budget check per sorted-access round; NRA's cost metric is the
+    // number of tuples with materialized partial information.
+    if (stop = gate.Step(seen.size()); stop != Termination::kComplete) {
+      // Return the best-upper-bound candidates seen so far (rescored
+      // exactly below -- they are already charged to the cost metric).
+      // Every other tuple scores at least its own lower bound, and
+      // unseen tuples at least the frontier sum, so the minimum of
+      // those is the certification frontier.
+      const std::size_t kk = std::min(k, seen.size());
+      double min_other_lower = std::numeric_limits<double>::infinity();
+      if (kk > 0) {
+        std::vector<std::pair<double, TupleId>> uppers;
+        uppers.reserve(seen.size());
+        for (const auto& [id, partial] : seen) {
+          uppers.push_back({bounds_of(partial).second, id});
+        }
+        std::nth_element(uppers.begin(), uppers.begin() + (kk - 1),
+                         uppers.end());
+        winners.assign(uppers.begin(), uppers.begin() + kk);
+        std::unordered_set<TupleId> candidate_ids;
+        candidate_ids.reserve(kk);
+        for (const auto& [upper, id] : winners) candidate_ids.insert(id);
+        for (const auto& [id, partial] : seen) {
+          if (candidate_ids.count(id)) continue;
+          min_other_lower =
+              std::min(min_other_lower, bounds_of(partial).first);
+        }
+      }
+      if (seen.size() < n) {
+        double unseen_lower = 0.0;
+        for (std::size_t attr = 0; attr < d; ++attr) {
+          unseen_lower += w[attr] * frontier[attr];
+        }
+        min_other_lower = std::min(min_other_lower, unseen_lower);
+      }
+      partial_frontier = min_other_lower;
+      break;
+    }
     for (std::size_t attr = 0; attr < d; ++attr) {
       const SortedLists::Entry& e = lists_.At(attr, pos);
       frontier[attr] = e.value;
@@ -200,7 +282,7 @@ TopKResult ListIndex::QueryNra(const TopKQuery& query) const {
       break;
     }
   }
-  if (winners.empty()) {
+  if (stop == Termination::kComplete && winners.empty()) {
     // Exhausted the lists: every tuple is fully known.
     std::vector<std::pair<double, TupleId>> uppers;
     for (const auto& [id, partial] : seen) {
@@ -221,6 +303,11 @@ TopKResult ListIndex::QueryNra(const TopKQuery& query) const {
     result.items.push_back(ScoredTuple{id, Score(w, points_[id])});
   }
   std::sort(result.items.begin(), result.items.end(), ResultOrderLess);
+  if (stop == Termination::kComplete) {
+    FinalizeComplete(result);
+  } else {
+    FinalizePartial(result, stop, partial_frontier);
+  }
   return result;
 }
 

@@ -29,24 +29,45 @@ OnionIndex OnionIndex::Build(PointSet points, const OnionOptions& options) {
 
 TopKResult OnionIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
-  ValidateQuery(query, points_.dim());
-  const PointView w(query.weights);
-
-  TopKResult result;
-  if (points_.empty() || query.k == 0) return result;
-  if (stats_.truncated) {
-    // The tail layer breaks the k-layer guarantee beyond the cap.
-    DRLI_CHECK(query.k < layers_.size())
-        << "k exceeds the peeled layer budget of this Onion index";
+  if (const Status status = ValidateQuery(query, points_.dim());
+      !status.ok()) {
+    return InvalidQueryResult(status);
   }
 
+  TopKResult result;
+  if (points_.empty() || query.k == 0) {
+    FinalizeComplete(result);
+    return result;
+  }
+  if (stats_.truncated && query.k >= layers_.size()) {
+    // The tail layer breaks the k-layer guarantee beyond the cap; an
+    // oversized k is a recoverable rejection, not a process abort.
+    return InvalidQueryResult(Status::InvalidArgument(
+        "k exceeds the peeled layer budget of this Onion index"));
+  }
+  const PointView w(query.weights);
+
+  BudgetGate gate(query.budget);
   TopKHeap heap(query.k);
   std::size_t layers_scanned = 0;
   double prev_min = -std::numeric_limits<double>::infinity();
   for (const std::vector<TupleId>& layer : layers_) {
     if (layers_scanned == query.k) break;  // k-layer guarantee
     double layer_min = std::numeric_limits<double>::infinity();
-    for (TupleId id : layer) {
+    for (std::size_t pos = 0; pos < layer.size(); ++pos) {
+      // Budget check at the scan position. Unscanned tuples of this
+      // layer and every deeper layer score at or above the last fully
+      // scanned layer's minimum (layer minima weakly increase), so
+      // prev_min is the certification frontier.
+      if (const Termination stop =
+              gate.Step(result.stats.tuples_evaluated);
+          stop != Termination::kComplete) {
+        result.items = heap.SortedAscending();
+        FinalizePartial(result, stop, HeapFrontier(heap, prev_min));
+        result.stats.elapsed_seconds = timer.ElapsedSeconds();
+        return result;
+      }
+      const TupleId id = layer[pos];
       const double score = Score(w, points_[id]);
       ++result.stats.tuples_evaluated;
       result.accessed.push_back(id);
@@ -68,6 +89,16 @@ TopKResult OnionIndex::Query(const TopKQuery& query) const {
   if (heap.size() == heap.k() && heap.KthScore() >= prev_min) {
     const double kth = heap.KthScore();
     for (std::size_t i = layers_scanned; i < layers_.size(); ++i) {
+      if (const Termination stop =
+              gate.Step(result.stats.tuples_evaluated);
+          stop != Termination::kComplete) {
+        // Past the k-layer stop every unreturned tuple scores >= kth;
+        // only exact ties at kth are still unresolved.
+        result.items = heap.SortedAscending();
+        FinalizePartial(result, stop, kth);
+        result.stats.elapsed_seconds = timer.ElapsedSeconds();
+        return result;
+      }
       double layer_min = std::numeric_limits<double>::infinity();
       for (TupleId id : layers_[i]) {
         const double score = Score(w, points_[id]);
@@ -82,6 +113,7 @@ TopKResult OnionIndex::Query(const TopKQuery& query) const {
     }
   }
   result.items = heap.SortedAscending();
+  FinalizeComplete(result);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

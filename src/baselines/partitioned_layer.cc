@@ -64,19 +64,41 @@ PartitionedLayerIndex PartitionedLayerIndex::Build(
 
 TopKResult PartitionedLayerIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
-  ValidateQuery(query, points_.dim());
+  if (const Status status = ValidateQuery(query, points_.dim());
+      !status.ok()) {
+    return InvalidQueryResult(status);
+  }
   const PointView w(query.weights);
 
   TopKResult result;
-  if (points_.empty() || query.k == 0) return result;
+  if (points_.empty() || query.k == 0) {
+    FinalizeComplete(result);
+    return result;
+  }
   const std::size_t p = layers_.size();
 
+  BudgetGate gate(query.budget);
   TopKHeap heap(query.k);
   std::vector<std::size_t> cursor(p, 0);
   // Lower bound on the minimum score in every unscanned layer of each
   // partition: convex-layer minima increase strictly within a
   // partition, so the last scanned layer's minimum bounds the rest.
   std::vector<double> bound(p, -std::numeric_limits<double>::infinity());
+
+  // Certification frontier while the merge is still running: every
+  // tuple that can still enter the top-k sits in an unscanned layer of
+  // a partition whose k-layer guarantee is not met yet, and scores at
+  // least that partition's bound (tuples past a partition's k-th layer
+  // cannot rank in the global top-k at all).
+  auto unscanned_bound = [&]() {
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t part = 0; part < p; ++part) {
+      if (cursor[part] >= layers_[part].size()) continue;
+      if (cursor[part] >= query.k) continue;
+      b = std::min(b, bound[part]);
+    }
+    return b;
+  };
 
   while (true) {
     // Most promising partition: smallest bound, still within its
@@ -93,6 +115,17 @@ TopKResult PartitionedLayerIndex::Query(const TopKQuery& query) const {
     const std::vector<TupleId>& layer = layers_[best][cursor[best]];
     double layer_min = std::numeric_limits<double>::infinity();
     for (TupleId id : layer) {
+      if (const Termination stop =
+              gate.Step(result.stats.tuples_evaluated);
+          stop != Termination::kComplete) {
+        // The partially scanned layer is still covered by bound[best],
+        // which unscanned_bound() includes (the cursor has not moved).
+        result.items = heap.SortedAscending();
+        FinalizePartial(result, stop,
+                        HeapFrontier(heap, unscanned_bound()));
+        result.stats.elapsed_seconds = timer.ElapsedSeconds();
+        return result;
+      }
       const double score = Score(w, points_[id]);
       ++result.stats.tuples_evaluated;
       result.accessed.push_back(id);
@@ -113,6 +146,16 @@ TopKResult PartitionedLayerIndex::Query(const TopKQuery& query) const {
     for (std::size_t part = 0; part < p; ++part) {
       if (bound[part] > kth) continue;
       for (std::size_t i = cursor[part]; i < layers_[part].size(); ++i) {
+        if (const Termination stop =
+                gate.Step(result.stats.tuples_evaluated);
+            stop != Termination::kComplete) {
+          // Past the merge loop every unreturned tuple scores >= kth;
+          // only exact ties at kth are still unresolved.
+          result.items = heap.SortedAscending();
+          FinalizePartial(result, stop, kth);
+          result.stats.elapsed_seconds = timer.ElapsedSeconds();
+          return result;
+        }
         double layer_min = std::numeric_limits<double>::infinity();
         for (TupleId id : layers_[part][i]) {
           const double score = Score(w, points_[id]);
@@ -128,6 +171,7 @@ TopKResult PartitionedLayerIndex::Query(const TopKQuery& query) const {
     }
   }
   result.items = heap.SortedAscending();
+  FinalizeComplete(result);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -129,12 +129,17 @@ std::vector<std::size_t> ViewIndex::SelectViews(PointView weights,
 
 TopKResult ViewIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
-  ValidateQuery(query, points_.dim());
+  if (const Status status = ValidateQuery(query, points_.dim());
+      !status.ok()) {
+    return InvalidQueryResult(status);
+  }
   TopKResult result;
   if (query.k > 0) {
     result = options_.algorithm == ViewAlgorithm::kPrefer
                  ? QueryPrefer(query)
                  : QueryLpta(query);
+  } else {
+    FinalizeComplete(result);
   }
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
@@ -142,14 +147,29 @@ TopKResult ViewIndex::Query(const TopKQuery& query) const {
 
 TopKResult ViewIndex::QueryPrefer(const TopKQuery& query) const {
   TopKResult result;
-  if (points_.empty()) return result;
+  if (points_.empty()) {
+    FinalizeComplete(result);
+    return result;
+  }
   const PointView q(query.weights);
   const std::size_t best_view = SelectViews(q, 1)[0];
   const std::vector<ViewEntry>& view = views_[best_view];
   const PointView v(view_weights_[best_view]);
 
+  BudgetGate gate(query.budget);
   TopKHeap heap(query.k);
   for (std::size_t pos = 0; pos < view.size(); ++pos) {
+    // Budget check at the view position: every unseen tuple has view
+    // score >= view[pos].score, so the knapsack watermark at that view
+    // score bounds the whole unscanned suffix.
+    if (const Termination stop = gate.Step(result.stats.tuples_evaluated);
+        stop != Termination::kComplete) {
+      const double watermark = MinQueryScoreGivenViewBound(
+          q, v, view[pos].score, PointView(attr_max_));
+      result.items = heap.SortedAscending();
+      FinalizePartial(result, stop, HeapFrontier(heap, watermark));
+      return result;
+    }
     const ViewEntry& entry = view[pos];
     const double score = Score(q, points_[entry.id]);
     ++result.stats.tuples_evaluated;
@@ -165,36 +185,25 @@ TopKResult ViewIndex::QueryPrefer(const TopKQuery& query) const {
     }
   }
   result.items = heap.SortedAscending();
+  FinalizeComplete(result);
   return result;
 }
 
 TopKResult ViewIndex::QueryLpta(const TopKQuery& query) const {
   TopKResult result;
-  if (points_.empty()) return result;
+  if (points_.empty()) {
+    FinalizeComplete(result);
+    return result;
+  }
   const PointView q(query.weights);
   const std::size_t d = points_.dim();
   const std::vector<std::size_t> selected =
       SelectViews(q, std::max<std::size_t>(1, options_.views_per_query));
 
-  TopKHeap heap(query.k);
-  std::unordered_set<TupleId> seen;
-  seen.reserve(64);
-  const std::size_t n = points_.size();
-  for (std::size_t pos = 0; pos < n; ++pos) {
-    for (const std::size_t view_id : selected) {
-      const ViewEntry& entry = views_[view_id][pos];
-      if (seen.insert(entry.id).second) {
-        const double score = Score(q, points_[entry.id]);
-        ++result.stats.tuples_evaluated;
-        result.accessed.push_back(entry.id);
-        heap.Push(ScoredTuple{entry.id, score});
-      }
-    }
-    // Unseen tuples satisfy f_{v_j}(x) >= frontier_j for every
-    // consulted view; the exact best-case query score is an LP over
-    // the unit box. Checked every few rounds (the LP dominates cost).
-    if ((pos & 3) != 3 && pos + 1 != n) continue;
-    if (heap.size() < heap.k()) continue;
+  // Best-case query score of a tuple at or beyond view position `pos`
+  // in every consulted view: an LP over the data box. Doubles as the
+  // regular stop bound and the certification frontier at a budget trip.
+  auto unseen_bound = [&](std::size_t pos) {
     LinearProgram lp(d);
     std::vector<double> row(d);
     for (std::size_t j = 0; j < d; ++j) {
@@ -210,7 +219,45 @@ TopKResult ViewIndex::QueryLpta(const TopKQuery& query) const {
     }
     std::vector<double> objective(q.begin(), q.end());
     lp.SetMinimize(objective);
-    const LpResult bound = lp.Solve();
+    return lp.Solve();
+  };
+
+  BudgetGate gate(query.budget);
+  TopKHeap heap(query.k);
+  std::unordered_set<TupleId> seen;
+  seen.reserve(64);
+  const std::size_t n = points_.size();
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (const Termination stop = gate.Step(result.stats.tuples_evaluated);
+        stop != Termination::kComplete) {
+      // One LP solve bounds every tuple not yet seen through any
+      // consulted view (infeasible means nothing is left out there).
+      const LpResult bound = unseen_bound(pos);
+      double frontier = -std::numeric_limits<double>::infinity();
+      if (bound.status == LpStatus::kInfeasible) {
+        frontier = std::numeric_limits<double>::infinity();
+      } else if (bound.status == LpStatus::kOptimal) {
+        frontier = bound.objective;
+      }
+      result.items = heap.SortedAscending();
+      FinalizePartial(result, stop, HeapFrontier(heap, frontier));
+      return result;
+    }
+    for (const std::size_t view_id : selected) {
+      const ViewEntry& entry = views_[view_id][pos];
+      if (seen.insert(entry.id).second) {
+        const double score = Score(q, points_[entry.id]);
+        ++result.stats.tuples_evaluated;
+        result.accessed.push_back(entry.id);
+        heap.Push(ScoredTuple{entry.id, score});
+      }
+    }
+    // Unseen tuples satisfy f_{v_j}(x) >= frontier_j for every
+    // consulted view; the exact best-case query score is an LP over
+    // the unit box. Checked every few rounds (the LP dominates cost).
+    if ((pos & 3) != 3 && pos + 1 != n) continue;
+    if (heap.size() < heap.k()) continue;
+    const LpResult bound = unseen_bound(pos);
     // STRICT stop: equal-score ties beyond the frontier must be seen.
     if (bound.status == LpStatus::kInfeasible ||
         (bound.status == LpStatus::kOptimal &&
@@ -219,6 +266,7 @@ TopKResult ViewIndex::QueryLpta(const TopKQuery& query) const {
     }
   }
   result.items = heap.SortedAscending();
+  FinalizeComplete(result);
   return result;
 }
 

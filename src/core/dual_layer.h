@@ -176,6 +176,9 @@ class DualLayerIndex final : public TopKIndex {
   // ParallelThreadCount() workers, one QueryScratch per worker.
   std::vector<TopKResult> QueryBatch(
       const std::vector<TopKQuery>& queries) const override;
+  // Keep the base admission-control overload visible alongside the
+  // override above.
+  using TopKIndex::QueryBatch;
 
   // --- introspection (tests, serialization, examples) ---
   const PointSet& points() const { return points_; }

@@ -57,12 +57,19 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query) const {
 TopKResult DualLayerIndex::Query(const TopKQuery& query,
                                  QueryScratch* scratch) const {
   Stopwatch timer;
-  ValidateQuery(query, points_.dim());
+  if (const Status status = ValidateQuery(query, points_.dim());
+      !status.ok()) {
+    return InvalidQueryResult(status);
+  }
   const PointView w(query.weights);
   const std::size_t total = num_nodes();
 
   TopKResult result;
-  if (total == 0 || query.k == 0) return result;
+  if (total == 0 || query.k == 0) {
+    FinalizeComplete(result);
+    return result;
+  }
+  BudgetGate gate(query.budget);
 
   QueryScratch& s = *scratch;
   s.Prepare(total);
@@ -125,6 +132,11 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
     try_enqueue(node);
   }
 
+  // Set when the budget gate trips; the heap minimum at that pop
+  // boundary becomes the certification frontier.
+  Termination stop = Termination::kComplete;
+  double frontier = -std::numeric_limits<double>::infinity();
+
   while (!s.heap_.empty()) {
     // Pops are non-decreasing in (score, node): every blocked node has
     // an in-heap ancestor with a score no larger than its own, so once
@@ -132,6 +144,16 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
     // tie can be hiding behind a blocked node and the query is done.
     if (result.items.size() >= query.k &&
         s.heap_.front().score > tie_cutoff) {
+      break;
+    }
+    // Budget check at the pop boundary. The same invariant that powers
+    // the stop rule above makes the partial result certifiable: every
+    // unreturned tuple is in the heap, behind an in-heap ancestor, or
+    // behind a tie-filtered probe (score > tie_cutoff), so
+    // min(heap minimum, tie_cutoff) lower-bounds all of them.
+    if (stop = gate.Step(result.stats.tuples_evaluated);
+        stop != Termination::kComplete) {
+      frontier = std::min(s.heap_.front().score, tie_cutoff);
       break;
     }
     std::pop_heap(s.heap_.begin(), s.heap_.end(), HeapEntryGreater{});
@@ -178,6 +200,13 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
   // (score, id) order and drop surplus ties beyond k.
   std::sort(result.items.begin(), result.items.end(), ResultOrderLess);
   if (result.items.size() > query.k) result.items.resize(query.k);
+  if (stop == Termination::kComplete) {
+    FinalizeComplete(result);
+  } else {
+    // Surplus ties dropped by the resize above score >= tie_cutoff >=
+    // frontier, so they never invalidate the certified prefix.
+    FinalizePartial(result, stop, frontier);
+  }
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -194,7 +223,10 @@ std::vector<TopKResult> DualLayerIndex::QueryBatch(
   ParallelFor(
       queries.size(),
       [&](std::size_t i, std::size_t worker) {
-        results[i] = Query(queries[i], &scratches[worker]);
+        // GuardedQuery keeps a throwing worker from poisoning the whole
+        // batch: the slot reports kError, the other queries proceed.
+        results[i] = GuardedQuery(
+            [&] { return Query(queries[i], &scratches[worker]); });
       },
       workers);
   return results;

@@ -142,20 +142,29 @@ void DynamicDualLayerIndex::MaybeRebuild() {
 
 TopKResult DynamicDualLayerIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
-  ValidateQuery(query, dim_);
+  if (const Status status = ValidateQuery(query, dim_); !status.ok()) {
+    return InvalidQueryResult(status);
+  }
   TopKResult result;
   if (query.k == 0) {
+    FinalizeComplete(result);
     result.stats.elapsed_seconds = timer.ElapsedSeconds();
     return result;
   }
 
-  // Base index: over-fetch to survive tombstone filtering.
+  // Base index: over-fetch to survive tombstone filtering. The budget
+  // travels inside the query, so the base traversal enforces it and
+  // reports its own termination + frontier.
+  Termination stop = Termination::kComplete;
+  double frontier = std::numeric_limits<double>::infinity();
   std::vector<ScoredTuple> candidates;
   if (base_.size() > 0) {
     TopKQuery base_query = query;
     base_query.k = std::min(base_.size(), query.k + tombstones_.size());
     const TopKResult base_result = base_.Query(base_query);
     result.stats.Merge(base_result.stats);
+    stop = base_result.termination;
+    frontier = base_result.frontier_bound;
     for (const ScoredTuple& item : base_result.items) {
       const TupleId stable = base_ids_[item.id];
       if (tombstones_.count(stable)) continue;
@@ -165,7 +174,12 @@ TopKResult DynamicDualLayerIndex::Query(const TopKQuery& query) const {
       result.accessed.push_back(base_ids_[pos]);
     }
   }
-  // Delta buffer: full scan (it is small by construction).
+  // Delta buffer: always a full scan, even when the base traversal was
+  // cut short -- the buffer is bounded by the rebuild threshold, so
+  // this is amortized-constant overshoot, and covering it completely
+  // lets a partial result certify against the base frontier alone
+  // (unsorted unscanned delta rows would otherwise force a -inf
+  // frontier and certify nothing).
   for (std::size_t i = 0; i < delta_.size(); ++i) {
     candidates.push_back(
         ScoredTuple{delta_ids_[i], Score(query.weights, delta_[i])});
@@ -179,6 +193,16 @@ TopKResult DynamicDualLayerIndex::Query(const TopKQuery& query) const {
   std::sort(candidates.begin(), candidates.end(), ResultOrderLess);
   if (candidates.size() > query.k) candidates.resize(query.k);
   result.items = std::move(candidates);
+  if (stop == Termination::kComplete) {
+    FinalizeComplete(result);
+  } else {
+    // Unreturned live tuples are base tuples the cut-short traversal
+    // bounded by its frontier (tombstone filtering only removes
+    // candidates, and candidates cut at k rank canonically beyond the
+    // k-th item, which the strict-< certification rule already
+    // excludes).
+    FinalizePartial(result, stop, frontier);
+  }
   // This call's own wall time, not the sum of merged sub-query timings.
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <unordered_set>
 
@@ -212,6 +213,175 @@ std::vector<std::string> DifferentialHarness::CheckQuery(
           << " tuples, more than dg+'s " << dgp_cost << " plus tie slack "
           << slack;
       failures.push_back(out.str());
+    }
+  }
+  return failures;
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+DifferentialHarness::UnbudgetedCosts(const TopKQuery& query) const {
+  TopKQuery unlimited = query;
+  unlimited.budget = ExecBudget{};
+  std::vector<std::pair<std::string, std::size_t>> costs;
+  costs.reserve(families_.size());
+  for (const Family& family : families_) {
+    costs.emplace_back(family.kind,
+                       family.index->Query(unlimited).stats.tuples_evaluated);
+  }
+  return costs;
+}
+
+std::vector<std::string> DifferentialHarness::CheckBudgetedQuery(
+    const TopKQuery& query, const std::string& only_kind,
+    std::size_t* partials) const {
+  std::vector<std::string> failures;
+  const PointView w(query.weights);
+  std::vector<double> scores(points_.size());
+  for (std::size_t id = 0; id < points_.size(); ++id) {
+    scores[id] = Score(w, points_[id]);
+  }
+  std::vector<ScoredTuple> want;
+  want.reserve(points_.size());
+  for (std::size_t id = 0; id < points_.size(); ++id) {
+    want.push_back(ScoredTuple{static_cast<TupleId>(id), scores[id]});
+  }
+  std::sort(want.begin(), want.end(), ResultOrderLess);
+  want.resize(std::min<std::size_t>(query.k, want.size()));
+
+  // Same ulp-ambiguity fallback as CheckQuery: geometric families may
+  // legitimately reorder tuples whose scores differ by less than the
+  // tolerance.
+  bool robust = true;
+  {
+    std::vector<double> sorted = scores;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const double gap = sorted[i + 1] - sorted[i];
+      if (gap > 0.0 && gap <= kScoreEps) {
+        robust = false;
+        break;
+      }
+    }
+  }
+
+  for (const Family& family : families_) {
+    if (!only_kind.empty() && family.kind != only_kind) continue;
+    const TopKResult result = family.index->Query(query);
+    auto fail = [&](const std::string& what) {
+      failures.push_back("[" + family.kind + " budget] " +
+                         DescribeQuery(query) + ": " + what);
+    };
+
+    if (result.termination == Termination::kInvalidQuery ||
+        result.termination == Termination::kError ||
+        result.termination == Termination::kShed) {
+      fail(std::string("valid query rejected with ") +
+           TerminationName(result.termination) + ": " + result.error);
+      continue;
+    }
+    if (partials != nullptr && !result.complete()) ++(*partials);
+    if (result.certified_prefix > result.items.size()) {
+      std::ostringstream out;
+      out << "certified prefix " << result.certified_prefix
+          << " exceeds the " << result.items.size() << " returned items";
+      fail(out.str());
+      continue;
+    }
+    if (result.complete() &&
+        result.certified_prefix != result.items.size()) {
+      fail("complete result does not certify all its items");
+      continue;
+    }
+    if (result.complete() && result.items.size() != want.size()) {
+      std::ostringstream out;
+      out << "complete result has " << result.items.size()
+          << " items, want " << want.size();
+      fail(out.str());
+      continue;
+    }
+
+    // Universal structure (canonical order, no duplicates, honest
+    // scores) holds for partial results too.
+    std::unordered_set<TupleId> ids;
+    bool structure_ok = true;
+    for (std::size_t rank = 0; structure_ok && rank < result.items.size();
+         ++rank) {
+      const ScoredTuple& got = result.items[rank];
+      if (got.id >= points_.size()) {
+        std::ostringstream out;
+        out << "rank " << rank << " cites unknown id " << got.id;
+        fail(out.str());
+        structure_ok = false;
+      } else if (!ids.insert(got.id).second) {
+        std::ostringstream out;
+        out << "duplicate id " << got.id << " in the result";
+        fail(out.str());
+        structure_ok = false;
+      } else if (std::abs(got.score - scores[got.id]) > kScoreEps) {
+        std::ostringstream out;
+        out << "rank " << rank << " reports score " << got.score
+            << " for id " << got.id << ", tuple scores " << scores[got.id];
+        fail(out.str());
+        structure_ok = false;
+      } else if (rank > 0 && ResultOrderLess(got, result.items[rank - 1])) {
+        std::ostringstream out;
+        out << "ranks " << rank - 1 << " and " << rank
+            << " violate the canonical (score, id) order";
+        fail(out.str());
+        structure_ok = false;
+      }
+    }
+    if (!structure_ok) continue;
+
+    // The certified prefix must be a correct prefix of the exact
+    // answer (the whole point of certification).
+    const std::size_t certified = result.complete()
+                                      ? result.items.size()
+                                      : result.certified_prefix;
+    if (certified > want.size()) {
+      std::ostringstream out;
+      out << "certified prefix " << certified << " exceeds the exact "
+          << "answer's " << want.size() << " items";
+      fail(out.str());
+      continue;
+    }
+    bool prefix_ok = true;
+    for (std::size_t rank = 0; rank < certified; ++rank) {
+      const ScoredTuple& got = result.items[rank];
+      const bool exact_ok =
+          got.score == want[rank].score &&
+          (!family.exact || got.id == want[rank].id);
+      if (exact_ok) continue;
+      if (!robust && std::abs(got.score - want[rank].score) <= kScoreEps &&
+          std::abs(scores[got.id] - want[rank].score) <= kScoreEps) {
+        continue;  // inside an ulp-ambiguous tie class
+      }
+      std::ostringstream out;
+      out << "certified rank " << rank << " is (id " << got.id
+          << ", score " << got.score << "), want (id " << want[rank].id
+          << ", score " << want[rank].score << ")";
+      fail(out.str());
+      prefix_ok = false;
+      break;
+    }
+    if (!prefix_ok) continue;
+
+    // Frontier soundness: every tuple the partial result did not
+    // return must score at or above the reported frontier (tolerance
+    // for LP / knapsack bounds computed in different FP orders).
+    if (!result.complete() &&
+        result.frontier_bound >
+            -std::numeric_limits<double>::infinity()) {
+      for (std::size_t id = 0; id < points_.size(); ++id) {
+        if (ids.count(static_cast<TupleId>(id))) continue;
+        if (scores[id] < result.frontier_bound - kScoreEps) {
+          std::ostringstream out;
+          out << "unreturned id " << id << " scores " << scores[id]
+              << ", below the reported frontier " << result.frontier_bound;
+          fail(out.str());
+          break;
+        }
+      }
     }
   }
   return failures;

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/point.h"
@@ -51,6 +52,24 @@ class DifferentialHarness {
   // reference. Returns one human-readable line per mismatch; empty
   // means all families agree.
   std::vector<std::string> CheckQuery(const TopKQuery& query) const;
+
+  // Budgeted-execution oracle: runs `query` (whose embedded ExecBudget
+  // is expected to fire mid-traversal) and asserts that every family
+  // returns a well-formed result whose certified prefix is a correct
+  // prefix of the exact answer, and whose frontier bound really bounds
+  // every tuple it did not return. Complete results are held to full
+  // equality. `only_kind` restricts the check to one family; `partials`
+  // (optional) is incremented once per family result that terminated
+  // early.
+  std::vector<std::string> CheckBudgetedQuery(
+      const TopKQuery& query, const std::string& only_kind = std::string(),
+      std::size_t* partials = nullptr) const;
+
+  // Unbudgeted traversal cost of `query` per family, in the unit each
+  // family's budget gate charges (tuples_evaluated). Drives exhaustive
+  // every-step-index fault sweeps.
+  std::vector<std::pair<std::string, std::size_t>> UnbudgetedCosts(
+      const TopKQuery& query) const;
 
   // The tie-broken brute-force answer (exposed for tests).
   std::vector<ScoredTuple> Reference(const TopKQuery& query) const;

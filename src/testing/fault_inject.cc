@@ -12,6 +12,7 @@
 #include "common/crc32c.h"
 #include "common/random.h"
 #include "core/serialization.h"
+#include "testing/differential.h"
 
 namespace drli {
 namespace testing {
@@ -356,6 +357,70 @@ FaultSweepReport RunSnapshotFaultSweep(const std::string& path,
   }
 
   std::remove(tmp.c_str());
+  return report;
+}
+
+std::string BudgetFaultReport::ToString() const {
+  std::ostringstream out;
+  out << cases << " budgeted quer(ies), " << partials << " partial, "
+      << completes << " complete";
+  if (!violations.empty()) {
+    out << ", " << violations.size() << " violation(s):";
+    for (const std::string& v : violations) out << "\n  " << v;
+  }
+  return out.str();
+}
+
+BudgetFaultReport RunBudgetFaultSweep(const PointSet& points,
+                                      const std::vector<TopKQuery>& queries,
+                                      const BudgetFaultOptions& options) {
+  BudgetFaultReport report;
+  StatusOr<DifferentialHarness> harness = DifferentialHarness::Build(points);
+  if (!harness.ok()) {
+    report.violations.push_back("harness build failed: " +
+                                harness.status().ToString());
+    return report;
+  }
+  const std::size_t stride = std::max<std::size_t>(1, options.stride);
+  for (const TopKQuery& base : queries) {
+    for (const auto& [kind, cost] : harness.value().UnbudgetedCosts(base)) {
+      std::size_t limit = cost;
+      if (options.max_steps_per_family > 0) {
+        limit = std::min(limit, options.max_steps_per_family);
+      }
+      // s = cost is the boundary case where the gate arms but never
+      // fires; every smaller s cuts the traversal mid-flight.
+      for (std::size_t s = 1; s <= limit; s += stride) {
+        {
+          TopKQuery query = base;
+          query.budget.max_evals = s;
+          std::size_t partial = 0;
+          std::vector<std::string> violations =
+              harness.value().CheckBudgetedQuery(query, kind, &partial);
+          ++report.cases;
+          report.partials += partial;
+          report.completes += 1 - partial;
+          report.violations.insert(report.violations.end(),
+                                   violations.begin(), violations.end());
+        }
+        if (options.cancel_faults) {
+          CancelToken token;
+          token.CancelAfterChecks(static_cast<std::int64_t>(s));
+          TopKQuery query = base;
+          query.budget.cancel = &token;
+          std::size_t partial = 0;
+          std::vector<std::string> violations =
+              harness.value().CheckBudgetedQuery(query, kind, &partial);
+          ++report.cases;
+          report.partials += partial;
+          report.completes += 1 - partial;
+          report.violations.insert(report.violations.end(),
+                                   violations.begin(), violations.end());
+        }
+        if (report.violations.size() > 32) return report;  // enough signal
+      }
+    }
+  }
   return report;
 }
 

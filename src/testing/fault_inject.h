@@ -24,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "common/point.h"
 #include "core/snapshot_format.h"
+#include "topk/query.h"
 
 namespace drli {
 namespace testing {
@@ -52,6 +54,41 @@ struct FaultSweepReport {
 // and the owning-read path.
 FaultSweepReport RunSnapshotFaultSweep(const std::string& path,
                                        const FaultSweepOptions& options = {});
+
+// --- budget fault injection ---
+//
+// Deterministic execution-budget faults: for every index family and
+// every step index s of its unbudgeted traversal, re-run the query
+// with max_evals = s (and, optionally, with a cancel token fused to
+// trip at the s-th poll) and assert through the differential oracle
+// that the partial result is well-formed, its certified prefix is a
+// correct prefix of the exact answer, and its frontier bound really
+// bounds every unreturned tuple.
+
+struct BudgetFaultOptions {
+  // Check every stride-th step index (1 = exhaustive).
+  std::size_t stride = 1;
+  // Also fire a CancelToken fuse at each step index (doubles the work).
+  bool cancel_faults = true;
+  // Cap on step indices per (family, query); 0 = no cap.
+  std::size_t max_steps_per_family = 0;
+};
+
+struct BudgetFaultReport {
+  std::size_t cases = 0;      // budgeted queries executed
+  std::size_t partials = 0;   // results that terminated early
+  std::size_t completes = 0;  // budget armed but never fired
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// Runs the sweep for every query over one dataset. The queries must be
+// valid for `points` (the oracle treats a rejection as a violation).
+BudgetFaultReport RunBudgetFaultSweep(const PointSet& points,
+                                      const std::vector<TopKQuery>& queries,
+                                      const BudgetFaultOptions& options = {});
 
 // --- low-level helpers, shared with tests ---
 

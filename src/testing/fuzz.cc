@@ -71,6 +71,42 @@ void CompareToMirror(const TopKResult& got,
   }
 }
 
+// Budgeted probe for the dynamic index: the certified prefix must be a
+// correct prefix of the mirror's exact answer.
+void CheckDynamicPartial(const TopKResult& got,
+                         const std::vector<ScoredTuple>& want,
+                         std::size_t step,
+                         std::vector<std::string>* failures) {
+  std::ostringstream out;
+  out << "[dynamic] budgeted query step " << step << ": ";
+  if (got.termination == Termination::kInvalidQuery ||
+      got.termination == Termination::kError) {
+    out << "valid query rejected with " << TerminationName(got.termination)
+        << ": " << got.error;
+    failures->push_back(out.str());
+    return;
+  }
+  const std::size_t certified = got.certified_prefix;
+  if (certified > got.items.size() || certified > want.size()) {
+    out << "certified prefix " << certified << " exceeds items ("
+        << got.items.size() << ") or the mirror answer (" << want.size()
+        << ")";
+    failures->push_back(out.str());
+    return;
+  }
+  for (std::size_t rank = 0; rank < certified; ++rank) {
+    if (got.items[rank].id == want[rank].id &&
+        got.items[rank].score == want[rank].score) {
+      continue;
+    }
+    out << "certified rank " << rank << " is (id " << got.items[rank].id
+        << ", score " << got.items[rank].score << "), mirror says (id "
+        << want[rank].id << ", score " << want[rank].score << ")";
+    failures->push_back(out.str());
+    return;
+  }
+}
+
 void RunDynamicOracle(std::uint64_t seed, const PointSet& dataset,
                       std::vector<std::string>* failures) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
@@ -135,10 +171,16 @@ void RunDynamicOracle(std::uint64_t seed, const PointSet& dataset,
       TopKQuery query;
       query.k = rng.Index(live.size() + 3);  // covers k = 0 and k > n
       query.weights = rng.SimplexWeight(d);
-      CompareToMirror(dynamic.Query(query),
-                      MirrorTopK(live, query.weights, query.k), "query",
-                      step, failures);
+      const std::vector<ScoredTuple> want =
+          MirrorTopK(live, query.weights, query.k);
+      CompareToMirror(dynamic.Query(query), want, "query", step, failures);
       if (!failures->empty()) return;
+      if (!live.empty() && rng.Index(2) == 0) {
+        TopKQuery budgeted = query;
+        budgeted.budget.max_evals = 1 + rng.Index(live.size());
+        CheckDynamicPartial(dynamic.Query(budgeted), want, step, failures);
+        if (!failures->empty()) return;
+      }
     }
     if (dynamic.size() != live.size()) {
       std::ostringstream out;
@@ -277,6 +319,39 @@ FuzzCaseResult RunFuzzCase(std::uint64_t seed, const FuzzOptions& options) {
     result.failures.insert(result.failures.end(), failures.begin(),
                            failures.end());
     if (!result.failures.empty()) return result;
+  }
+
+  if (options.budget_cut_points > 0 && n > 0) {
+    // Budget faults: sample a query, find the most expensive family's
+    // unbudgeted cost, and cut the traversal at random step indices
+    // with both a step budget and a cancel fuse.
+    TopKQuery base;
+    base.k = 1 + rng.Index(n);
+    base.weights = rng.SimplexWeight(dataset.dim());
+    std::size_t max_cost = 0;
+    for (const auto& [kind, cost] : harness.value().UnbudgetedCosts(base)) {
+      max_cost = std::max(max_cost, cost);
+    }
+    for (std::size_t i = 0; max_cost > 0 && i < options.budget_cut_points;
+         ++i) {
+      TopKQuery budgeted = base;
+      budgeted.budget.max_evals = 1 + rng.Index(max_cost);
+      std::vector<std::string> failures =
+          harness.value().CheckBudgetedQuery(budgeted);
+      result.failures.insert(result.failures.end(), failures.begin(),
+                             failures.end());
+      if (!result.failures.empty()) return result;
+
+      CancelToken token;
+      token.CancelAfterChecks(
+          static_cast<std::int64_t>(1 + rng.Index(max_cost)));
+      TopKQuery cancelled = base;
+      cancelled.budget.cancel = &token;
+      failures = harness.value().CheckBudgetedQuery(cancelled);
+      result.failures.insert(result.failures.end(), failures.begin(),
+                             failures.end());
+      if (!result.failures.empty()) return result;
+    }
   }
 
   if (options.dynamic) {

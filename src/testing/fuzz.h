@@ -34,6 +34,11 @@ struct FuzzOptions {
   std::size_t queries_per_case = 4;
   // Upper bound on the generated dataset size.
   std::size_t max_n = 160;
+  // Randomized execution-budget cut points per case: each one re-runs
+  // a sampled query across every family with max_evals (and a cancel
+  // fuse) tripping mid-traversal, asserting certified-prefix
+  // correctness. 0 disables budget faults.
+  std::size_t budget_cut_points = 3;
 };
 
 struct FuzzCaseResult {

@@ -1,23 +1,99 @@
 #include "topk/query.h"
 
-#include "common/check.h"
+#include <cmath>
+#include <cstddef>
+#include <string>
 
 namespace drli {
+
+const char* TerminationName(Termination termination) {
+  switch (termination) {
+    case Termination::kComplete:
+      return "complete";
+    case Termination::kDeadline:
+      return "deadline";
+    case Termination::kStepBudget:
+      return "step-budget";
+    case Termination::kCancelled:
+      return "cancelled";
+    case Termination::kInvalidQuery:
+      return "invalid-query";
+    case Termination::kError:
+      return "error";
+    case Termination::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+void FinalizePartial(TopKResult& result, Termination reason,
+                     double frontier_bound) {
+  result.termination = reason;
+  result.frontier_bound = frontier_bound;
+  std::size_t certified = 0;
+  while (certified < result.items.size() &&
+         result.items[certified].score < frontier_bound) {
+    ++certified;
+  }
+  result.certified_prefix = certified;
+}
+
+TopKResult InvalidQueryResult(const Status& status) {
+  TopKResult result;
+  result.termination = Termination::kInvalidQuery;
+  result.certified_prefix = 0;
+  result.frontier_bound = -std::numeric_limits<double>::infinity();
+  result.error = status.ToString();
+  return result;
+}
 
 std::vector<TopKResult> TopKIndex::QueryBatch(
     const std::vector<TopKQuery>& queries) const {
   std::vector<TopKResult> results;
   results.reserve(queries.size());
-  for (const TopKQuery& query : queries) results.push_back(Query(query));
+  for (const TopKQuery& query : queries) {
+    results.push_back(GuardedQuery([&] { return Query(query); }));
+  }
   return results;
 }
 
-void ValidateQuery(const TopKQuery& query, std::size_t dim) {
-  DRLI_CHECK_EQ(query.weights.size(), dim)
-      << "weight vector dimensionality mismatch";
-  for (double w : query.weights) {
-    DRLI_CHECK(w > 0.0) << "weights must be strictly positive";
+std::vector<TopKResult> TopKIndex::QueryBatch(
+    const std::vector<TopKQuery>& queries, const BatchOptions& options) const {
+  const std::size_t admitted_count =
+      (options.max_in_flight == 0 || queries.size() <= options.max_in_flight)
+          ? queries.size()
+          : options.max_in_flight;
+  std::vector<TopKQuery> admitted(queries.begin(),
+                                  queries.begin() + admitted_count);
+  if (!options.default_budget.unlimited()) {
+    for (TopKQuery& query : admitted) {
+      if (query.budget.unlimited()) query.budget = options.default_budget;
+    }
   }
+  std::vector<TopKResult> results = QueryBatch(admitted);
+  results.resize(queries.size());
+  for (std::size_t i = admitted_count; i < queries.size(); ++i) {
+    results[i].termination = Termination::kShed;
+    results[i].error = "shed: batch in-flight limit (" +
+                       std::to_string(options.max_in_flight) + ") exceeded";
+  }
+  return results;
+}
+
+Status ValidateQuery(const TopKQuery& query, std::size_t dim) {
+  if (query.weights.size() != dim) {
+    return Status::InvalidArgument(
+        "weight vector dimensionality mismatch: got " +
+        std::to_string(query.weights.size()) + ", index has " +
+        std::to_string(dim));
+  }
+  for (double w : query.weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "weights must be strictly positive and finite");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace drli

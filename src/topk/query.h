@@ -1,23 +1,95 @@
 // Top-k query model (Definition 1) and the interface every index in the
 // library implements, including the cost instrumentation of
-// Definition 9 (number of tuples evaluated by the scoring function).
+// Definition 9 (number of tuples evaluated by the scoring function) and
+// the serving-grade execution controls: per-query budgets, cooperative
+// cancellation, and certified partial results (see DESIGN.md §5,
+// "Serving robustness").
 
 #ifndef DRLI_TOPK_QUERY_H_
 #define DRLI_TOPK_QUERY_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/point.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
 
 namespace drli {
+
+// Cooperative cancellation flag shared between a caller and one or more
+// in-flight queries. Cancel() may be called from any thread; traversal
+// loops poll cancelled() at every budget check and stop with
+// Termination::kCancelled. Plain relaxed atomics: cancellation is a
+// latency hint, not a synchronization point.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    // Deterministic test fuse (see CancelAfterChecks).
+    if (fuse_.load(std::memory_order_relaxed) <= 0) return false;
+    if (fuse_.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // Test hook for the budget-fault sweeps: the first `polls` calls to
+  // cancelled() return false, every later call returns true. With the
+  // single-threaded traversal loops polling exactly once per step this
+  // fires cancellation at a deterministic step index.
+  void CancelAfterChecks(std::uint64_t polls) {
+    cancelled_.store(false, std::memory_order_relaxed);
+    fuse_.store(static_cast<std::int64_t>(polls) + 1,
+                std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<std::int64_t> fuse_{0};
+};
+
+// Execution budget attached to a query. Zero-valued fields mean
+// "unlimited"; the default budget is free on the hot path (a single
+// branch per traversal step, see BudgetGate).
+struct ExecBudget {
+  // Wall-clock allowance for the Query call, measured from its start
+  // (so serial and parallel QueryBatch give each query the same
+  // allowance). 0 = no deadline.
+  double deadline_seconds = 0.0;
+  // Cap on stats.tuples_evaluated; the traversal stops at the first
+  // step boundary at or past the cap (a single step may score several
+  // successors, so the final count can overshoot by one step's worth).
+  // 0 = unlimited.
+  std::size_t max_evals = 0;
+  // Optional cancellation flag, polled once per traversal step. Not
+  // owned; must outlive the query.
+  const CancelToken* cancel = nullptr;
+
+  bool unlimited() const {
+    return deadline_seconds <= 0.0 && max_evals == 0 && cancel == nullptr;
+  }
+};
 
 // A linear top-k query: strictly positive weights summing to 1, and the
 // retrieval size k. Lower scores are better.
 struct TopKQuery {
   Point weights;
   std::size_t k = 1;
+  ExecBudget budget{};
 };
 
 struct ScoredTuple {
@@ -53,8 +125,24 @@ struct QueryStats {
   }
 };
 
+// Why a Query call stopped. Everything except kComplete describes a
+// partial or rejected result; none of them abort the process.
+enum class Termination : std::uint8_t {
+  kComplete = 0,   // full answer; every item certified
+  kDeadline,       // ExecBudget::deadline_seconds expired
+  kStepBudget,     // ExecBudget::max_evals reached
+  kCancelled,      // CancelToken fired
+  kInvalidQuery,   // malformed query rejected (see ValidateQuery)
+  kError,          // worker raised an exception; message in `error`
+  kShed,           // rejected by QueryBatch admission control
+};
+
+// Short identifier, e.g. "complete" or "step-budget".
+const char* TerminationName(Termination termination);
+
 struct TopKResult {
-  // k tuples in ascending score order (fewer if the relation is small).
+  // Up to k tuples in ascending score order (fewer if the relation is
+  // small or the traversal stopped on a budget).
   std::vector<ScoredTuple> items;
   QueryStats stats;
   // Relation tuples evaluated, in access order (pseudo-tuples
@@ -62,6 +150,127 @@ struct TopKResult {
   // paper's "tuples in the same layer are stored in the same disk
   // block" discussion.
   std::vector<TupleId> accessed;
+
+  // Why the traversal stopped.
+  Termination termination = Termination::kComplete;
+  // The first `certified_prefix` entries of `items` are guaranteed to
+  // equal the exact top-k answer's prefix, even when the traversal
+  // stopped early. Derived from frontier_bound; equals items.size()
+  // after a complete run.
+  std::size_t certified_prefix = 0;
+  // Lower bound on the score of every tuple the traversal did NOT
+  // return, taken at the moment it stopped: the priority-queue head for
+  // DL/DL+/DG/DG+/PLI, the TA/NRA threshold for the list-based
+  // families, the last fully-scanned layer's minimum for Onion, -inf
+  // when nothing can be bounded (FullScan mid-scan), +inf after a
+  // complete run. Kept for composition (DynamicDualLayerIndex) and
+  // diagnostics.
+  double frontier_bound = -std::numeric_limits<double>::infinity();
+  // Human-readable detail for kInvalidQuery / kError / kShed.
+  std::string error;
+
+  bool complete() const { return termination == Termination::kComplete; }
+};
+
+// Marks `result` as a complete answer: every returned item certified.
+inline void FinalizeComplete(TopKResult& result) {
+  result.termination = Termination::kComplete;
+  result.certified_prefix = result.items.size();
+  result.frontier_bound = std::numeric_limits<double>::infinity();
+}
+
+// Marks `result` as a partial answer stopped for `reason`, with
+// `frontier_bound` a lower bound on every unreturned tuple's score
+// (callers pass -inf when they cannot bound the remainder). `items`
+// must already be in canonical order. The certified prefix is the run
+// of items strictly below the bound: any unreturned tuple scores >= the
+// bound, and ties at the bound may be unreturned tuples with smaller
+// ids, so equality never certifies.
+void FinalizePartial(TopKResult& result, Termination reason,
+                     double frontier_bound);
+
+// Builds the recoverable rejection every family returns for a malformed
+// query (no items, Termination::kInvalidQuery, the status message in
+// `error`). Replaces the old abort-on-bad-input behaviour.
+TopKResult InvalidQueryResult(const Status& status);
+
+// Amortized budget/cancellation checks for a traversal hot loop.
+// Construct once per Query call; call Step() once per traversal step
+// (heap pop, scan row, sorted-access round) with the running
+// tuples-evaluated counter. The unlimited case is a single branch.
+// Deadlines are polled every 64 steps to keep clock reads off the hot
+// path.
+class BudgetGate {
+ public:
+  explicit BudgetGate(const ExecBudget& budget)
+      : max_evals_(budget.max_evals),
+        cancel_(budget.cancel),
+        deadline_seconds_(budget.deadline_seconds),
+        active_(!budget.unlimited()) {}
+
+  bool active() const { return active_; }
+
+  // Returns kComplete while within budget, otherwise the reason to
+  // stop. Once a gate has tripped it stays tripped (stable result for
+  // loops that consult it twice at one boundary).
+  Termination Step(std::size_t evaluated) {
+    if (!active_) return Termination::kComplete;
+    return StepSlow(evaluated);
+  }
+
+ private:
+  Termination StepSlow(std::size_t evaluated) {
+    if (tripped_ != Termination::kComplete) return tripped_;
+    if (max_evals_ != 0 && evaluated >= max_evals_) {
+      return tripped_ = Termination::kStepBudget;
+    }
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return tripped_ = Termination::kCancelled;
+    }
+    if (deadline_seconds_ > 0.0 && (++ticks_ & 63u) == 0 &&
+        clock_.ElapsedSeconds() > deadline_seconds_) {
+      return tripped_ = Termination::kDeadline;
+    }
+    return Termination::kComplete;
+  }
+
+  std::size_t max_evals_;
+  const CancelToken* cancel_;
+  double deadline_seconds_;
+  bool active_;
+  Termination tripped_ = Termination::kComplete;
+  std::uint64_t ticks_ = 0;
+  Stopwatch clock_;
+};
+
+// Runs one query, translating a thrown exception into a
+// Termination::kError result instead of propagating. QueryBatch workers
+// run under this guard so one poisoned query cannot take down the batch
+// or the process.
+template <typename Fn>
+TopKResult GuardedQuery(Fn&& fn) {
+  try {
+    return std::forward<Fn>(fn)();
+  } catch (const std::exception& e) {
+    TopKResult result;
+    result.termination = Termination::kError;
+    result.error = e.what();
+    return result;
+  } catch (...) {
+    TopKResult result;
+    result.termination = Termination::kError;
+    result.error = "unknown exception in query worker";
+    return result;
+  }
+}
+
+// Admission control and default budgets for QueryBatch.
+struct BatchOptions {
+  // Queries beyond the first `max_in_flight` are not executed; their
+  // slots come back with Termination::kShed. 0 = unbounded.
+  std::size_t max_in_flight = 0;
+  // Applied to every admitted query whose own budget is unlimited.
+  ExecBudget default_budget{};
 };
 
 // Interface implemented by FullScan, Onion, DG/DG+, HL/HL+, DL/DL+.
@@ -76,21 +285,36 @@ class TopKIndex {
   virtual std::size_t size() const = 0;
 
   // Answers `query`; thread-compatible (const, no shared mutable state).
+  // Never throws or aborts on malformed input: budget expiry yields a
+  // certified partial result, bad queries a kInvalidQuery result.
   virtual TopKResult Query(const TopKQuery& query) const = 0;
 
   // Answers a batch: results[i] corresponds to queries[i], each
-  // element-wise identical to a serial Query(queries[i]) call. The
+  // element-wise identical to a serial Query(queries[i]) call (budgets
+  // included -- deadlines are measured per query from its own start, so
+  // serial and parallel execution give identical allowances). The
   // default implementation is that serial loop; implementations with
   // per-thread workspaces may parallelize (DualLayerIndex fans the
-  // batch out over DRLI_THREADS workers).
+  // batch out over DRLI_THREADS workers). Worker exceptions surface as
+  // kError results in the corresponding slot, never on the process.
   virtual std::vector<TopKResult> QueryBatch(
       const std::vector<TopKQuery>& queries) const;
+
+  // QueryBatch with admission control: the first
+  // options.max_in_flight queries run (through the virtual overload
+  // above, so the parallel fast paths still apply); the rest are shed
+  // deterministically with Termination::kShed. Admitted queries without
+  // a budget inherit options.default_budget.
+  std::vector<TopKResult> QueryBatch(const std::vector<TopKQuery>& queries,
+                                     const BatchOptions& options) const;
 };
 
-// CHECK-validates that the query is well-formed for dimensionality d:
-// |weights| == d, weights strictly positive. k = 0 is legal and yields
-// an empty result; k > n is legal and returns all n tuples.
-void ValidateQuery(const TopKQuery& query, std::size_t dim);
+// Validates that the query is well-formed for dimensionality d:
+// |weights| == d, weights strictly positive and finite. k = 0 is legal
+// and yields an empty result; k > n is legal and returns all n tuples.
+// Returns InvalidArgument instead of aborting -- untrusted callers get
+// a recoverable error.
+Status ValidateQuery(const TopKQuery& query, std::size_t dim);
 
 }  // namespace drli
 

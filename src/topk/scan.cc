@@ -1,27 +1,38 @@
 #include "topk/scan.h"
 
 #include <algorithm>
+#include <limits>
 
-#include "common/check.h"
 #include "common/stopwatch.h"
 
 namespace drli {
 
 TopKResult Scan(const PointSet& points, const TopKQuery& query) {
-  ValidateQuery(query, points.dim());
+  if (const Status status = ValidateQuery(query, points.dim()); !status.ok()) {
+    return InvalidQueryResult(status);
+  }
   TopKResult result;
   result.items.reserve(points.size());
   result.accessed.reserve(points.size());
+  BudgetGate gate(query.budget);
+  Termination stop = Termination::kComplete;
   for (std::size_t i = 0; i < points.size(); ++i) {
+    if (stop = gate.Step(i); stop != Termination::kComplete) break;
     result.items.push_back(ScoredTuple{static_cast<TupleId>(i),
                                        Score(query.weights, points[i])});
     result.accessed.push_back(static_cast<TupleId>(i));
   }
-  result.stats.tuples_evaluated = points.size();
+  result.stats.tuples_evaluated = result.items.size();
   const std::size_t k = std::min(query.k, result.items.size());
   std::partial_sort(result.items.begin(), result.items.begin() + k,
                     result.items.end(), ResultOrderLess);
   result.items.resize(k);
+  if (stop == Termination::kComplete) {
+    FinalizeComplete(result);
+  } else {
+    // The unscanned suffix is unordered, so nothing can be certified.
+    FinalizePartial(result, stop, -std::numeric_limits<double>::infinity());
+  }
   return result;
 }
 

@@ -40,7 +40,8 @@ std::vector<ScoredTuple> TopKHeap::SortedAscending() const {
 
 void TaScanLayer(const PointSet& points, const SortedLists& lists,
                  PointView weights, TopKHeap* heap, std::size_t* evaluated,
-                 double* layer_min_bound, std::vector<TupleId>* accessed) {
+                 double* layer_min_bound, std::vector<TupleId>* accessed,
+                 TaScanControl* control) {
   const std::size_t d = lists.dim();
   const std::size_t n = lists.size();
   DRLI_CHECK_EQ(weights.size(), d);
@@ -48,9 +49,26 @@ void TaScanLayer(const PointSet& points, const SortedLists& lists,
   seen.reserve(2 * d);
   double best_seen = std::numeric_limits<double>::infinity();
   double threshold = 0.0;
+  // Threshold of the last COMPLETED round: a lower bound on every tuple
+  // not yet seen. Before any round it is the weighted sum of the list
+  // minima, which bounds the whole layer.
+  double last_threshold =
+      n > 0 ? LayerScoreLowerBound(lists, weights)
+            : std::numeric_limits<double>::infinity();
   bool exhausted = true;
   std::size_t pos = 0;
   for (; pos < n; ++pos) {
+    if (control != nullptr && control->gate != nullptr) {
+      if (const Termination stop = control->gate->Step(*evaluated);
+          stop != Termination::kComplete) {
+        control->stop = stop;
+        control->frontier = last_threshold;
+        if (layer_min_bound != nullptr) {
+          *layer_min_bound = std::min(best_seen, last_threshold);
+        }
+        return;
+      }
+    }
     // Sorted access: one entry from each list (round-robin depth pos).
     threshold = 0.0;
     for (std::size_t attr = 0; attr < d; ++attr) {
@@ -72,6 +90,7 @@ void TaScanLayer(const PointSet& points, const SortedLists& lists,
       ++pos;
       break;
     }
+    last_threshold = threshold;
   }
   if (layer_min_bound != nullptr) {
     // Unseen tuples score >= the final threshold; when the lists were
@@ -88,6 +107,17 @@ void TaScanLayer(const PointSet& points, const SortedLists& lists,
   if (!exhausted && threshold == heap->KthScore()) {
     const double kth = heap->KthScore();
     for (; pos < n; ++pos) {
+      if (control != nullptr && control->gate != nullptr) {
+        if (const Termination stop = control->gate->Step(*evaluated);
+            stop != Termination::kComplete) {
+          // Past the classic stop every unoffered tuple scores >= the
+          // stop threshold == kth (ties at kth may still be missing,
+          // which the strict-< certification rule already excludes).
+          control->stop = stop;
+          control->frontier = kth;
+          return;
+        }
+      }
       double probe_threshold = 0.0;
       for (std::size_t attr = 0; attr < d; ++attr) {
         const SortedLists::Entry& e = lists.At(attr, pos);

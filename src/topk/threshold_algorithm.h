@@ -40,6 +40,19 @@ class TopKHeap {
   std::vector<ScoredTuple> heap_;  // max-heap by score
 };
 
+// Optional execution-budget hookup for TaScanLayer. The gate is polled
+// once per sorted-access round; when it trips the scan returns early
+// and reports why, plus a lower bound on the score of every tuple in
+// the layer that was never offered to the heap (the last completed
+// round's threshold -- the list minima before any round -- or the k-th
+// score when the trip happens inside the tie-probe). Callers derive the
+// certified prefix of their partial result from it.
+struct TaScanControl {
+  BudgetGate* gate = nullptr;
+  Termination stop = Termination::kComplete;
+  double frontier = std::numeric_limits<double>::infinity();
+};
+
 // One TA pass over a layer's sorted lists. Every tuple seen through
 // sorted access is scored once (counted in *evaluated) and offered to
 // *heap. Scanning stops when the TA threshold (the weighted sum of the
@@ -54,14 +67,32 @@ class TopKHeap {
 // minimum score of ANY tuple in the layer: min(best seen score, final
 // threshold). Convex-layer minima increase strictly layer over layer,
 // so HL+ uses this to cut the layer loop (its "tight threshold").
+//
+// When `control` is non-null its gate is polled every round and the
+// scan stops early once it trips (see TaScanControl).
 void TaScanLayer(const PointSet& points, const SortedLists& lists,
                  PointView weights, TopKHeap* heap, std::size_t* evaluated,
                  double* layer_min_bound = nullptr,
-                 std::vector<TupleId>* accessed = nullptr);
+                 std::vector<TupleId>* accessed = nullptr,
+                 TaScanControl* control = nullptr);
 
 // Weighted sum of the per-attribute list minima: a lower bound on the
 // score of every tuple in the layer. Used by HL+ to skip whole layers.
 double LayerScoreLowerBound(const SortedLists& lists, PointView weights);
+
+// Certification frontier for partial results collected through a
+// TopKHeap: a tuple evicted from (or rejected by) a full heap is
+// canonically at or above its k-th entry, so `unoffered_bound` (the
+// bound on tuples never offered to the heap) is tightened by KthScore()
+// whenever the heap is full. With a non-full heap nothing was ever
+// evicted and the unoffered bound stands alone.
+inline double HeapFrontier(const TopKHeap& heap, double unoffered_bound) {
+  if (heap.k() > 0 && heap.size() == heap.k() &&
+      heap.KthScore() < unoffered_bound) {
+    return heap.KthScore();
+  }
+  return unoffered_bound;
+}
 
 }  // namespace drli
 

@@ -181,7 +181,10 @@ TEST(MaxLayersTest, CappedIndexesRejectLargeK) {
   query.k = 3;
   EXPECT_EQ(onion.Query(query).items.size(), 3u);  // fine below the cap
   query.k = 100;
-  EXPECT_DEATH(onion.Query(query), "layer budget");
+  const TopKResult rejected = onion.Query(query);
+  EXPECT_EQ(rejected.termination, Termination::kInvalidQuery);
+  EXPECT_NE(rejected.error.find("layer budget"), std::string::npos);
+  EXPECT_TRUE(rejected.items.empty());
 }
 
 TEST(BaselineEdgeCasesTest, TinyRelations) {

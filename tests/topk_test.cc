@@ -147,21 +147,29 @@ TEST(ValidateQueryTest, AcceptsValidQuery) {
   TopKQuery query;
   query.weights = {0.25, 0.75};
   query.k = 3;
-  ValidateQuery(query, 2);  // must not abort
+  EXPECT_TRUE(ValidateQuery(query, 2).ok());
 }
 
-using ValidateQueryDeathTest = ::testing::Test;
-
-TEST(ValidateQueryDeathTest, RejectsBadQueries) {
+TEST(ValidateQueryTest, RejectsBadQueriesRecoverably) {
   TopKQuery bad_dim;
   bad_dim.weights = {1.0};
   bad_dim.k = 1;
-  EXPECT_DEATH(ValidateQuery(bad_dim, 2), "dimensionality");
+  const Status dim_status = ValidateQuery(bad_dim, 2);
+  EXPECT_FALSE(dim_status.ok());
+  EXPECT_NE(dim_status.message().find("dimensionality"), std::string::npos);
 
   TopKQuery zero_weight;
   zero_weight.weights = {0.0, 1.0};
   zero_weight.k = 1;
-  EXPECT_DEATH(ValidateQuery(zero_weight, 2), "strictly positive");
+  const Status weight_status = ValidateQuery(zero_weight, 2);
+  EXPECT_FALSE(weight_status.ok());
+  EXPECT_NE(weight_status.message().find("strictly positive"),
+            std::string::npos);
+
+  TopKQuery nan_weight;
+  nan_weight.weights = {std::numeric_limits<double>::quiet_NaN(), 1.0};
+  nan_weight.k = 1;
+  EXPECT_FALSE(ValidateQuery(nan_weight, 2).ok());
 }
 
 }  // namespace

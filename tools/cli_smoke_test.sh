@@ -29,6 +29,11 @@ echo "$BUILD_OUT" | grep -qE "coarse edges: pairs_pruned=[0-9]+ pairs_tested=[0-
 "$CLI" query --input="$WORK/data.csv" --kind=hl+ --weights=0.5,0.3,0.2 --k=3 \
   | grep -q "HL+ top-3"
 
+# Budgeted query: an unsatisfiable step budget yields a certified
+# partial result and still exits zero (partial is a valid answer).
+"$CLI" query --input="$WORK/data.csv" --kind=scan --weights=0.5,0.3,0.2 \
+  --k=5 --max-evals=7 | grep -q "stopped on step-budget"
+
 "$CLI" compare --input="$WORK/data.csv" --kinds=scan,dg,dl+ --k=10 --queries=5 \
   | grep -q "DL+"
 
@@ -61,5 +66,13 @@ if "$CLI" check --input="$WORK/data.csv" --kind=onion 2>/dev/null; then
   echo "expected failure for non-checkable kind" >&2
   exit 1
 fi
+# A malformed query (negative weight survives normalization) is a
+# recoverable rejection: non-zero exit, no crash.
+if "$CLI" query --index="$WORK/index.bin" --weights=-0.2,0.6,0.6 --k=3 \
+    2>"$WORK/err.txt"; then
+  echo "expected failure for negative weight" >&2
+  exit 1
+fi
+grep -q "invalid-query" "$WORK/err.txt"
 
 echo "CLI smoke test passed"

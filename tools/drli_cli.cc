@@ -6,6 +6,10 @@
 //   drli inspect  --index=index.bin
 //   drli query    --index=index.bin --weights=0.3,0.3,0.4 --k=10
 //   drli query    --input=data.csv --kind=hl+ --weights=0.5,0.5 --k=5
+//   drli query    --index=index.bin --weights=0.5,0.5 --k=10 \
+//                 --deadline-ms=0.5 --max-evals=2000
+//                 # budgeted query: prints the certified partial answer
+//                 # if either cap fires mid-traversal
 //   drli compare  --input=data.csv --kinds=dg,dg+,dl,dl+ --k=10 --queries=50
 //   drli sweep    --input=data2d.csv --k=5 --reverse=42
 //   drli check    --index=index.bin
@@ -325,14 +329,38 @@ int CmdQuery(const Flags& flags) {
   TopKQuery query;
   query.weights = weights.value();
   query.k = k;
+  // Serving controls: --deadline-ms caps wall time, --max-evals caps
+  // scored tuples; either can cut the traversal short, in which case
+  // the certified prefix of the partial answer is reported.
+  const std::string deadline_ms = GetFlag(flags, "deadline-ms");
+  if (!deadline_ms.empty()) {
+    query.budget.deadline_seconds =
+        std::strtod(deadline_ms.c_str(), nullptr) / 1000.0;
+  }
+  query.budget.max_evals = GetSizeFlag(flags, "max-evals", 0);
   Stopwatch timer;
   const TopKResult result = index->Query(query);
   const double ms = timer.ElapsedMillis();
+  if (result.termination == Termination::kInvalidQuery ||
+      result.termination == Termination::kError) {
+    std::fprintf(stderr, "query rejected (%s): %s\n",
+                 TerminationName(result.termination), result.error.c_str());
+    return 1;
+  }
   std::printf("%s top-%zu (%.3f ms, %zu tuples evaluated):\n",
               index->name().c_str(), k, ms, result.stats.tuples_evaluated);
   for (std::size_t r = 0; r < result.items.size(); ++r) {
-    std::printf("  %2zu. tuple %-8u score %.6f\n", r + 1,
-                result.items[r].id, result.items[r].score);
+    std::printf("  %2zu. tuple %-8u score %.6f%s\n", r + 1,
+                result.items[r].id, result.items[r].score,
+                !result.complete() && r >= result.certified_prefix
+                    ? "  (uncertified)"
+                    : "");
+  }
+  if (!result.complete()) {
+    std::printf("partial result: stopped on %s; first %zu of %zu items "
+                "certified exact\n",
+                TerminationName(result.termination), result.certified_prefix,
+                result.items.size());
   }
   if (GetFlag(flags, "explain") == "true" && loaded_dl.has_value()) {
     std::printf("\naccess breakdown by sublayer:\n");

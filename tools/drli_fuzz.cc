@@ -5,6 +5,11 @@
 //   drli_fuzz --cases=200 --dynamic=0     # skip the DynamicIndex oracle
 //   drli_fuzz --snapshot-faults --flips=20000 --seed=7
 //                                         # snapshot corruption sweep
+//   drli_fuzz --budget-faults --cases=20 --seed=3
+//                                         # exhaustive execution-budget
+//                                         # fault sweep (every step index
+//                                         # of every family, step budget
+//                                         # and cancellation)
 //
 // Every case builds a fresh adversarial dataset from its seed (exact
 // duplicates, grid-snapped coordinates, coplanar rows, d in 2..5, tiny
@@ -20,7 +25,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/random.h"
 #include "core/dual_layer.h"
 #include "core/serialization.h"
 #include "data/generator.h"
@@ -34,8 +41,65 @@ int Usage() {
   std::fprintf(stderr,
                "usage: drli_fuzz [--cases=N] [--seed=S] [--replay=SEED]\n"
                "                 [--dynamic=0|1] [--max-n=N]\n"
-               "       drli_fuzz --snapshot-faults [--flips=N] [--seed=S]\n");
+               "       drli_fuzz --snapshot-faults [--flips=N] [--seed=S]\n"
+               "       drli_fuzz --budget-faults [--cases=N] [--seed=S]\n");
   return 2;
+}
+
+// Execution-budget fault sweep: for each case seed, derive the usual
+// adversarial dataset, then for every index family and EVERY step index
+// of its traversal fire a step budget and a cancel fuse there, and
+// check the certified partial result against the exact answer. The
+// sweep is fully deterministic in the seed.
+int RunBudgetFaults(std::size_t cases, std::uint64_t first_seed) {
+  FuzzOptions options;
+  options.max_n = 120;  // exhaustive per-step sweep; keep cases compact
+  bool ok = true;
+  std::size_t datasets = 0;
+  std::size_t total_queries = 0;
+  std::size_t total_partials = 0;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    std::string desc;
+    const PointSet dataset = MakeFuzzDataset(seed, options, &desc);
+    if (dataset.empty()) continue;
+    ++datasets;
+    Rng rng(seed ^ 0xb5297a4db1a54e25ULL);
+    std::vector<TopKQuery> queries;
+    {
+      TopKQuery query;  // uniform weights maximize score collisions
+      query.k = std::min<std::size_t>(3, dataset.size());
+      query.weights.assign(dataset.dim(),
+                           1.0 / static_cast<double>(dataset.dim()));
+      queries.push_back(std::move(query));
+    }
+    {
+      TopKQuery query;
+      query.k = 1 + rng.Index(dataset.size());
+      query.weights = rng.SimplexWeight(dataset.dim());
+      queries.push_back(std::move(query));
+    }
+    const testing::BudgetFaultReport report =
+        testing::RunBudgetFaultSweep(dataset, queries);
+    total_queries += report.cases;
+    total_partials += report.partials;
+    if (!report.ok()) {
+      ok = false;
+      std::printf("FAIL seed=%llu (%s)\n  %s\n",
+                  static_cast<unsigned long long>(seed), desc.c_str(),
+                  report.ToString().c_str());
+    }
+  }
+  // A sweep in which no budget ever fired means the gates are not
+  // wired into the traversals at all -- that is itself a failure.
+  if (datasets > 0 && total_partials == 0) {
+    ok = false;
+    std::printf("budget fault sweep never produced a partial result\n");
+  }
+  std::printf("%s: %zu dataset(s), %zu budgeted quer(ies), %zu partial\n",
+              ok ? "budget fault sweep ok" : "budget fault sweep FAILED",
+              datasets, total_queries, total_partials);
+  return ok ? 0 : 1;
 }
 
 // Snapshot corruption sweep: builds one index per family (plain DL,
@@ -97,6 +161,7 @@ int Main(int argc, char** argv) {
   std::uint64_t first_seed = 1;
   bool replay = false;
   bool snapshot_faults = false;
+  bool budget_faults = false;
   // DRLI_FAULT_FLIPS pre-sets the flip budget (the nightly job raises
   // it); --flips= wins over the environment.
   std::size_t flips = 1000;
@@ -111,6 +176,8 @@ int Main(int argc, char** argv) {
     };
     if (arg == "--snapshot-faults") {
       snapshot_faults = true;
+    } else if (arg == "--budget-faults") {
+      budget_faults = true;
     } else if (arg.rfind("--flips=", 0) == 0) {
       flips = std::strtoul(value("--flips="), nullptr, 10);
     } else if (arg.rfind("--cases=", 0) == 0) {
@@ -130,6 +197,7 @@ int Main(int argc, char** argv) {
     }
   }
   if (snapshot_faults) return RunSnapshotFaults(flips, first_seed);
+  if (budget_faults) return RunBudgetFaults(cases, first_seed);
 
   std::size_t failed = 0;
   for (std::size_t i = 0; i < cases; ++i) {
