@@ -13,8 +13,11 @@
 
 #include "bench/bench_util.h"
 #include "cluster/kmeans.h"
+#include "common/kernels_batch.h"
 #include "common/point.h"
 #include "common/random.h"
+#include "common/simd.h"
+#include "common/soa_points.h"
 #include "core/eds.h"
 #include "core/rank_sweep_2d.h"
 #include "core/zero_layer.h"
@@ -166,6 +169,78 @@ void BM_ScoreKernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScoreKernel)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+// Batched SoA kernels (common/kernels_batch.h). The label reports the
+// dispatch target the run actually used; set DRLI_NO_SIMD=1 to measure
+// the scalar fallback on the same machine.
+void BM_ScoreBatchKernel(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const std::size_t count = static_cast<std::size_t>(state.range(1));
+  const PointSet pts = drli::GenerateAnticorrelated(4096, d, 21);
+  const drli::SoaPointSet soa = drli::SoaPointSet::FromPointSet(pts);
+  drli::Rng rng(22);
+  const std::vector<double> w = rng.SimplexWeight(d);
+  std::vector<std::uint32_t> ids(count);
+  for (std::uint32_t& id : ids) {
+    id = static_cast<std::uint32_t>(rng.Index(pts.size()));
+  }
+  std::vector<double> out(count);
+  for (auto _ : state) {
+    drli::ScoreBatch(drli::PointView(w), soa, ids.data(), ids.size(),
+                     out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * count));
+  state.SetLabel(drli::SimdTargetName(drli::ActiveSimdTarget()));
+}
+BENCHMARK(BM_ScoreBatchKernel)
+    ->Args({4, 8})
+    ->Args({4, 64})
+    ->Args({4, 1024})
+    ->Args({2, 1024})
+    ->Args({5, 1024});
+
+void BM_ScoreRangeKernel(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const PointSet pts = drli::GenerateAnticorrelated(n, d, 23);
+  const drli::SoaPointSet soa = drli::SoaPointSet::FromPointSet(pts);
+  drli::Rng rng(24);
+  const std::vector<double> w = rng.SimplexWeight(d);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    drli::ScoreRange(drli::PointView(w), soa, 0, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+  state.SetLabel(drli::SimdTargetName(drli::ActiveSimdTarget()));
+}
+BENCHMARK(BM_ScoreRangeKernel)->Args({4, 4096})->Args({2, 4096});
+
+void BM_DominatesAnyBatchKernel(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const std::size_t count = static_cast<std::size_t>(state.range(1));
+  const PointSet pts = drli::GenerateAnticorrelated(4096, d, 25);
+  const drli::SoaPointSet soa = drli::SoaPointSet::FromPointSet(pts);
+  drli::Rng rng(26);
+  std::vector<std::uint32_t> ids(count);
+  for (std::uint32_t& id : ids) {
+    id = static_cast<std::uint32_t>(rng.Index(pts.size()));
+  }
+  // The origin is dominated by nothing, so every probe sweeps the whole
+  // batch: worst-case cost, no data-dependent short-circuit.
+  const drli::Point q(d, 0.0);
+  for (auto _ : state) {
+    const bool any =
+        drli::DominatesAnyBatch(soa, ids.data(), ids.size(), drli::PointView(q));
+    benchmark::DoNotOptimize(any);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * count));
+  state.SetLabel(drli::SimdTargetName(drli::ActiveSimdTarget()));
+}
+BENCHMARK(BM_DominatesAnyBatchKernel)->Args({4, 256})->Args({3, 256});
 
 void BM_KMeans(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -20,6 +20,7 @@
 #include "common/check.h"
 #include "common/parallel_for.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "core/dual_layer.h"
 #include "data/generator.h"
@@ -50,6 +51,7 @@ struct Row {
   double batch_qps_1t = 0;
   double batch_qps_nt = 0;
   double avg_tuples = 0;  // Definition 9, for cross-checking
+  const char* kernel = "";  // active score-kernel dispatch target
 };
 
 Row Measure(std::size_t n, std::size_t d, std::size_t num_queries,
@@ -84,8 +86,16 @@ Row Measure(std::size_t n, std::size_t d, std::size_t num_queries,
     queries.push_back(TopKQuery{rng.SimplexWeight(d), /*k=*/10});
   }
 
-  // Single-thread per-query latency with an explicitly reused scratch.
+  row.kernel = SimdTargetName(ActiveSimdTarget());
+
+  // Warmup pass: faults in the index arrays, seeds the scratch, and
+  // lets the frequency governor settle before anything is timed.
   QueryScratch scratch;
+  for (const TopKQuery& query : queries) {
+    (void)index.Query(query, &scratch);
+  }
+
+  // Single-thread per-query latency with an explicitly reused scratch.
   std::size_t tuples = 0;
   timer.Restart();
   for (const TopKQuery& query : queries) {
@@ -155,11 +165,11 @@ int main(int argc, char** argv) {
     for (std::size_t d : {std::size_t{2}, std::size_t{4}}) {
       Row row = Measure(n, d, num_queries, threads);
       std::printf(
-          "n=%-7zu d=%zu build_serial=%.3fs build_parallel=%.3fs "
+          "n=%-7zu d=%zu kernel=%s build_serial=%.3fs build_parallel=%.3fs "
           "query=%.2fus budgeted=%.2fus overhead=%+.1f%% "
           "qps_1t=%.0f qps_%zut=%.0f speedup=%.2fx tuples=%.1f\n",
-          row.n, row.d, row.build_seconds_serial, row.build_seconds_parallel,
-          row.single_query_seconds * 1e6,
+          row.n, row.d, row.kernel, row.build_seconds_serial,
+          row.build_seconds_parallel, row.single_query_seconds * 1e6,
           row.single_query_budgeted_seconds * 1e6,
           100.0 * (row.single_query_budgeted_seconds /
                        row.single_query_seconds -
@@ -183,11 +193,12 @@ int main(int argc, char** argv) {
     std::snprintf(
         buffer, sizeof(buffer),
         "  {\"n\": %zu, \"d\": %zu, \"batch\": %zu, \"threads\": %zu, "
+        "\"kernel\": \"%s\", "
         "\"build_seconds_serial\": %.6f, \"build_seconds_parallel\": %.6f, "
         "\"single_query_seconds\": %.9f, "
         "\"single_query_budgeted_seconds\": %.9f, \"batch_qps_1t\": %.1f, "
         "\"batch_qps_nt\": %.1f, \"avg_tuples\": %.2f}%s\n",
-        r.n, r.d, r.batch, r.threads, r.build_seconds_serial,
+        r.n, r.d, r.batch, r.threads, r.kernel, r.build_seconds_serial,
         r.build_seconds_parallel, r.single_query_seconds,
         r.single_query_budgeted_seconds, r.batch_qps_1t, r.batch_qps_nt,
         r.avg_tuples, i + 1 < rows.size() ? "," : "");

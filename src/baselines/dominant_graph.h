@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/point.h"
+#include "common/soa_points.h"
 #include "skyline/skyline.h"
 #include "topk/query.h"
 
@@ -79,12 +80,23 @@ class DominantGraphIndex final : public TopKIndex {
     return points_.size() + virtual_points_.size();
   }
 
+  // The linear-scorer fast path for Query(): batched scoring over the
+  // dimension-major view with deferred enqueues, semantically identical
+  // to QueryMonotone with a linear scorer.
+  TopKResult QueryLinear(const TopKQuery& query) const;
+
   std::string name_;
   DominantGraphBuildStats stats_;
   PointSet points_;
   PointSet virtual_points_;
+  // Dimension-major view over points_ then virtual_points_ (node-id
+  // order); derived at build time, never persisted.
+  SoaPointSet soa_;
   std::vector<std::vector<TupleId>> layers_;
-  std::vector<std::vector<NodeId>> out_;
+  // ∀-dominance out-edges in CSR form: the targets of node v are
+  // out_targets_[out_offsets_[v] .. out_offsets_[v+1]).
+  std::vector<std::uint32_t> out_offsets_;
+  std::vector<NodeId> out_targets_;
   std::vector<std::uint32_t> in_degree_;
   std::vector<NodeId> initial_;
 };

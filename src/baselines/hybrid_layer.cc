@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/kernels_batch.h"
 #include "common/stopwatch.h"
 #include "skyline/skyline_layers.h"
 #include "topk/threshold_algorithm.h"
@@ -29,6 +30,7 @@ HybridLayerIndex HybridLayerIndex::Build(PointSet points,
       index.lists_.emplace_back(index.points_, layer);
     }
   }
+  index.soa_ = SoaPointSet::FromPointSet(index.points_);
   index.stats_.num_layers = index.layers_.size();
   index.stats_.build_seconds = timer.ElapsedSeconds();
   return index;
@@ -87,7 +89,7 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
     double layer_min_bound = 0.0;
     TaScanLayer(points_, layer_lists, w, &heap,
                 &result.stats.tuples_evaluated, &layer_min_bound,
-                &result.accessed, &control);
+                &result.accessed, &control, &soa_);
     if (control.stop != Termination::kComplete) {
       // Budget tripped mid-layer. Unoffered tuples of this layer are
       // bounded by the TA frontier. Unscanned deeper layers: convex
@@ -134,14 +136,20 @@ TopKResult HybridLayerIndex::Query(const TopKQuery& query) const {
         result.stats.elapsed_seconds = timer.ElapsedSeconds();
         return result;
       }
+      // Whole-layer sweep: one batched kernel call, then the per-tuple
+      // tie bookkeeping in id order exactly as the scalar loop did.
       double layer_min = std::numeric_limits<double>::infinity();
-      for (TupleId id : layers_[i]) {
-        const double score = Score(w, points_[id]);
+      const std::vector<TupleId>& layer_ids = layers_[i];
+      std::vector<double> layer_scores(layer_ids.size());
+      ScoreBatch(w, soa_, layer_ids.data(), layer_ids.size(),
+                 layer_scores.data());
+      for (std::size_t j = 0; j < layer_ids.size(); ++j) {
+        const double score = layer_scores[j];
         layer_min = std::min(layer_min, score);
         if (score == kth) {
           ++result.stats.tuples_evaluated;
-          result.accessed.push_back(id);
-          heap.Push(ScoredTuple{id, score});
+          result.accessed.push_back(layer_ids[j]);
+          heap.Push(ScoredTuple{layer_ids[j], score});
         }
       }
       if (layer_min > kth) break;

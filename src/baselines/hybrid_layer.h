@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/point.h"
+#include "common/soa_points.h"
 #include "skyline/skyline.h"
 #include "topk/query.h"
 #include "topk/sorted_lists.h"
@@ -60,6 +61,9 @@ class HybridLayerIndex final : public TopKIndex {
   bool tight_threshold_ = true;
   HybridLayerBuildStats stats_;
   PointSet points_;
+  // Dimension-major view of points_ for batched random-access
+  // completion; derived at construction, never persisted.
+  SoaPointSet soa_;
   std::vector<std::vector<TupleId>> layers_;
   std::vector<SortedLists> lists_;  // one per layer
 };

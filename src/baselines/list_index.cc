@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernels_batch.h"
 #include "common/stopwatch.h"
 #include "topk/threshold_algorithm.h"
 
@@ -26,7 +27,8 @@ std::vector<TupleId> AllIds(std::size_t n) {
 ListIndex::ListIndex(PointSet points, ListAlgorithm algorithm)
     : points_(std::move(points)),
       algorithm_(algorithm),
-      lists_(points_, AllIds(points_.size())) {}
+      lists_(points_, AllIds(points_.size())),
+      soa_(SoaPointSet::FromPointSet(points_)) {}
 
 ListIndex ListIndex::Build(PointSet points, ListAlgorithm algorithm) {
   return ListIndex(std::move(points), algorithm);
@@ -101,16 +103,32 @@ TopKResult ListIndex::QueryFa(const TopKQuery& query) const {
     }
   }
 
-  // Phase 2: random access to complete every tuple seen anywhere.
+  // Phase 2: random access to complete every tuple seen anywhere. With
+  // no armed budget the whole candidate set goes through one batched
+  // kernel call; a gated query keeps the per-tuple loop so it can stop
+  // at any tuple boundary.
   TopKHeap heap(query.k);
-  for (const auto& [id, count] : seen_count) {
-    if (stop = gate.Step(result.stats.tuples_evaluated);
-        stop != Termination::kComplete) {
-      break;
+  if (!gate.active()) {
+    std::vector<TupleId> ids;
+    ids.reserve(seen_count.size());
+    for (const auto& [id, count] : seen_count) ids.push_back(id);
+    std::vector<double> scores(ids.size());
+    ScoreBatch(query.weights, soa_, ids.data(), ids.size(), scores.data());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      heap.Push(ScoredTuple{ids[i], scores[i]});
+      ++result.stats.tuples_evaluated;
+      result.accessed.push_back(ids[i]);
     }
-    heap.Push(ScoredTuple{id, Score(query.weights, points_[id])});
-    ++result.stats.tuples_evaluated;
-    result.accessed.push_back(id);
+  } else {
+    for (const auto& [id, count] : seen_count) {
+      if (stop = gate.Step(result.stats.tuples_evaluated);
+          stop != Termination::kComplete) {
+        break;
+      }
+      heap.Push(ScoredTuple{id, Score(query.weights, points_[id])});
+      ++result.stats.tuples_evaluated;
+      result.accessed.push_back(id);
+    }
   }
   result.items = heap.SortedAscending();
   if (stop == Termination::kComplete) {
@@ -135,7 +153,7 @@ TopKResult ListIndex::QueryTa(const TopKQuery& query) const {
   TopKHeap heap(query.k);
   TaScanLayer(points_, lists_, query.weights, &heap,
               &result.stats.tuples_evaluated, /*layer_min_bound=*/nullptr,
-              &result.accessed, &control);
+              &result.accessed, &control, &soa_);
   result.items = heap.SortedAscending();
   if (control.stop == Termination::kComplete) {
     FinalizeComplete(result);

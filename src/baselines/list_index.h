@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/point.h"
+#include "common/soa_points.h"
 #include "topk/query.h"
 #include "topk/sorted_lists.h"
 
@@ -57,6 +58,9 @@ class ListIndex final : public TopKIndex {
   PointSet points_;
   ListAlgorithm algorithm_;
   SortedLists lists_;
+  // Dimension-major view of points_ for batched random-access
+  // completion; derived at construction, never persisted.
+  SoaPointSet soa_;
 };
 
 }  // namespace drli

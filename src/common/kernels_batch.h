@@ -1,0 +1,102 @@
+// Batched score/dominance kernels over a dimension-major SoaPointSet,
+// processing 4 (AVX2/NEON) tuples per iteration behind the runtime
+// dispatch of common/simd.h.
+//
+// Bit-identity contract: every kernel computes, per tuple, exactly the
+// same floating-point operations in exactly the same order as the
+// scalar kernels in common/point.h -- each SIMD lane holds one tuple's
+// left-to-right accumulation (w0*p0, then + w1*p1, ...), there is no
+// horizontal reduction and no fused multiply-add (the SIMD translation
+// units are compiled with -ffp-contract=off). Dominance and comparison
+// kernels are exact predicates with no rounding at all. Consequently
+// scalar and SIMD paths return bit-identical scores and identical
+// predicate outcomes on every input, which KernelCrossCheckTest
+// (tests/property_test.cc) verifies exhaustively and the differential
+// oracle + fuzzer re-verify end to end on both dispatch targets.
+//
+// Inputs are assumed NaN-free (the library's data model is points in
+// [0,1]^d and simplex weights); comparisons use ordered predicates.
+
+#ifndef DRLI_COMMON_KERNELS_BATCH_H_
+#define DRLI_COMMON_KERNELS_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/point.h"
+#include "common/soa_points.h"
+
+namespace drli {
+
+// out[i] = Score(weights, soa row ids[i]), bit-identical to the scalar
+// kernel. Gathers per column; `count` may be any size (unaligned tails
+// fall back to scalar lanes).
+void ScoreBatch(PointView weights, const SoaPointSet& soa,
+                const std::uint32_t* ids, std::size_t count, double* out);
+
+// out[i] = Score(weights, soa row first + i): the contiguous-range
+// variant used by full scans; columns are loaded, not gathered.
+void ScoreRange(PointView weights, const SoaPointSet& soa,
+                std::uint32_t first, std::size_t count, double* out);
+
+// True iff Dominates(soa row ids[i], q) for at least one i -- the inner
+// test of skyline window sweeps. Exact predicate, identical outcome to
+// the scalar loop (which short-circuits; the batch probes 4 at a time).
+bool DominatesAnyBatch(const SoaPointSet& soa, const std::uint32_t* ids,
+                       std::size_t count, PointView q);
+
+// out[i] = Compare(soa row ids[i], q), the full three-way dominance
+// comparison per tuple.
+void CompareBatch(const SoaPointSet& soa, const std::uint32_t* ids,
+                  std::size_t count, PointView q, DomRel* out);
+
+// Hot loops that issue many small batches (the DL heap expansion makes
+// ~25 calls of ~6 tuples per query) resolve the dispatch once and call
+// through the pointer, instead of paying the ActiveSimdTarget() load +
+// switch on every batch.
+using ScoreBatchFn = void (*)(PointView, const SoaPointSet&,
+                              const std::uint32_t*, std::size_t, double*);
+ScoreBatchFn ResolveScoreBatch();
+
+namespace kernel_internal {
+
+// Scalar reference implementations (delegate to common/point.h); the
+// dispatchers fall back to these, and the cross-check tests pin the
+// SIMD paths against them.
+void ScoreBatchScalar(PointView weights, const SoaPointSet& soa,
+                      const std::uint32_t* ids, std::size_t count,
+                      double* out);
+void ScoreRangeScalar(PointView weights, const SoaPointSet& soa,
+                      std::uint32_t first, std::size_t count, double* out);
+bool DominatesAnyBatchScalar(const SoaPointSet& soa, const std::uint32_t* ids,
+                             std::size_t count, PointView q);
+void CompareBatchScalar(const SoaPointSet& soa, const std::uint32_t* ids,
+                        std::size_t count, PointView q, DomRel* out);
+
+#if defined(DRLI_HAVE_AVX2)
+void ScoreBatchAvx2(PointView weights, const SoaPointSet& soa,
+                    const std::uint32_t* ids, std::size_t count, double* out);
+void ScoreRangeAvx2(PointView weights, const SoaPointSet& soa,
+                    std::uint32_t first, std::size_t count, double* out);
+bool DominatesAnyBatchAvx2(const SoaPointSet& soa, const std::uint32_t* ids,
+                           std::size_t count, PointView q);
+void CompareBatchAvx2(const SoaPointSet& soa, const std::uint32_t* ids,
+                      std::size_t count, PointView q, DomRel* out);
+#endif
+
+#if defined(DRLI_HAVE_NEON)
+void ScoreBatchNeon(PointView weights, const SoaPointSet& soa,
+                    const std::uint32_t* ids, std::size_t count, double* out);
+void ScoreRangeNeon(PointView weights, const SoaPointSet& soa,
+                    std::uint32_t first, std::size_t count, double* out);
+bool DominatesAnyBatchNeon(const SoaPointSet& soa, const std::uint32_t* ids,
+                           std::size_t count, PointView q);
+void CompareBatchNeon(const SoaPointSet& soa, const std::uint32_t* ids,
+                      std::size_t count, PointView q, DomRel* out);
+#endif
+
+}  // namespace kernel_internal
+
+}  // namespace drli
+
+#endif  // DRLI_COMMON_KERNELS_BATCH_H_

@@ -1,0 +1,133 @@
+// NEON implementations of the batched point kernels: 2 tuples per
+// iteration (float64x2), one lane per tuple. Same bit-identity rules as
+// the AVX2 translation unit: per-lane left-to-right accumulation,
+// separate mul/add (compiled with -ffp-contract=off so nothing fuses
+// into FMA), exact ordered comparisons. aarch64 has no double-precision
+// gather, so id-list kernels assemble lanes with scalar loads and keep
+// the arithmetic vectorized.
+
+#include <arm_neon.h>
+
+#include "common/kernels_batch.h"
+
+namespace drli {
+namespace kernel_internal {
+
+namespace {
+
+inline float64x2_t LoadPair(const double* col, const std::uint32_t* ids) {
+  return float64x2_t{col[ids[0]], col[ids[1]]};
+}
+
+inline float64x2_t ScoreLanes(PointView w, const SoaPointSet& soa,
+                              const std::uint32_t* ids) {
+  const std::size_t d = soa.dim();
+  float64x2_t acc;
+  std::size_t a;
+  if (d <= 4) {
+    acc = vmulq_f64(vdupq_n_f64(w[0]), LoadPair(soa.column(0), ids));
+    a = 1;
+  } else {
+    acc = vdupq_n_f64(0.0);
+    a = 0;
+  }
+  for (; a < d; ++a) {
+    acc = vaddq_f64(acc, vmulq_f64(vdupq_n_f64(w[a]),
+                                   LoadPair(soa.column(a), ids)));
+  }
+  return acc;
+}
+
+inline float64x2_t ScoreLanesLoad(PointView w, const SoaPointSet& soa,
+                                  std::size_t first) {
+  const std::size_t d = soa.dim();
+  float64x2_t acc;
+  std::size_t a;
+  if (d <= 4) {
+    acc = vmulq_f64(vdupq_n_f64(w[0]), vld1q_f64(soa.column(0) + first));
+    a = 1;
+  } else {
+    acc = vdupq_n_f64(0.0);
+    a = 0;
+  }
+  for (; a < d; ++a) {
+    acc = vaddq_f64(acc, vmulq_f64(vdupq_n_f64(w[a]),
+                                   vld1q_f64(soa.column(a) + first)));
+  }
+  return acc;
+}
+
+}  // namespace
+
+void ScoreBatchNeon(PointView weights, const SoaPointSet& soa,
+                    const std::uint32_t* ids, std::size_t count, double* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    vst1q_f64(out + i, ScoreLanes(weights, soa, ids + i));
+  }
+  if (i < count) {
+    ScoreBatchScalar(weights, soa, ids + i, count - i, out + i);
+  }
+}
+
+void ScoreRangeNeon(PointView weights, const SoaPointSet& soa,
+                    std::uint32_t first, std::size_t count, double* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    vst1q_f64(out + i, ScoreLanesLoad(weights, soa, first + i));
+  }
+  if (i < count) {
+    ScoreRangeScalar(weights, soa, first + i, count - i, out + i);
+  }
+}
+
+bool DominatesAnyBatchNeon(const SoaPointSet& soa, const std::uint32_t* ids,
+                           std::size_t count, PointView q) {
+  const std::size_t d = soa.dim();
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    uint64x2_t le = vdupq_n_u64(~0ull);
+    uint64x2_t lt = vdupq_n_u64(0);
+    for (std::size_t a = 0; a < d; ++a) {
+      const float64x2_t v = LoadPair(soa.column(a), ids + i);
+      const float64x2_t qa = vdupq_n_f64(q[a]);
+      le = vandq_u64(le, vcleq_f64(v, qa));
+      lt = vorrq_u64(lt, vcltq_f64(v, qa));
+    }
+    const uint64x2_t hit = vandq_u64(le, lt);
+    if ((vgetq_lane_u64(hit, 0) | vgetq_lane_u64(hit, 1)) != 0) return true;
+  }
+  return i < count && DominatesAnyBatchScalar(soa, ids + i, count - i, q);
+}
+
+void CompareBatchNeon(const SoaPointSet& soa, const std::uint32_t* ids,
+                      std::size_t count, PointView q, DomRel* out) {
+  const std::size_t d = soa.dim();
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    uint64x2_t a_better = vdupq_n_u64(0);
+    uint64x2_t b_better = vdupq_n_u64(0);
+    for (std::size_t a = 0; a < d; ++a) {
+      const float64x2_t v = LoadPair(soa.column(a), ids + i);
+      const float64x2_t qa = vdupq_n_f64(q[a]);
+      a_better = vorrq_u64(a_better, vcltq_f64(v, qa));
+      b_better = vorrq_u64(b_better, vcgtq_f64(v, qa));
+    }
+    for (int lane = 0; lane < 2; ++lane) {
+      const bool ab = (lane ? vgetq_lane_u64(a_better, 1)
+                            : vgetq_lane_u64(a_better, 0)) != 0;
+      const bool bb = (lane ? vgetq_lane_u64(b_better, 1)
+                            : vgetq_lane_u64(b_better, 0)) != 0;
+      out[i + lane] = ab && bb ? DomRel::kIncomparable
+                      : ab     ? DomRel::kDominates
+                      : bb     ? DomRel::kDominatedBy
+                               : DomRel::kEqual;
+    }
+  }
+  if (i < count) {
+    CompareBatchScalar(soa, ids + i, count - i, q, out + i);
+  }
+}
+
+}  // namespace kernel_internal
+}  // namespace drli

@@ -1,9 +1,13 @@
 // Core data model: tuples as d-dimensional points in [0,1]^d and the
 // dominance predicates of Section II of the paper.
 //
-// Storage is a flat row-major buffer (PointSet) so that layer peeling,
-// skyline computation and hull construction stay cache friendly; code
-// passes around PointView (a std::span) and TupleId indexes.
+// Storage is a flat row-major buffer (PointSet); code passes around
+// PointView (a std::span) and TupleId indexes. Row-major is the
+// canonical, persisted form; indexes additionally derive a
+// dimension-major companion (common/soa_points.h) at construction time
+// so the batched kernels of common/kernels_batch.h can sweep many
+// tuples per iteration. The scalar kernels below remain the semantic
+// reference: every batched kernel is bit-identical to them.
 
 #ifndef DRLI_COMMON_POINT_H_
 #define DRLI_COMMON_POINT_H_

@@ -1,0 +1,66 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace drli {
+
+namespace {
+
+SimdTarget ProbeTarget() {
+#if defined(DRLI_DISABLE_SIMD)
+  return SimdTarget::kScalar;
+#else
+#if defined(DRLI_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return SimdTarget::kAvx2;
+#endif
+#if defined(DRLI_HAVE_NEON)
+  // NEON is baseline on aarch64: no runtime probe needed.
+  return SimdTarget::kNeon;
+#endif
+  return SimdTarget::kScalar;
+#endif
+}
+
+bool EnvForcesScalar() {
+  const char* env = std::getenv("DRLI_NO_SIMD");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+// -1 = follow DRLI_NO_SIMD, 0 = SIMD allowed, 1 = scalar forced.
+std::atomic<int> g_force_scalar{-1};
+
+}  // namespace
+
+SimdTarget CompiledSimdTarget() {
+  static const SimdTarget target = ProbeTarget();
+  return target;
+}
+
+SimdTarget ActiveSimdTarget() {
+  const int force = g_force_scalar.load(std::memory_order_relaxed);
+  if (force == 1) return SimdTarget::kScalar;
+  if (force == -1) {
+    static const bool env_scalar = EnvForcesScalar();
+    if (env_scalar) return SimdTarget::kScalar;
+  }
+  return CompiledSimdTarget();
+}
+
+void ForceScalarKernels(bool force) {
+  g_force_scalar.store(force ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char* SimdTargetName(SimdTarget target) {
+  switch (target) {
+    case SimdTarget::kScalar:
+      return "scalar";
+    case SimdTarget::kAvx2:
+      return "avx2";
+    case SimdTarget::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+}  // namespace drli

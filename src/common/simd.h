@@ -1,0 +1,45 @@
+// Runtime CPU-feature dispatch for the batched point kernels
+// (common/kernels_batch.h). The active target is resolved once per
+// process from compile-time probes plus a runtime CPUID check, and can
+// be forced down to the scalar fallback for A/B debugging:
+//
+//   * build time:  -DDRLI_DISABLE_SIMD=ON compiles the library without
+//     any SIMD translation unit; the dispatcher always reports kScalar.
+//   * process:     DRLI_NO_SIMD=1 in the environment.
+//   * runtime:     ForceScalarKernels(true) (drli --no-simd, tests).
+//
+// Every batched kernel is bit-identical to its scalar counterpart, so
+// flipping the target is purely a performance knob -- results, tie
+// handling and the Definition-9 evaluation counts never change.
+
+#ifndef DRLI_COMMON_SIMD_H_
+#define DRLI_COMMON_SIMD_H_
+
+namespace drli {
+
+enum class SimdTarget {
+  kScalar,
+  kAvx2,
+  kNeon,
+};
+
+// The dispatch target batched kernels will use for the next call.
+// Resolved from the strongest compiled-in implementation the CPU
+// supports, unless scalar has been forced (see above).
+SimdTarget ActiveSimdTarget();
+
+// Display name: "scalar", "avx2", "neon".
+const char* SimdTargetName(SimdTarget target);
+
+// Forces (or un-forces) the scalar fallback at runtime. Overrides both
+// the CPU probe and the DRLI_NO_SIMD environment knob. Not thread-safe
+// against concurrent queries; call during setup.
+void ForceScalarKernels(bool force);
+
+// The strongest target this binary could use on this CPU, ignoring any
+// forcing -- what ActiveSimdTarget() would report with forcing off.
+SimdTarget CompiledSimdTarget();
+
+}  // namespace drli
+
+#endif  // DRLI_COMMON_SIMD_H_

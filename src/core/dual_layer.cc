@@ -1,6 +1,7 @@
 #include "core/dual_layer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <numeric>
 #include <utility>
@@ -371,12 +372,81 @@ std::vector<std::vector<TupleId>> DualLayerIndex::LayerGroups() const {
 }
 
 void DualLayerIndex::FinalizeInitialNodes() {
+  const std::size_t total = num_nodes();
   initial_.clear();
-  for (std::size_t node = 0; node < num_nodes(); ++node) {
+  for (std::size_t node = 0; node < total; ++node) {
     if (coarse_in_degree_[node] == 0 && !has_fine_in_[node]) {
       initial_.push_back(static_cast<NodeId>(node));
     }
   }
+
+  // Rebuild the derived slot-space query layout (see QueryLayout in
+  // dual_layer.h). This runs after every build and snapshot load, so
+  // the layout can never go stale relative to the graph above.
+  QueryLayout& layout = layout_;
+  layout.node_of.resize(total);
+  std::iota(layout.node_of.begin(), layout.node_of.end(), 0u);
+  std::stable_sort(layout.node_of.begin(), layout.node_of.end(),
+                   [&](NodeId a, NodeId b) {
+                     const bool va = is_virtual(a);
+                     const bool vb = is_virtual(b);
+                     if (va != vb) return va;  // pseudo-tuples first
+                     if (coarse_of_[a] != coarse_of_[b]) {
+                       return coarse_of_[a] < coarse_of_[b];
+                     }
+                     if (fine_of_[a] != fine_of_[b]) {
+                       return fine_of_[a] < fine_of_[b];
+                     }
+                     return a < b;
+                   });
+  layout.slot_of.resize(total);
+  for (std::size_t slot = 0; slot < total; ++slot) {
+    layout.slot_of[layout.node_of[slot]] = static_cast<std::uint32_t>(slot);
+  }
+  layout.first_real_slot = static_cast<std::uint32_t>(virtual_points_.size());
+
+  // Remap both edge sets to slot space. Rows keep their original edge
+  // order so the traversal's per-pop access sequence (and therefore
+  // TopKResult::accessed) is byte-identical to the node-space walk.
+  const auto remap = [&](const CsrGraph& graph,
+                         std::vector<std::uint32_t>& offsets,
+                         std::vector<std::uint32_t>& targets) {
+    offsets.resize(total + 1);
+    targets.clear();
+    targets.reserve(graph.num_edges());
+    for (std::size_t slot = 0; slot < total; ++slot) {
+      offsets[slot] = static_cast<std::uint32_t>(targets.size());
+      for (const NodeId succ : graph[layout.node_of[slot]]) {
+        targets.push_back(layout.slot_of[succ]);
+      }
+    }
+    offsets[total] = static_cast<std::uint32_t>(targets.size());
+  };
+  remap(coarse_out_, layout.coarse_offsets, layout.coarse_targets);
+  remap(fine_out_, layout.fine_offsets, layout.fine_targets);
+
+  layout.init_packed.resize(total);
+  for (std::size_t slot = 0; slot < total; ++slot) {
+    const NodeId node = layout.node_of[slot];
+    // The in-degree countdown lives in the low 24 bits of the packed
+    // state word; an overflow would corrupt the lifecycle bits.
+    DRLI_CHECK(coarse_in_degree_[node] <= QueryLayout::kRemainingMask);
+    layout.init_packed[slot] =
+        coarse_in_degree_[node] |
+        (has_fine_in_[node] ? 0u : QueryLayout::kFineFreeBit);
+  }
+  layout.initial_slots.clear();
+  layout.initial_slots.reserve(initial_.size());
+  for (const NodeId node : initial_) {
+    layout.initial_slots.push_back(layout.slot_of[node]);
+  }
+  layout.points =
+      SoaPointSet::FromPermutation(points_, virtual_points_, layout.node_of);
+
+  // A fresh id per rebuild lets QueryScratch detect that its cached
+  // per-slot init words belong to another layout and must be re-seeded.
+  static std::atomic<std::uint64_t> layout_generation{0};
+  layout.generation = ++layout_generation;
 }
 
 std::vector<LayerAccessRow> ExplainAccess(const DualLayerIndex& index,

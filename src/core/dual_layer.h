@@ -37,6 +37,7 @@
 
 #include "common/csr.h"
 #include "common/point.h"
+#include "common/soa_points.h"
 #include "core/eds.h"
 #include "core/zero_layer.h"
 #include "geometry/convex_skyline.h"
@@ -118,37 +119,102 @@ struct DualLayerBuildStats {
   std::size_t coarse_pairs_tested = 0;
 };
 
+// Derived, traversal-ordered layout the query path runs on. Built by
+// FinalizeInitialNodes (once per Build and once per snapshot load --
+// never persisted; a snapshot stores only the node-space index).
+//
+// Nodes are renumbered into *slots* ordered by (pseudo-tuples first,
+// coarse layer, fine sublayer, node id). Best-first traversal touches
+// low layers almost exclusively, so in slot order a query's working
+// set -- node states, CSR rows, point data -- collapses into a small
+// contiguous prefix of each array and stays cache-resident. Edge rows
+// are remapped to slot targets but keep their original edge order, so
+// the traversal performs the identical access sequence as in node
+// space. Points are held dimension-major (SoaPointSet) for the batched
+// kernels in common/kernels_batch.h.
+struct QueryLayout {
+  // Packed per-slot traversal state, one uint32 (see QueryScratch):
+  //   bits  0-23  remaining coarse in-degree countdown
+  //   bits 24-25  lifecycle (0 blocked, 1 queued, 2 popped)
+  //   bit  26     ∃-dominance-free
+  //   bit  27     weight-table chain lock
+  // A slot is enqueueable exactly when its word equals kFreeable:
+  // blocked, countdown exhausted, fine-free, not chain-locked -- one
+  // compare replaces the original four-array test.
+  static constexpr std::uint32_t kRemainingMask = (1u << 24) - 1;
+  static constexpr std::uint32_t kQueuedBit = 1u << 24;
+  static constexpr std::uint32_t kPoppedBit = 2u << 24;
+  static constexpr std::uint32_t kStateMask = 3u << 24;
+  static constexpr std::uint32_t kFineFreeBit = 1u << 26;
+  static constexpr std::uint32_t kChainLockedBit = 1u << 27;
+  static constexpr std::uint32_t kFreeable = kFineFreeBit;
+
+  // Distinguishes layouts across indexes (and rebuilds), so a
+  // QueryScratch can tell when its cached per-slot init words belong to
+  // a different index and must be re-seeded.
+  std::uint64_t generation = 0;
+
+  std::vector<std::uint32_t> node_of;  // slot -> node id
+  std::vector<std::uint32_t> slot_of;  // node id -> slot
+  // Coarse (∀) and fine (∃) out-edges in slot space, CSR.
+  std::vector<std::uint32_t> coarse_offsets;
+  std::vector<std::uint32_t> coarse_targets;
+  std::vector<std::uint32_t> fine_offsets;
+  std::vector<std::uint32_t> fine_targets;
+  // Per-slot initial state word: in-degree | (fine-free if no ∃-edge).
+  std::vector<std::uint32_t> init_packed;
+  std::vector<std::uint32_t> initial_slots;
+  // Slot-ordered points, dimension-major.
+  SoaPointSet points;
+  // Slots in [0, first_real_slot) are pseudo-tuples.
+  std::uint32_t first_real_slot = 0;
+};
+
 // Reusable per-query workspace for DualLayerIndex::Query. Holds the
-// traversal's per-node state (in-degree countdown, lifecycle, fine/chain
-// locks) plus the priority-queue backing store. Resetting between
-// queries is O(nodes touched) amortized: arrays are epoch-stamped, and a
-// node's state is lazily re-initialized the first time a query touches
-// it. One scratch serves any number of sequential queries against
-// indexes of any size; use one scratch per thread.
+// traversal's per-node state (one packed word per slot, see
+// QueryLayout) plus the priority-queue backing store. Resetting between
+// queries is O(nodes touched) amortized: states are epoch-stamped, and
+// a node's state is lazily re-initialized the first time a query
+// touches it. One scratch serves any number of sequential queries
+// against indexes of any size; use one scratch per thread.
 class QueryScratch {
  public:
   QueryScratch() = default;
 
   struct HeapEntry {
     double score;
-    std::uint32_t node;
+    std::uint32_t node;  // original node id -- the tie-break key
+    std::uint32_t slot;  // layout slot -- the memory key
+  };
+  // Per-slot traversal state. The layout's init word rides in the same
+  // record so a first touch costs one cache line, not a second random
+  // load from a separate init array; stamp == the scratch epoch iff
+  // packed is valid for this query.
+  struct NodeState {
+    std::uint32_t init;
+    std::uint32_t stamp;
+    std::uint32_t packed;
   };
 
  private:
   friend class DualLayerIndex;
 
-  // Grows arrays to `num_nodes` and opens a fresh epoch.
-  void Prepare(std::size_t num_nodes);
+  // Binds the scratch to `layout` (seeding the per-slot init words if
+  // the scratch last served a different index) and opens a fresh epoch.
+  void Prepare(const QueryLayout& layout);
 
-  // stamp_[i] == epoch_ iff node i's state is valid for this query.
+  std::uint64_t generation_ = 0;
   std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> stamp_;
-  std::vector<std::uint32_t> remaining_;
-  std::vector<std::uint8_t> state_;
-  std::vector<std::uint8_t> fine_free_;
-  std::vector<std::uint8_t> chain_locked_;
+  std::vector<NodeState> nodes_;
   // Min-heap storage (std::push_heap/pop_heap); capacity persists.
   std::vector<HeapEntry> heap_;
+  // Slots freed during one pop's expansion, scored in one batched
+  // kernel call before being enqueued.
+  std::vector<std::uint32_t> freed_;
+  std::vector<double> freed_scores_;
+  // Max-heap over the k smallest real candidate scores seen so far;
+  // its top bounds the final k-th answer and prunes doomed heap pushes.
+  std::vector<double> bound_heap_;
 };
 
 class DualLayerIndex final : public TopKIndex {
@@ -223,6 +289,8 @@ class DualLayerIndex final : public TopKIndex {
   std::vector<std::vector<TupleId>> LayerGroups() const;
   bool uses_weight_table() const { return use_weight_table_; }
   const WeightRangeTable& weight_table() const { return weight_table_; }
+  // The derived slot-space layout queries run on (tests, benchmarks).
+  const QueryLayout& query_layout() const { return layout_; }
 
  private:
   friend class DualLayerSerializer;
@@ -279,6 +347,9 @@ class DualLayerIndex final : public TopKIndex {
   std::vector<std::uint8_t> has_fine_in_;
   std::vector<NodeId> initial_;
   std::vector<std::vector<TupleId>> coarse_layers_;
+  // Derived from the members above by FinalizeInitialNodes; never
+  // serialized (rebuilt after every build and snapshot load).
+  QueryLayout layout_;
 
   // 2-d zero layer (Section V-A).
   bool use_weight_table_ = false;

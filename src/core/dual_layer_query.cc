@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernels_batch.h"
 #include "common/parallel_for.h"
 #include "common/stopwatch.h"
 #include "core/dual_layer.h"
@@ -11,14 +12,9 @@ namespace drli {
 
 namespace {
 
-// Node lifecycle during one query.
-enum NodeState : std::uint8_t {
-  kBlocked = 0,
-  kQueued = 1,
-  kPopped = 2,
-};
-
-// Orders the scratch heap as a min-heap on (score, node).
+// Orders the scratch heap as a min-heap on (score, original node id).
+// The node id -- not the slot -- is the tie-break key, so the pop
+// sequence is identical to the node-space traversal's.
 struct HeapEntryGreater {
   bool operator()(const QueryScratch::HeapEntry& a,
                   const QueryScratch::HeapEntry& b) const {
@@ -29,22 +25,30 @@ struct HeapEntryGreater {
 
 }  // namespace
 
-void QueryScratch::Prepare(std::size_t num_nodes) {
-  if (stamp_.size() < num_nodes) {
-    stamp_.resize(num_nodes, 0);
-    remaining_.resize(num_nodes);
-    state_.resize(num_nodes);
-    fine_free_.resize(num_nodes);
-    chain_locked_.resize(num_nodes);
+void QueryScratch::Prepare(const QueryLayout& layout) {
+  if (generation_ != layout.generation) {
+    // First query against this layout: seed the per-slot init words so
+    // a first touch reads one cache line instead of also hitting a
+    // separate init array. Amortized over every query the scratch
+    // serves on this index.
+    generation_ = layout.generation;
+    const std::size_t num_slots = layout.init_packed.size();
+    nodes_.resize(num_slots);
+    for (std::size_t i = 0; i < num_slots; ++i) {
+      nodes_[i] = NodeState{layout.init_packed[i], 0, 0};
+    }
+    epoch_ = 0;
   }
   ++epoch_;
   if (epoch_ == 0) {
     // Epoch counter wrapped: stale stamps could collide, so invalidate
     // everything once per ~4 billion queries.
-    std::fill(stamp_.begin(), stamp_.end(), 0);
+    for (NodeState& node : nodes_) node.stamp = 0;
     epoch_ = 1;
   }
   heap_.clear();
+  freed_.clear();
+  bound_heap_.clear();
 }
 
 TopKResult DualLayerIndex::Query(const TopKQuery& query) const {
@@ -71,23 +75,34 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
   }
   BudgetGate gate(query.budget);
 
+  const QueryLayout& layout = layout_;
   QueryScratch& s = *scratch;
-  s.Prepare(total);
+  s.Prepare(layout);
   if (s.heap_.capacity() < initial_.size() + 16) {
     s.heap_.reserve(initial_.size() + 16);
   }
+  // One allocation each instead of a doubling chain; the typical query
+  // evaluates a few dozen tuples per answer slot.
+  result.items.reserve(query.k + 8);
+  result.accessed.reserve(16 * query.k);
+  const ScoreBatchFn score_batch = ResolveScoreBatch();
   const std::uint32_t epoch = s.epoch_;
+  QueryScratch::NodeState* const st = s.nodes_.data();
+  const std::uint32_t* const node_of = layout.node_of.data();
+  const std::uint32_t* const coarse_off = layout.coarse_offsets.data();
+  const std::uint32_t* const coarse_tgt = layout.coarse_targets.data();
+  const std::uint32_t* const fine_off = layout.fine_offsets.data();
+  const std::uint32_t* const fine_tgt = layout.fine_targets.data();
 
-  // Lazily initializes node state on first touch this query; the reset
-  // cost is O(nodes touched), not O(n).
-  auto touch = [&](NodeId node) {
-    if (s.stamp_[node] != epoch) {
-      s.stamp_[node] = epoch;
-      s.remaining_[node] = coarse_in_degree_[node];
-      s.state_[node] = kBlocked;
-      s.fine_free_[node] = !has_fine_in_[node];
-      s.chain_locked_[node] = 0;
+  // Lazily initializes slot state on first touch this query; the reset
+  // cost is O(slots touched), not O(n).
+  const auto touch = [&](std::uint32_t slot) -> QueryScratch::NodeState& {
+    QueryScratch::NodeState& ns = st[slot];
+    if (ns.stamp != epoch) {
+      ns.stamp = epoch;
+      ns.packed = ns.init;
     }
+    return ns;
   };
 
   // Once the k-th answer is known, only exact ties at its score can
@@ -97,24 +112,69 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
   // would distort the Definition-9 metric on tie-free queries.
   double tie_cutoff = std::numeric_limits<double>::infinity();
 
-  // Precondition: `node` touched.
-  auto try_enqueue = [&](NodeId node) {
-    if (s.state_[node] != kBlocked) return;
-    if (s.remaining_[node] != 0 || !s.fine_free_[node] ||
-        s.chain_locked_[node]) {
-      return;
+  // Provisional upper bound on the final k-th answer: the k-th smallest
+  // real candidate score seen so far (+inf until k have been seen).
+  // Pops are non-decreasing in (score, node) and unlocking a node never
+  // reveals a smaller score than its unlocker, so (a) the final answer
+  // set is the k smallest real keys among everything eventually scored,
+  // which makes any prefix's k-th smallest an upper bound on the final
+  // tie_cutoff, and (b) no entry with score strictly above the final
+  // tie_cutoff is ever popped. A candidate scoring strictly above the
+  // bound is therefore dead weight: it is counted and recorded exactly
+  // as before, but its heap push is skipped. Only exercised when no
+  // budget gate is active -- a tripped gate certifies its partial
+  // result against the literal heap minimum, which pruning would move.
+  double push_bound = std::numeric_limits<double>::infinity();
+  const bool prune_pushes = !gate.active();
+
+  // Slots freed during one pop's expansion accumulate in s.freed_ (in
+  // the order the expansion loops reach them) and are scored in one
+  // batched kernel call, then enqueued in that same order. Deferring
+  // the scores past the expansion changes nothing observable:
+  // tie_cutoff only moves at pops, the heap pop sequence is a total
+  // order on (score, node id) independent of push order, and the
+  // accessed/evaluated bookkeeping runs in the exact event order the
+  // eager traversal used.
+  const auto flush_freed = [&]() {
+    const std::size_t count = s.freed_.size();
+    if (count == 0) return;
+    if (s.freed_scores_.size() < count) s.freed_scores_.resize(count);
+    score_batch(w, layout.points, s.freed_.data(), count,
+                s.freed_scores_.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t slot = s.freed_[i];
+      const double score = s.freed_scores_[i];
+      if (score > tie_cutoff) continue;
+      const std::uint32_t node = node_of[slot];
+      if (slot < layout.first_real_slot) {
+        ++result.stats.virtual_evaluated;
+      } else {
+        ++result.stats.tuples_evaluated;
+        result.accessed.push_back(node);
+        if (prune_pushes) {
+          // Track the k smallest real scores in a max-heap; its top is
+          // the push bound once full.
+          std::vector<double>& bh = s.bound_heap_;
+          if (bh.size() < query.k) {
+            bh.push_back(score);
+            std::push_heap(bh.begin(), bh.end());
+            if (bh.size() == query.k) push_bound = bh.front();
+          } else if (score < bh.front()) {
+            std::pop_heap(bh.begin(), bh.end());
+            bh.back() = score;
+            std::push_heap(bh.begin(), bh.end());
+            push_bound = bh.front();
+          }
+        }
+      }
+      // Strictly above the bound: can never pop before termination and
+      // can never tie the k-th answer (ties are == the bound at most).
+      if (score > push_bound) continue;
+      st[slot].packed |= QueryLayout::kQueuedBit;
+      s.heap_.push_back(QueryScratch::HeapEntry{score, node, slot});
+      std::push_heap(s.heap_.begin(), s.heap_.end(), HeapEntryGreater{});
     }
-    const double score = Score(w, node_point(node));
-    if (score > tie_cutoff) return;
-    if (is_virtual(node)) {
-      ++result.stats.virtual_evaluated;
-    } else {
-      ++result.stats.tuples_evaluated;
-      result.accessed.push_back(node);
-    }
-    s.state_[node] = kQueued;
-    s.heap_.push_back(QueryScratch::HeapEntry{score, node});
-    std::push_heap(s.heap_.begin(), s.heap_.end(), HeapEntryGreater{});
+    s.freed_.clear();
   };
 
   if (use_weight_table_ && !weight_table_.empty()) {
@@ -123,14 +183,16 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
     const std::size_t top1 = weight_table_.Lookup(query.weights[0]);
     const std::vector<TupleId>& chain = weight_table_.chain();
     for (std::size_t pos = 0; pos < chain.size(); ++pos) {
-      touch(chain[pos]);
-      if (pos != top1) s.chain_locked_[chain[pos]] = 1;
+      QueryScratch::NodeState& ns = touch(layout.slot_of[chain[pos]]);
+      if (pos != top1) ns.packed |= QueryLayout::kChainLockedBit;
     }
   }
-  for (NodeId node : initial_) {
-    touch(node);
-    try_enqueue(node);
+  for (const std::uint32_t slot : layout.initial_slots) {
+    if (touch(slot).packed == QueryLayout::kFreeable) {
+      s.freed_.push_back(slot);
+    }
   }
+  flush_freed();
 
   // Set when the budget gate trips; the heap minimum at that pop
   // boundary becomes the certification frontier.
@@ -159,41 +221,47 @@ TopKResult DualLayerIndex::Query(const TopKQuery& query,
     std::pop_heap(s.heap_.begin(), s.heap_.end(), HeapEntryGreater{});
     const QueryScratch::HeapEntry top = s.heap_.back();
     s.heap_.pop_back();
-    const NodeId node = top.node;
-    s.state_[node] = kPopped;
+    const std::uint32_t slot = top.slot;
+    st[slot].packed =
+        (st[slot].packed & ~QueryLayout::kStateMask) | QueryLayout::kPoppedBit;
 
-    if (!is_virtual(node)) {
-      result.items.push_back(ScoredTuple{node, top.score});
+    if (slot >= layout.first_real_slot) {
+      result.items.push_back(ScoredTuple{top.node, top.score});
       if (result.items.size() == query.k) tie_cutoff = top.score;
     }
 
     // ∀-successors: free once every coarse in-neighbour popped.
-    for (const NodeId succ : coarse_out_[node]) {
-      touch(succ);
-      DRLI_DCHECK(s.remaining_[succ] > 0);
-      if (--s.remaining_[succ] == 0) try_enqueue(succ);
+    for (std::uint32_t i = coarse_off[slot]; i < coarse_off[slot + 1]; ++i) {
+      const std::uint32_t succ = coarse_tgt[i];
+      QueryScratch::NodeState& ns = touch(succ);
+      DRLI_DCHECK((ns.packed & QueryLayout::kRemainingMask) > 0);
+      if (--ns.packed == QueryLayout::kFreeable) s.freed_.push_back(succ);
     }
     // ∃-successors: free once any fine in-neighbour popped.
-    for (const NodeId succ : fine_out_[node]) {
-      touch(succ);
-      if (!s.fine_free_[succ]) {
-        s.fine_free_[succ] = 1;
-        try_enqueue(succ);
+    for (std::uint32_t i = fine_off[slot]; i < fine_off[slot + 1]; ++i) {
+      const std::uint32_t succ = fine_tgt[i];
+      QueryScratch::NodeState& ns = touch(succ);
+      if (!(ns.packed & QueryLayout::kFineFreeBit)) {
+        ns.packed |= QueryLayout::kFineFreeBit;
+        if (ns.packed == QueryLayout::kFreeable) s.freed_.push_back(succ);
       }
     }
     // Chain neighbours (2-d zero layer).
-    if (use_weight_table_ && chain_pos_[node] != kNoFineLayer) {
+    if (use_weight_table_ && chain_pos_[top.node] != kNoFineLayer) {
       const std::vector<TupleId>& chain = weight_table_.chain();
-      const std::size_t pos = chain_pos_[node];
-      if (pos > 0 && s.chain_locked_[chain[pos - 1]]) {
-        s.chain_locked_[chain[pos - 1]] = 0;
-        try_enqueue(chain[pos - 1]);
-      }
-      if (pos + 1 < chain.size() && s.chain_locked_[chain[pos + 1]]) {
-        s.chain_locked_[chain[pos + 1]] = 0;
-        try_enqueue(chain[pos + 1]);
-      }
+      const std::size_t pos = chain_pos_[top.node];
+      const auto unlock = [&](std::size_t neighbour) {
+        const std::uint32_t nslot = layout.slot_of[chain[neighbour]];
+        QueryScratch::NodeState& ns = st[nslot];
+        if (ns.packed & QueryLayout::kChainLockedBit) {
+          ns.packed &= ~QueryLayout::kChainLockedBit;
+          if (ns.packed == QueryLayout::kFreeable) s.freed_.push_back(nslot);
+        }
+      };
+      if (pos > 0) unlock(pos - 1);
+      if (pos + 1 < chain.size()) unlock(pos + 1);
     }
+    flush_freed();
   }
   // Equal-score tuples freed late (they were ∃- or chain-blocked behind
   // an equal-score node) pop out of id order; restore the canonical

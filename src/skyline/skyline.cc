@@ -1,18 +1,42 @@
 #include "skyline/skyline.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 
 #include "common/check.h"
+#include "common/kernels_batch.h"
+#include "common/soa_points.h"
 #include "skyline/bskytree.h"
 
 namespace drli {
 
 namespace {
 
+// Candidate sets at or above this size pay for a compact dimension-major
+// copy (SoaPointSet::FromSubset) so the dominance sweep runs through
+// DominatesAnyBatch; below it the scalar short-circuit loop wins. BNL is
+// excluded: its window pass needs the bidirectional test with eviction,
+// which is not the any-dominates shape the batch kernel implements.
+constexpr std::size_t kBatchSweepThreshold = 32;
+
 std::vector<TupleId> NaiveSkyline(const PointSet& points,
                                   const std::vector<TupleId>& candidates) {
   std::vector<TupleId> out;
+  if (candidates.size() >= kBatchSweepThreshold) {
+    // Strict dominance is irreflexive, so probing the whole set --
+    // including `a` itself -- gives the same verdict as the skip-self
+    // scalar loop.
+    const SoaPointSet soa = SoaPointSet::FromSubset(points, candidates);
+    std::vector<std::uint32_t> rows(candidates.size());
+    std::iota(rows.begin(), rows.end(), 0u);
+    for (TupleId a : candidates) {
+      if (!DominatesAnyBatch(soa, rows.data(), rows.size(), points[a])) {
+        out.push_back(a);
+      }
+    }
+    return out;
+  }
   for (TupleId a : candidates) {
     bool dominated = false;
     for (TupleId b : candidates) {
@@ -130,12 +154,8 @@ class DivideAndConquerSkyline {
     // so both directions must be checked.)
     std::vector<TupleId> merged;
     merged.reserve(sky_low.size() + sky_high.size());
-    for (TupleId id : sky_low) {
-      if (!DominatedByAny(id, sky_high)) merged.push_back(id);
-    }
-    for (TupleId id : sky_high) {
-      if (!DominatedByAny(id, sky_low)) merged.push_back(id);
-    }
+    FilterAgainst(sky_low, sky_high, &merged);
+    FilterAgainst(sky_high, sky_low, &merged);
     return merged;
   }
 
@@ -148,6 +168,28 @@ class DivideAndConquerSkyline {
       if (Dominates(points_[other], p)) return true;
     }
     return false;
+  }
+
+  // Appends the members of `ids` not dominated by any member of
+  // `others`. Large filter sets sweep through the batch kernel over a
+  // compact SoA of `others`, built once per merge.
+  void FilterAgainst(const std::vector<TupleId>& ids,
+                     const std::vector<TupleId>& others,
+                     std::vector<TupleId>* out) const {
+    if (others.size() >= kBatchSweepThreshold) {
+      const SoaPointSet soa = SoaPointSet::FromSubset(points_, others);
+      std::vector<std::uint32_t> rows(others.size());
+      std::iota(rows.begin(), rows.end(), 0u);
+      for (TupleId id : ids) {
+        if (!DominatesAnyBatch(soa, rows.data(), rows.size(), points_[id])) {
+          out->push_back(id);
+        }
+      }
+      return;
+    }
+    for (TupleId id : ids) {
+      if (!DominatedByAny(id, others)) out->push_back(id);
+    }
   }
 
   std::size_t WidestAxis(const std::vector<TupleId>& candidates) const {
@@ -187,6 +229,23 @@ std::vector<TupleId> SfsSkyline(const PointSet& points,
                      if (sa != sb) return sa < sb;
                      return a < b;
                    });
+  if (candidates.size() >= kBatchSweepThreshold) {
+    // The window only ever grows, so it can be kept as row positions
+    // into a compact SoA of the sorted candidates and swept with the
+    // batch kernel; accepted ids are the same in the same order.
+    const SoaPointSet soa = SoaPointSet::FromSubset(points, candidates);
+    std::vector<std::uint32_t> window_rows;
+    std::vector<TupleId> window;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!DominatesAnyBatch(soa, window_rows.data(), window_rows.size(),
+                             points[candidates[i]])) {
+        window_rows.push_back(static_cast<std::uint32_t>(i));
+        window.push_back(candidates[i]);
+      }
+    }
+    std::sort(window.begin(), window.end());
+    return window;
+  }
   std::vector<TupleId> window;
   for (TupleId id : candidates) {
     const PointView p = points[id];

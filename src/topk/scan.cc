@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/kernels_batch.h"
 #include "common/stopwatch.h"
 
 namespace drli {
@@ -38,7 +39,32 @@ TopKResult Scan(const PointSet& points, const TopKQuery& query) {
 
 TopKResult FullScanIndex::Query(const TopKQuery& query) const {
   Stopwatch timer;
-  TopKResult result = Scan(points_, query);
+  TopKResult result;
+  if (query.budget.unlimited() && !points_.empty()) {
+    // No gate to poll mid-scan: score the whole relation through the
+    // contiguous-range batch kernel (bit-identical to Scan()).
+    if (const Status status = ValidateQuery(query, points_.dim());
+        !status.ok()) {
+      return InvalidQueryResult(status);
+    }
+    const std::size_t n = points_.size();
+    std::vector<double> scores(n);
+    ScoreRange(query.weights, soa_, 0, n, scores.data());
+    result.items.reserve(n);
+    result.accessed.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.items.push_back(ScoredTuple{static_cast<TupleId>(i), scores[i]});
+      result.accessed.push_back(static_cast<TupleId>(i));
+    }
+    result.stats.tuples_evaluated = n;
+    const std::size_t k = std::min(query.k, n);
+    std::partial_sort(result.items.begin(), result.items.begin() + k,
+                      result.items.end(), ResultOrderLess);
+    result.items.resize(k);
+    FinalizeComplete(result);
+  } else {
+    result = Scan(points_, query);
+  }
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -7,16 +7,20 @@
 #include <string>
 
 #include "common/point.h"
+#include "common/soa_points.h"
 #include "topk/query.h"
 
 namespace drli {
 
-// Scores every tuple and returns the k best; cost = n.
+// Scores every tuple and returns the k best; cost = n. Deliberately
+// stays on the scalar kernel: this free function is the differential
+// oracle the batched paths are checked against.
 TopKResult Scan(const PointSet& points, const TopKQuery& query);
 
 class FullScanIndex final : public TopKIndex {
  public:
-  explicit FullScanIndex(PointSet points) : points_(std::move(points)) {}
+  explicit FullScanIndex(PointSet points)
+      : points_(std::move(points)), soa_(SoaPointSet::FromPointSet(points_)) {}
 
   std::string name() const override { return "SCAN"; }
   std::size_t size() const override { return points_.size(); }
@@ -26,6 +30,9 @@ class FullScanIndex final : public TopKIndex {
 
  private:
   PointSet points_;
+  // Dimension-major view for contiguous batched scoring on unbudgeted
+  // queries; derived at construction, never persisted.
+  SoaPointSet soa_;
 };
 
 }  // namespace drli

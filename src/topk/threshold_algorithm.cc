@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/kernels_batch.h"
 
 namespace drli {
 
@@ -41,12 +42,27 @@ std::vector<ScoredTuple> TopKHeap::SortedAscending() const {
 void TaScanLayer(const PointSet& points, const SortedLists& lists,
                  PointView weights, TopKHeap* heap, std::size_t* evaluated,
                  double* layer_min_bound, std::vector<TupleId>* accessed,
-                 TaScanControl* control) {
+                 TaScanControl* control, const SoaPointSet* soa) {
   const std::size_t d = lists.dim();
   const std::size_t n = lists.size();
   DRLI_CHECK_EQ(weights.size(), d);
   std::unordered_set<TupleId> seen;
   seen.reserve(2 * d);
+  // Tuples first seen this round, completed in one batched kernel call
+  // after the round's sorted accesses (at most d of them). Scoring at
+  // the round boundary instead of per list entry changes nothing: the
+  // stop condition only consults the heap after the round.
+  std::vector<TupleId> round_ids;
+  std::vector<double> round_scores;
+  if (soa != nullptr) {
+    round_ids.reserve(d);
+    round_scores.resize(d);
+  }
+  const auto complete_round = [&](const std::vector<TupleId>& ids,
+                                  std::vector<double>& out) {
+    if (ids.empty()) return;
+    ScoreBatch(weights, *soa, ids.data(), ids.size(), out.data());
+  };
   double best_seen = std::numeric_limits<double>::infinity();
   double threshold = 0.0;
   // Threshold of the last COMPLETED round: a lower bound on every tuple
@@ -71,16 +87,34 @@ void TaScanLayer(const PointSet& points, const SortedLists& lists,
     }
     // Sorted access: one entry from each list (round-robin depth pos).
     threshold = 0.0;
-    for (std::size_t attr = 0; attr < d; ++attr) {
-      const SortedLists::Entry& e = lists.At(attr, pos);
-      threshold += weights[attr] * e.value;
-      if (seen.insert(e.id).second) {
+    if (soa != nullptr) {
+      round_ids.clear();
+      for (std::size_t attr = 0; attr < d; ++attr) {
+        const SortedLists::Entry& e = lists.At(attr, pos);
+        threshold += weights[attr] * e.value;
+        if (seen.insert(e.id).second) round_ids.push_back(e.id);
+      }
+      complete_round(round_ids, round_scores);
+      for (std::size_t i = 0; i < round_ids.size(); ++i) {
         // Random access completes the tuple; this is one evaluation.
-        const double score = Score(weights, points[e.id]);
+        const double score = round_scores[i];
         ++*evaluated;
-        if (accessed != nullptr) accessed->push_back(e.id);
+        if (accessed != nullptr) accessed->push_back(round_ids[i]);
         best_seen = std::min(best_seen, score);
-        heap->Push(ScoredTuple{e.id, score});
+        heap->Push(ScoredTuple{round_ids[i], score});
+      }
+    } else {
+      for (std::size_t attr = 0; attr < d; ++attr) {
+        const SortedLists::Entry& e = lists.At(attr, pos);
+        threshold += weights[attr] * e.value;
+        if (seen.insert(e.id).second) {
+          // Random access completes the tuple; this is one evaluation.
+          const double score = Score(weights, points[e.id]);
+          ++*evaluated;
+          if (accessed != nullptr) accessed->push_back(e.id);
+          best_seen = std::min(best_seen, score);
+          heap->Push(ScoredTuple{e.id, score});
+        }
       }
     }
     // Every unseen tuple ranks at or beyond the frontier in all lists,
@@ -119,15 +153,32 @@ void TaScanLayer(const PointSet& points, const SortedLists& lists,
         }
       }
       double probe_threshold = 0.0;
-      for (std::size_t attr = 0; attr < d; ++attr) {
-        const SortedLists::Entry& e = lists.At(attr, pos);
-        probe_threshold += weights[attr] * e.value;
-        if (seen.insert(e.id).second) {
-          const double score = Score(weights, points[e.id]);
-          if (score == kth) {
+      if (soa != nullptr) {
+        round_ids.clear();
+        for (std::size_t attr = 0; attr < d; ++attr) {
+          const SortedLists::Entry& e = lists.At(attr, pos);
+          probe_threshold += weights[attr] * e.value;
+          if (seen.insert(e.id).second) round_ids.push_back(e.id);
+        }
+        complete_round(round_ids, round_scores);
+        for (std::size_t i = 0; i < round_ids.size(); ++i) {
+          if (round_scores[i] == kth) {
             ++*evaluated;
-            if (accessed != nullptr) accessed->push_back(e.id);
-            heap->Push(ScoredTuple{e.id, score});
+            if (accessed != nullptr) accessed->push_back(round_ids[i]);
+            heap->Push(ScoredTuple{round_ids[i], kth});
+          }
+        }
+      } else {
+        for (std::size_t attr = 0; attr < d; ++attr) {
+          const SortedLists::Entry& e = lists.At(attr, pos);
+          probe_threshold += weights[attr] * e.value;
+          if (seen.insert(e.id).second) {
+            const double score = Score(weights, points[e.id]);
+            if (score == kth) {
+              ++*evaluated;
+              if (accessed != nullptr) accessed->push_back(e.id);
+              heap->Push(ScoredTuple{e.id, score});
+            }
           }
         }
       }

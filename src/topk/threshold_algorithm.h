@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/point.h"
+#include "common/soa_points.h"
 #include "topk/query.h"
 #include "topk/sorted_lists.h"
 
@@ -70,11 +71,16 @@ struct TaScanControl {
 //
 // When `control` is non-null its gate is polled every round and the
 // scan stops early once it trips (see TaScanControl).
+//
+// When `soa` is non-null it must be a dimension-major view of `points`
+// (same ids); each round's random accesses are then completed through
+// one batched kernel call. Scores are bit-identical either way.
 void TaScanLayer(const PointSet& points, const SortedLists& lists,
                  PointView weights, TopKHeap* heap, std::size_t* evaluated,
                  double* layer_min_bound = nullptr,
                  std::vector<TupleId>* accessed = nullptr,
-                 TaScanControl* control = nullptr);
+                 TaScanControl* control = nullptr,
+                 const SoaPointSet* soa = nullptr);
 
 // Weighted sum of the per-attribute list minima: a lower bound on the
 // score of every tuple in the layer. Used by HL+ to skip whole layers.

@@ -8,6 +8,9 @@
 
 #include "gtest/gtest.h"
 
+#include "common/kernels_batch.h"
+#include "common/simd.h"
+#include "common/soa_points.h"
 #include "core/dual_layer.h"
 #include "core/index_registry.h"
 #include "data/generator.h"
@@ -215,6 +218,130 @@ TEST(KernelCrossCheckTest, GenericD5SelfConsistent) {
         EXPECT_FALSE(Dominates(vb, va));
         EXPECT_NE(a, b);
         break;
+    }
+  }
+}
+
+// Point material for the batched-kernel cross-checks: random rows plus
+// NaN-free degenerate rows (all-zero, all-one, exact duplicates, grid
+// ties, constant attributes) that stress the exact predicates.
+PointSet BatchKernelPoints(std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  PointSet pts(d);
+  pts.Add(Point(d, 0.0));
+  pts.Add(Point(d, 1.0));
+  pts.Add(Point(d, 0.5));
+  for (int i = 0; i < 40; ++i) {
+    Point p;
+    for (std::size_t a = 0; a < d; ++a) p.push_back(rng.Uniform());
+    pts.Add(p);
+    Point snapped = p;
+    for (std::size_t a = 0; a < d; ++a) {
+      snapped[a] = std::round(snapped[a] * 4.0) / 4.0;  // partial ties
+    }
+    pts.Add(snapped);
+    pts.Add(p);  // exact duplicate
+  }
+  for (int i = 0; i < 10; ++i) {
+    Point p(d, rng.Uniform());  // constant across attributes
+    pts.Add(p);
+  }
+  return pts;
+}
+
+// The batched kernels advertise bit-identical scores and identical
+// predicate outcomes versus the scalar references, on the active
+// dispatch target and on the forced-scalar path, for every batch size
+// 1..17 (covering sub-width batches and unaligned vector tails).
+TEST(KernelCrossCheckTest, BatchedMatchesScalarBitwise) {
+  namespace ki = kernel_internal;
+  for (const bool force_scalar : {false, true}) {
+    ForceScalarKernels(force_scalar);
+    if (force_scalar) {
+      ASSERT_EQ(ActiveSimdTarget(), SimdTarget::kScalar);
+    }
+    for (const std::size_t d : {2u, 3u, 4u, 5u}) {
+      const PointSet pts = BatchKernelPoints(d, 900 + d);
+      const SoaPointSet soa = SoaPointSet::FromPointSet(pts);
+      ASSERT_EQ(soa.size(), pts.size());
+      ASSERT_EQ(soa.dim(), d);
+      Rng rng(7000 + d);
+      const ScoreBatchFn resolved = ResolveScoreBatch();
+      for (std::size_t count = 1; count <= 17; ++count) {
+        std::vector<std::uint32_t> ids(count);
+        for (std::uint32_t& id : ids) {
+          id = static_cast<std::uint32_t>(rng.Index(pts.size()));
+        }
+        const Point w = rng.SimplexWeight(d);
+        std::vector<double> batched(count), reference(count);
+        ScoreBatch(w, soa, ids.data(), count, batched.data());
+        ki::ScoreBatchScalar(w, soa, ids.data(), count, reference.data());
+        std::vector<double> via_resolved(count);
+        resolved(w, soa, ids.data(), count, via_resolved.data());
+        const std::uint32_t first =
+            static_cast<std::uint32_t>(rng.Index(pts.size() - count + 1));
+        std::vector<double> ranged(count), range_ref(count);
+        ScoreRange(w, soa, first, count, ranged.data());
+        ki::ScoreRangeScalar(w, soa, first, count, range_ref.data());
+        for (std::size_t i = 0; i < count; ++i) {
+          // Bitwise equality, not EXPECT_NEAR: same FP ops, same order.
+          EXPECT_EQ(batched[i], reference[i]);
+          EXPECT_EQ(via_resolved[i], batched[i]);
+          EXPECT_EQ(reference[i], Score(w, pts[ids[i]]));
+          EXPECT_EQ(ranged[i], range_ref[i]);
+          EXPECT_EQ(range_ref[i], Score(w, pts[first + i]));
+        }
+        const PointView q = pts[rng.Index(pts.size())];
+        EXPECT_EQ(DominatesAnyBatch(soa, ids.data(), count, q),
+                  ki::DominatesAnyBatchScalar(soa, ids.data(), count, q));
+        bool any_scalar = false;
+        for (std::size_t i = 0; i < count && !any_scalar; ++i) {
+          any_scalar = Dominates(pts[ids[i]], q);
+        }
+        EXPECT_EQ(DominatesAnyBatch(soa, ids.data(), count, q), any_scalar);
+        std::vector<DomRel> rels(count), rels_ref(count);
+        CompareBatch(soa, ids.data(), count, q, rels.data());
+        ki::CompareBatchScalar(soa, ids.data(), count, q, rels_ref.data());
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(rels[i], rels_ref[i]);
+          EXPECT_EQ(rels[i], Compare(pts[ids[i]], q));
+        }
+      }
+    }
+  }
+  ForceScalarKernels(false);
+}
+
+// SoaPointSet factories reproduce their sources bitwise, and the
+// padding tail every vector load may touch is zero-filled.
+TEST(KernelCrossCheckTest, SoaViewsMatchSources) {
+  const std::size_t d = 3;
+  const PointSet pts = BatchKernelPoints(d, 31);
+  const SoaPointSet full = SoaPointSet::FromPointSet(pts);
+  ASSERT_EQ(full.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t a = 0; a < d; ++a) {
+      EXPECT_EQ(full.at(i, a), pts.At(i, a));
+    }
+  }
+  Rng rng(32);
+  std::vector<std::uint32_t> subset;
+  for (int i = 0; i < 13; ++i) {  // 13: forces an unaligned tail
+    subset.push_back(static_cast<std::uint32_t>(rng.Index(pts.size())));
+  }
+  const SoaPointSet sub = SoaPointSet::FromSubset(pts, subset);
+  ASSERT_EQ(sub.size(), subset.size());
+  EXPECT_EQ(sub.stride() % SoaPointSet::kColumnPad, 0u);
+  EXPECT_GE(sub.stride(), sub.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    for (std::size_t a = 0; a < d; ++a) {
+      EXPECT_EQ(sub.at(i, a), pts.At(subset[i], a));
+    }
+  }
+  for (std::size_t a = 0; a < d; ++a) {
+    const double* col = sub.column(a);
+    for (std::size_t i = sub.size(); i < sub.stride(); ++i) {
+      EXPECT_EQ(col[i], 0.0);
     }
   }
 }

@@ -23,6 +23,19 @@ echo "$BUILD_OUT" | grep -qE "coarse edges: pairs_pruned=[0-9]+ pairs_tested=[0-
 "$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 \
   | grep -q "top-5"
 
+# Kernel dispatch is reported, and --no-simd forces the scalar target
+# with an identical answer.
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 \
+  | grep -qE "kernel=(scalar|avx2|neon)"
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 --no-simd \
+  | grep -q "kernel=scalar"
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 \
+  | grep "tuple " >"$WORK/simd_items.txt"
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 --no-simd \
+  | grep "tuple " >"$WORK/scalar_items.txt"
+diff "$WORK/simd_items.txt" "$WORK/scalar_items.txt"
+"$CLI" inspect --index="$WORK/index.bin" | grep -q "kernel dispatch:"
+
 "$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 --explain \
   | grep -q "access breakdown"
 

@@ -6,7 +6,7 @@
 //   drli inspect  --index=index.bin
 //   drli query    --index=index.bin --weights=0.3,0.3,0.4 --k=10
 //   drli query    --input=data.csv --kind=hl+ --weights=0.5,0.5 --k=5
-//   drli query    --index=index.bin --weights=0.5,0.5 --k=10 \
+//   drli query    --index=index.bin --weights=0.5,0.5 --k=10
 //                 --deadline-ms=0.5 --max-evals=2000
 //                 # budgeted query: prints the certified partial answer
 //                 # if either cap fires mid-traversal
@@ -18,6 +18,10 @@
 // `build`/`stats` operate on the serializable dual-resolution index;
 // `query` and `compare` accept any index kind (built on the fly from
 // CSV when --index is not given).
+//
+// `--no-simd` (any command) forces the scalar batch kernels, same as
+// the DRLI_NO_SIMD environment variable; `query` and `inspect` report
+// the active kernel dispatch target.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "core/dual_layer.h"
 #include "core/index_registry.h"
@@ -208,6 +213,7 @@ int CmdInspect(const Flags& flags) {
   std::printf("n=%zu d=%zu pseudo-tuples=%zu 2-d weight table: %s\n",
               info.num_points, info.dim, info.num_virtual,
               info.use_weight_table ? "yes" : "no");
+  std::printf("kernel dispatch: %s\n", SimdTargetName(ActiveSimdTarget()));
   if (info.version == snapshot::kVersionV1) {
     std::printf("%-18s %10s %12s\n", "segment", "offset", "bytes");
     for (const SnapshotSectionInfo& row : info.sections) {
@@ -347,8 +353,9 @@ int CmdQuery(const Flags& flags) {
                  TerminationName(result.termination), result.error.c_str());
     return 1;
   }
-  std::printf("%s top-%zu (%.3f ms, %zu tuples evaluated):\n",
-              index->name().c_str(), k, ms, result.stats.tuples_evaluated);
+  std::printf("%s top-%zu (%.3f ms, %zu tuples evaluated, kernel=%s):\n",
+              index->name().c_str(), k, ms, result.stats.tuples_evaluated,
+              SimdTargetName(ActiveSimdTarget()));
   for (std::size_t r = 0; r < result.items.size(); ++r) {
     std::printf("  %2zu. tuple %-8u score %.6f%s\n", r + 1,
                 result.items[r].id, result.items[r].score,
@@ -512,6 +519,7 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags = ParseFlags(argc, argv, 2);
+  if (GetFlag(flags, "no-simd") == "true") ForceScalarKernels(true);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
   if (command == "stats") return CmdStats(flags);
