@@ -24,6 +24,13 @@ void ParallelFor(std::size_t n,
                  std::size_t threads) {
   if (threads == 0) threads = ParallelThreadCount();
   if (threads > n) threads = n;
+  // A CPU-bound fork-join loop never gains from more workers than
+  // cores; oversubscribing only adds scheduler churn (the source of the
+  // build_seconds_parallel > serial regression on small machines).
+  // Dynamic claiming makes the worker count invisible in results, so
+  // the clamp cannot change any output.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && threads > hw) threads = hw;
 
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i, 0);

@@ -8,7 +8,10 @@
 // std::thread::hardware_concurrency(). Callers may also pass an
 // explicit count. With 0 or 1 workers (or n <= 1 items) the loop runs
 // inline on the calling thread -- no threads are spawned, which keeps
-// single-threaded determinism trivially intact.
+// single-threaded determinism trivially intact. The effective worker
+// count is additionally clamped to hardware_concurrency: requesting
+// more workers than cores cannot help a CPU-bound loop, and because
+// items are claimed dynamically the clamp is invisible in results.
 
 #ifndef DRLI_COMMON_PARALLEL_FOR_H_
 #define DRLI_COMMON_PARALLEL_FOR_H_

@@ -14,6 +14,17 @@
 
 namespace drli {
 
+namespace {
+
+// Below this many points a whole build phase finishes in well under a
+// millisecond -- less than the cost of waking the task pool -- so the
+// parallel build phases early-out to the inline serial path. Parallel
+// and serial builds are bit-identical either way; this is purely a
+// scheduling decision.
+constexpr std::size_t kMinPointsForParallelBuild = 4096;
+
+}  // namespace
+
 DualLayerIndex DualLayerIndex::Build(PointSet points,
                                      const DualLayerOptions& options) {
   Stopwatch timer;
@@ -238,16 +249,28 @@ void DualLayerIndex::BuildFineLayers(AdjacencyBuilder* fine_adj) {
   // The peel of each coarse layer is independent; run them on the task
   // pool and merge in layer order. All ∃-edges stay inside one coarse
   // layer, so the per-source edge lists -- and hence the CSR -- come
-  // out identical to a serial build.
+  // out identical to a serial build. Below kMinPointsForParallelBuild
+  // the whole peel is cheaper than spawning workers, so run inline;
+  // above it, hand out the largest layers first so one fat layer does
+  // not become the tail of the schedule.
   std::vector<FinePeelResult> results(coarse_layers_.size());
+  const std::size_t threads =
+      points_.size() < kMinPointsForParallelBuild ? 1 : options_.build_threads;
+  std::vector<std::size_t> order(coarse_layers_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return coarse_layers_[a].size() > coarse_layers_[b].size();
+  });
   ParallelFor(
-      coarse_layers_.size(),
-      [&](std::size_t i, std::size_t) {
+      order.size(),
+      [&](std::size_t task, std::size_t) {
+        const std::size_t i = order[task];
         const std::vector<TupleId>& layer = coarse_layers_[i];
         std::vector<NodeId> node_ids(layer.begin(), layer.end());
         results[i] = PeelFineLayers(node_ids, points_, layer);
       },
-      options_.build_threads);
+      threads);
   for (const FinePeelResult& peel : results) ApplyFinePeel(peel, fine_adj);
 }
 
@@ -261,9 +284,21 @@ void DualLayerIndex::BuildCoarseEdges(AdjacencyBuilder* coarse_adj) {
   const std::size_t pairs = coarse_layers_.size() - 1;
   std::vector<std::vector<std::pair<NodeId, NodeId>>> pair_edges(pairs);
   std::vector<DominancePairStats> pair_stats(pairs);
+  const std::size_t threads =
+      points_.size() < kMinPointsForParallelBuild ? 1 : options_.build_threads;
+  // Largest cross products first; same tail-latency argument as the
+  // fine peel above.
+  std::vector<std::size_t> order(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return coarse_layers_[a].size() * coarse_layers_[a + 1].size() >
+           coarse_layers_[b].size() * coarse_layers_[b + 1].size();
+  });
   ParallelFor(
-      pairs,
-      [&](std::size_t i, std::size_t) {
+      order.size(),
+      [&](std::size_t task, std::size_t) {
+        const std::size_t i = order[task];
         ForEachDominancePair(points_, coarse_layers_[i],
                              coarse_layers_[i + 1],
                              [&](TupleId source, TupleId target) {
@@ -271,7 +306,7 @@ void DualLayerIndex::BuildCoarseEdges(AdjacencyBuilder* coarse_adj) {
                              },
                              &pair_stats[i]);
       },
-      options_.build_threads);
+      threads);
   for (std::size_t i = 0; i < pairs; ++i) {
     stats_.coarse_pairs_pruned += pair_stats[i].pairs_pruned;
     stats_.coarse_pairs_tested += pair_stats[i].pairs_tested;

@@ -9,6 +9,7 @@
 #include "baselines/partitioned_layer.h"
 #include "baselines/view_index.h"
 #include "core/dual_layer.h"
+#include "shard/sharded_index.h"
 #include "topk/scan.h"
 
 namespace drli {
@@ -24,8 +25,8 @@ std::string Lowered(std::string s) {
 }  // namespace
 
 std::vector<std::string> KnownIndexKinds() {
-  return {"scan", "fa",  "ta",  "nra", "prefer", "lpta", "onion",
-          "pli",  "dg",  "dg+", "hl",  "hl+",    "dl",   "dl+"};
+  return {"scan", "fa",  "ta",  "nra", "prefer", "lpta", "onion", "pli",
+          "dg",   "dg+", "hl",  "hl+", "dl",     "dl+",  "sdl+"};
 }
 
 StatusOr<std::unique_ptr<TopKIndex>> BuildIndex(const IndexBuildConfig& config,
@@ -87,6 +88,41 @@ StatusOr<std::unique_ptr<TopKIndex>> BuildIndex(const IndexBuildConfig& config,
     options.zero_layer_clusters = config.zero_layer_clusters;
     return std::unique_ptr<TopKIndex>(std::make_unique<DualLayerIndex>(
         DualLayerIndex::Build(std::move(points), options)));
+  }
+  if (kind.rfind("sdl+", 0) == 0) {
+    ShardedBuildOptions options;
+    options.num_shards = config.num_shards;
+    options.partition_seed = config.shard_seed;
+    StatusOr<ShardPartitioner> partitioner =
+        ParseShardPartitioner(config.shard_partitioner);
+    if (!partitioner.ok()) return partitioner.status();
+    options.partitioner = partitioner.value();
+    // Optional inline spec: "sdl+<S>[r|h]".
+    std::string spec = kind.substr(4);
+    if (!spec.empty()) {
+      if (spec.back() == 'r' || spec.back() == 'h') {
+        options.partitioner = spec.back() == 'r'
+                                  ? ShardPartitioner::kRandom
+                                  : ShardPartitioner::kHyperplane;
+        spec.pop_back();
+      }
+      if (spec.empty() ||
+          spec.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::InvalidArgument("bad sharded kind spec: " +
+                                       config.kind);
+      }
+      const unsigned long parsed = std::stoul(spec);
+      if (parsed == 0 || parsed > 4096) {
+        return Status::InvalidArgument("shard count out of range in: " +
+                                       config.kind);
+      }
+      options.num_shards = parsed;
+    }
+    options.shard_options.skyline_algorithm = config.skyline_algorithm;
+    options.shard_options.build_zero_layer = true;
+    options.shard_options.zero_layer_clusters = config.zero_layer_clusters;
+    return std::unique_ptr<TopKIndex>(std::make_unique<ShardedDualLayerIndex>(
+        ShardedDualLayerIndex::Build(std::move(points), options)));
   }
   return Status::InvalidArgument("unknown index kind: " + config.kind);
 }

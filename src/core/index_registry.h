@@ -4,6 +4,7 @@
 #ifndef DRLI_CORE_INDEX_REGISTRY_H_
 #define DRLI_CORE_INDEX_REGISTRY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,13 +18,21 @@ namespace drli {
 
 struct IndexBuildConfig {
   // One of: scan, fa, ta, nra, prefer, lpta, onion, pli, dg, dg+,
-  // hl, hl+, dl, dl+ (case-insensitive).
+  // hl, hl+, dl, dl+, sdl+ (case-insensitive). The sharded kind also
+  // accepts an inline spec "sdl+<S>[r|h]" -- shard count plus an
+  // optional partitioner letter (random / hyperplane) -- e.g. "sdl+4h";
+  // the suffix overrides num_shards / shard_partitioner below.
   std::string kind = "dl+";
   SkylineAlgorithm skyline_algorithm = SkylineAlgorithm::kSkyTree;
   // Convex-layer cap for onion/hl/hl+ (k must stay below it).
   std::size_t convex_max_layers = 256;
   // Zero-layer cluster count for dg+/dl+ (0 = ceil(sqrt(|L1|))).
   std::size_t zero_layer_clusters = 0;
+  // Sharded kind ("sdl+"): shard count, partitioner
+  // ("random" | "hyperplane") and partition seed.
+  std::size_t num_shards = 4;
+  std::string shard_partitioner = "hyperplane";
+  std::uint64_t shard_seed = 42;
 };
 
 // All kinds accepted by BuildIndex.

@@ -1,0 +1,98 @@
+// Persistence for ShardedDualLayerIndex: one standard v2 snapshot per
+// shard (core/serialization -- checksummed sections, atomic writes,
+// mmap zero-copy loads all apply unchanged) plus a small checksummed
+// manifest that records the partition: which global tuple ids live in
+// which shard file.
+//
+// Manifest layout (little-endian, CRC-32C over everything before the
+// trailing checksum):
+//   u32 magic "DRLS"   u32 version   u32 dim   u32 partitioner
+//   u64 num_shards     u64 total_points   u64 partition_seed
+//   u64 flags (reserved, 0)
+//   u64 name_len, name bytes
+//   per shard: u64 num_points; u64 file_len, file bytes (relative,
+//              path-separator-free); num_points x u32 ascending global
+//              tuple ids
+//   u32 crc32c
+// The loader trusts nothing: every length is bounded before use, the
+// member lists must form an exact partition of [0, total_points), the
+// per-shard files must parse as valid snapshots of matching dim and
+// cardinality. Shard corner bounds are recomputed from the loaded
+// points, never persisted.
+
+#ifndef DRLI_SHARD_SHARD_IO_H_
+#define DRLI_SHARD_SHARD_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/serialization.h"
+#include "shard/sharded_index.h"
+
+namespace drli {
+
+namespace shard_manifest {
+inline constexpr std::uint32_t kMagic = 0x534c5244;  // "DRLS" LE
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kMaxShards = 4096;
+inline constexpr std::size_t kMaxNameLength = 4096;
+}  // namespace shard_manifest
+
+struct ShardedSaveOptions {
+  // Format options applied to every per-shard snapshot.
+  SnapshotSaveOptions snapshot{};
+};
+
+struct ShardedLoadOptions {
+  // Load options applied to every per-shard snapshot (mmap by default).
+  SnapshotLoadOptions snapshot{};
+};
+
+// The on-disk file of shard `s` for a manifest at `manifest_path`:
+// "<manifest_path>.shard-NNNN". Exposed so tests and tools can target
+// individual shard files (fault injection, missing-file paths).
+std::string ShardFilePath(const std::string& manifest_path, std::size_t s);
+
+// Writes every shard snapshot and then the manifest, each atomically
+// (temp file + rename), manifest last -- a crash mid-save leaves either
+// the old index or stray shard files, never a manifest pointing at
+// missing or torn shards.
+Status SaveShardedIndex(const ShardedDualLayerIndex& index,
+                        const std::string& path,
+                        const ShardedSaveOptions& options = {});
+
+// Reads a manifest and all shard snapshots written by SaveShardedIndex.
+StatusOr<ShardedDualLayerIndex> LoadShardedIndex(
+    const std::string& path, const ShardedLoadOptions& options = {});
+
+// Cheap probe: does `path` start with the shard-manifest magic? Used by
+// the CLI to route --index files to the sharded or single-index loader.
+bool IsShardManifest(const std::string& path);
+
+// --- manifest metadata (drli inspect, tests) ---
+
+struct ShardManifestShardInfo {
+  std::uint64_t num_points = 0;
+  std::string file;  // relative to the manifest's directory
+};
+
+struct ShardManifestInfo {
+  std::uint32_t version = 0;
+  std::size_t dim = 0;
+  ShardPartitioner partitioner = ShardPartitioner::kRandom;
+  std::uint64_t num_shards = 0;
+  std::uint64_t total_points = 0;
+  std::uint64_t partition_seed = 0;
+  std::string name;
+  std::vector<ShardManifestShardInfo> shards;
+};
+
+// Parses and fully validates the manifest (checksum included) without
+// touching the shard files.
+StatusOr<ShardManifestInfo> InspectShardManifest(const std::string& path);
+
+}  // namespace drli
+
+#endif  // DRLI_SHARD_SHARD_IO_H_

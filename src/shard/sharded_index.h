@@ -1,0 +1,188 @@
+// Sharded DL+ serving: partition the relation into S independent
+// shards, build one DualLayerIndex per shard (genuinely in parallel --
+// shard builds share nothing, so S cores give ~S-way build speedup,
+// and the superlinear per-shard build cost means even a single core
+// wins), and answer top-k by scatter-gather.
+//
+// Query processing is a coordinator loop over one global min-heap that
+// holds two kinds of entries:
+//   * a *bound* entry per still-unopened shard, keyed by the shard's
+//     frontier lower bound: the minimum Score over a small set of
+//     corner points derived from the shard's skyline (layer 1 of its
+//     DL+ index, chunked into <= 64 groups, one componentwise-min
+//     corner per group). Every shard tuple is dominated by a skyline
+//     member, every skyline member by its group corner, and dominance
+//     is score-monotone even in floating point (positive weights,
+//     identical left-to-right Score association everywhere) -- so no
+//     tuple in the shard can score below the bound, exactly. With one
+//     group this degenerates to the classic bounding-box corner; with
+//     the skyline resolution it equals the true minimum score whenever
+//     the skyline is small.
+//   * an *item* entry per opened shard, keyed by the shard's next
+//     unmerged result tuple (score, global id).
+// Bound entries order before item entries of equal score, so a shard is
+// opened (its DL+ index queried) only when its corner bound reaches the
+// merge frontier. Shards whose bound never surfaces before the k-th
+// item pops are never queried at all -- that is the pruning: with
+// selective partitions (hyperplane split) most queries touch a small
+// fraction of S. stats.shards_touched counts the shards that ran.
+//
+// ExecBudget composes across shards: each opened shard receives the
+// remaining step/deadline allowance, and when any shard stops early --
+// or the budget expires between shards -- the coordinator certifies the
+// merged prefix against the minimum of every outstanding lower bound
+// (unopened shard corners, the partial shard's frontier, opened shards'
+// unreturned remainders, and unmerged heap items), exactly the
+// certified-partial contract of DESIGN.md §5 lifted one level up.
+
+#ifndef DRLI_SHARD_SHARDED_INDEX_H_
+#define DRLI_SHARD_SHARDED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "common/status.h"
+#include "core/dual_layer.h"
+#include "topk/query.h"
+
+namespace drli {
+
+// How tuples are assigned to shards. Both are deterministic functions
+// of (points, num_shards, partition_seed).
+enum class ShardPartitioner : std::uint8_t {
+  // Uniform random assignment (seeded). Shards are statistically
+  // identical, so every query touches most shards -- the baseline that
+  // isolates build parallelism from pruning.
+  kRandom = 0,
+  // Sort by the all-ones projection sum_i x_i and cut into S equal
+  // slabs. The diagonal correlates with every positive weight vector
+  // (w · x >= min_i(w_i)/1 * sum x_i bounds hold per-coordinate), so
+  // low slabs hold the strong tuples for all queries and high slabs
+  // are pruned by their corner bounds.
+  kHyperplane = 1,
+};
+
+const char* ShardPartitionerName(ShardPartitioner partitioner);
+// Parses "random" / "hyperplane" (case-sensitive, lowercase).
+StatusOr<ShardPartitioner> ParseShardPartitioner(const std::string& name);
+
+struct ShardedBuildOptions {
+  std::size_t num_shards = 4;
+  ShardPartitioner partitioner = ShardPartitioner::kHyperplane;
+  std::uint64_t partition_seed = 42;
+
+  // Per-shard DL/DL+ options. build_threads is ignored inside a shard:
+  // shard builds always run serially and the *outer* loop over shards
+  // parallelizes, which keeps the sharded build bit-identical across
+  // thread counts (and is also the faster schedule -- shards are the
+  // coarsest independent tasks available).
+  DualLayerOptions shard_options;
+
+  // Worker threads for the outer loop: 0 = DRLI_THREADS env /
+  // hardware concurrency, 1 = serial.
+  std::size_t build_threads = 0;
+
+  // Display name; empty = "SDL+xS" / "SDLxS" (+ "h" for hyperplane).
+  std::string name;
+};
+
+struct ShardedBuildStats {
+  double partition_seconds = 0.0;
+  // Wall clock of the parallel shard-build loop, and the sum of the
+  // individual shard builds' build_seconds (the serial-equivalent
+  // cost). cpu / wall ≈ the achieved build parallelism.
+  double build_wall_seconds = 0.0;
+  double build_cpu_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::size_t min_shard_points = 0;
+  std::size_t max_shard_points = 0;
+};
+
+// The deterministic shard assignment: members[s] lists the global
+// tuple ids of shard s in ascending order. Ascending membership makes
+// each shard's local (score, local-id) order agree with the global
+// (score, global-id) order, which is what keeps the scatter-gather
+// merge bit-identical to the unsharded answer under the canonical
+// tie-break. Exposed for tests.
+std::vector<std::vector<TupleId>> PartitionPoints(
+    const PointSet& points, std::size_t num_shards,
+    ShardPartitioner partitioner, std::uint64_t partition_seed);
+
+class ShardedDualLayerIndex final : public TopKIndex {
+ public:
+  static ShardedDualLayerIndex Build(PointSet points,
+                                     const ShardedBuildOptions& options = {});
+
+  ShardedDualLayerIndex(ShardedDualLayerIndex&&) = default;
+  ShardedDualLayerIndex& operator=(ShardedDualLayerIndex&&) = default;
+
+  std::string name() const override { return name_; }
+  std::size_t size() const override { return total_points_; }
+
+  // Scatter-gather merge; bit-identical to the unsharded index's answer
+  // (items, canonical order) for any shard count and partitioner.
+  // stats.shards_touched reports how many shards actually ran;
+  // stats.tuples_evaluated sums the per-shard traversal costs.
+  TopKResult Query(const TopKQuery& query) const override;
+  // Parallel batch over ParallelThreadCount() workers (the per-shard
+  // indexes' thread-local scratches make the serial Query reentrant
+  // per-thread).
+  std::vector<TopKResult> QueryBatch(
+      const std::vector<TopKQuery>& queries) const override;
+  using TopKIndex::QueryBatch;
+
+  // --- introspection (tests, serialization, bench) ---
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t dim() const { return dim_; }
+  const DualLayerIndex& shard(std::size_t s) const { return shards_[s]; }
+  const std::vector<TupleId>& shard_members(std::size_t s) const {
+    return members_[s];
+  }
+  ShardPartitioner partitioner() const { return partitioner_; }
+  std::uint64_t partition_seed() const { return partition_seed_; }
+  const ShardedBuildStats& build_stats() const { return build_stats_; }
+  // Frontier lower bound of shard s for weight vector w (tests).
+  double ShardLowerBound(std::size_t s, PointView weights) const;
+  // Bound corner points of shard s (tests).
+  std::size_t NumBoundPoints(std::size_t s) const {
+    return (bound_offsets_[s + 1] - bound_offsets_[s]) / dim_;
+  }
+
+  // Cap on corner points per shard; bounds the per-query cost of
+  // seeding the merge heap at S * 64 * d flops.
+  static constexpr std::size_t kMaxBoundPointsPerShard = 64;
+
+ private:
+  friend StatusOr<ShardedDualLayerIndex> LoadShardedIndex(
+      const std::string& path, const struct ShardedLoadOptions& options);
+
+  ShardedDualLayerIndex() = default;
+
+  // Derives the bound corner sets from the shard skylines; called
+  // after build and after load (bounds are never persisted).
+  void ComputeShardBounds();
+
+  std::string name_;
+  std::size_t dim_ = 0;
+  std::size_t total_points_ = 0;
+  ShardPartitioner partitioner_ = ShardPartitioner::kHyperplane;
+  std::uint64_t partition_seed_ = 0;
+  ShardedBuildStats build_stats_;
+
+  std::vector<DualLayerIndex> shards_;
+  // members_[s] = ascending global ids of shard s; the inverse of the
+  // per-shard local id space.
+  std::vector<std::vector<TupleId>> members_;
+  // Bound corner points of shard s: d-dimensional rows in
+  // bound_values_[bound_offsets_[s], bound_offsets_[s + 1]). Empty
+  // shards have an empty range (their bound entry is never enqueued).
+  std::vector<double> bound_values_;
+  std::vector<std::size_t> bound_offsets_;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_SHARD_SHARDED_INDEX_H_

@@ -30,11 +30,15 @@
 namespace drli {
 
 struct DifferentialOptions {
-  // Families compared by exact (id, score) sequence.
-  std::vector<std::string> exact_kinds = {"scan", "onion", "pli", "ta",
-                                          "nra",  "prefer", "lpta", "dg",
-                                          "dg+",  "hl",    "hl+",  "dl",
-                                          "dl+"};
+  // Families compared by exact (id, score) sequence. The sdl+ entries
+  // are the sharded scatter-gather family at shard counts that cover
+  // the degenerate (S=1), even-split, both-partitioner, and
+  // n-not-divisible-by-S cases; all must merge to the bit-identical
+  // unsharded answer.
+  std::vector<std::string> exact_kinds = {
+      "scan", "onion",  "pli",    "ta", "nra",  "prefer", "lpta",
+      "dg",   "dg+",    "hl",     "hl+", "dl",  "dl+",    "sdl+1",
+      "sdl+2r", "sdl+4h", "sdl+7r"};
   // Families compared by score sequence only (tie ids may differ).
   std::vector<std::string> score_only_kinds = {"fa"};
   // Assert tuples_evaluated(dl) <= tuples_evaluated(dg) and

@@ -114,6 +114,11 @@ inline bool ResultOrderLess(const ScoredTuple& a, const ScoredTuple& b) {
 struct QueryStats {
   std::size_t tuples_evaluated = 0;
   std::size_t virtual_evaluated = 0;
+  // Shards whose per-shard index actually ran for this query (sharded
+  // families only; 0 for single-partition indexes). The scatter-gather
+  // coordinator's pruning effectiveness metric: nonempty_shards -
+  // shards_touched shards were skipped outright.
+  std::size_t shards_touched = 0;
   // Wall time of the Query call (seconds). Complements the paper's
   // tuples-evaluated metric in benchmark output; summed by Merge.
   double elapsed_seconds = 0.0;
@@ -121,6 +126,7 @@ struct QueryStats {
   void Merge(const QueryStats& other) {
     tuples_evaluated += other.tuples_evaluated;
     virtual_evaluated += other.virtual_evaluated;
+    shards_touched += other.shards_touched;
     elapsed_seconds += other.elapsed_seconds;
   }
 };

@@ -58,6 +58,39 @@ diff "$WORK/simd_items.txt" "$WORK/scalar_items.txt"
 "$CLI" check --input="$WORK/data.csv" --kind=dl --samples=8 | grep -q "OK"
 "$CLI" check --input="$WORK/d2.csv" --kind=dl+ | grep -q "OK"
 
+# Sharded index: build a manifest + per-shard snapshots, inspect the
+# partition, query through the scatter-gather path, and audit shards.
+SHARD_OUT="$("$CLI" build --input="$WORK/data.csv" --kind=dl+ --shards=4 \
+  --partitioner=hyperplane --out="$WORK/sharded.bin")"
+echo "$SHARD_OUT" | grep -q "built SDL+x4h over 2000 tuples"
+echo "$SHARD_OUT" | grep -q "saved manifest to"
+test -f "$WORK/sharded.bin.shard-0003"
+"$CLI" inspect --index="$WORK/sharded.bin" | grep -q "shard manifest v1"
+"$CLI" inspect --index="$WORK/sharded.bin" | grep -q "partitioner=hyperplane"
+"$CLI" inspect --index="$WORK/sharded.bin.shard-0000" \
+  | grep -q "kernel dispatch:"
+"$CLI" query --index="$WORK/sharded.bin" --weights=0.2,0.3,0.5 --k=5 \
+  | grep -qE "shards touched [1-4]/4"
+"$CLI" check --index="$WORK/sharded.bin" | grep -q "OK"
+# The sharded merge is bit-identical to the unsharded answer.
+"$CLI" query --index="$WORK/sharded.bin" --weights=0.2,0.3,0.5 --k=5 \
+  | grep "tuple " >"$WORK/sharded_items.txt"
+diff "$WORK/simd_items.txt" "$WORK/sharded_items.txt"
+# A manifest pointing at a missing shard file fails cleanly.
+mv "$WORK/sharded.bin.shard-0002" "$WORK/sharded.bin.shard-0002.gone"
+if "$CLI" query --index="$WORK/sharded.bin" --weights=0.2,0.3,0.5 --k=5 \
+    2>/dev/null; then
+  echo "expected failure for missing shard file" >&2
+  exit 1
+fi
+mv "$WORK/sharded.bin.shard-0002.gone" "$WORK/sharded.bin.shard-0002"
+# Sharded indexes are v2-only.
+if "$CLI" build --input="$WORK/data.csv" --kind=dl+ --shards=2 --format=v1 \
+    --out="$WORK/x.bin" 2>/dev/null; then
+  echo "expected failure for sharded v1 snapshot" >&2
+  exit 1
+fi
+
 # Error paths exit non-zero.
 if "$CLI" build --input="$WORK/data.csv" --kind=onion --out="$WORK/x.bin" 2>/dev/null; then
   echo "expected failure for non-serializable kind" >&2

@@ -15,6 +15,17 @@
 //   drli check    --index=index.bin
 //   drli check    --input=data.csv --kind=dl+ --samples=32
 //
+// Sharded serving (DESIGN.md §7): --shards=S at build time partitions
+// the relation and writes one snapshot per shard plus a manifest;
+// inspect/query/check detect manifest files automatically.
+//
+//   drli build    --input=data.csv --kind=dl+ --shards=16
+//                 --partitioner=hyperplane --shard-seed=42 --out=index.bin
+//   drli inspect  --index=index.bin         # manifest + per-shard table
+//   drli query    --index=index.bin --weights=0.3,0.3,0.4 --k=10
+//                 # prints "shards touched S_t/S" next to the timings
+//   drli check    --index=index.bin         # audits every shard
+//
 // `build`/`stats` operate on the serializable dual-resolution index;
 // `query` and `compare` accept any index kind (built on the fly from
 // CSV when --index is not given).
@@ -42,6 +53,8 @@
 #include "core/serialization.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "shard/shard_io.h"
+#include "shard/sharded_index.h"
 #include "testing/check_index.h"
 
 namespace drli {
@@ -160,6 +173,53 @@ int CmdBuild(const Flags& flags) {
   DualLayerOptions options;
   options.build_zero_layer = (kind == "dl+");
   options.zero_layer_clusters = GetSizeFlag(flags, "clusters", 0);
+
+  const std::size_t shards = GetSizeFlag(flags, "shards", 0);
+  const std::string format = GetFlag(flags, "format", "v2");
+  if (shards > 0) {
+    if (format == "v1") {
+      std::fprintf(stderr,
+                   "sharded indexes require the v2 snapshot format; "
+                   "drop --format=v1 or --shards\n");
+      return 2;
+    }
+    auto partitioner =
+        ParseShardPartitioner(GetFlag(flags, "partitioner", "hyperplane"));
+    if (!partitioner.ok()) {
+      std::fprintf(stderr, "%s\n", partitioner.status().ToString().c_str());
+      return 2;
+    }
+    ShardedBuildOptions sharded;
+    sharded.num_shards = shards;
+    sharded.partitioner = partitioner.value();
+    sharded.partition_seed = GetSizeFlag(flags, "shard-seed", 42);
+    sharded.shard_options = options;
+    const ShardedDualLayerIndex index =
+        ShardedDualLayerIndex::Build(dataset.value().points(), sharded);
+    const ShardedBuildStats& bs = index.build_stats();
+    std::printf("built %s over %zu tuples in %.2fs\n", index.name().c_str(),
+                index.size(), bs.total_seconds);
+    std::printf(
+        "shards: %zu (%s split, seed %llu), %zu..%zu tuples each\n",
+        index.num_shards(), ShardPartitionerName(index.partitioner()),
+        static_cast<unsigned long long>(index.partition_seed()),
+        bs.min_shard_points, bs.max_shard_points);
+    std::printf(
+        "build phases: partition=%.3fs shard_wall=%.3fs shard_cpu=%.3fs "
+        "(parallel speedup %.2fx)\n",
+        bs.partition_seconds, bs.build_wall_seconds, bs.build_cpu_seconds,
+        bs.build_wall_seconds > 0.0
+            ? bs.build_cpu_seconds / bs.build_wall_seconds
+            : 1.0);
+    if (const Status status = SaveShardedIndex(index, out); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved manifest to %s (+%zu shard snapshots)\n", out.c_str(),
+                index.num_shards());
+    return 0;
+  }
+
   Stopwatch timer;
   const DualLayerIndex index =
       DualLayerIndex::Build(dataset.value().points(), options);
@@ -178,7 +238,6 @@ int CmdBuild(const Flags& flags) {
   std::printf("coarse edges: pairs_pruned=%zu pairs_tested=%zu\n",
               bs.coarse_pairs_pruned, bs.coarse_pairs_tested);
   SnapshotSaveOptions save;
-  const std::string format = GetFlag(flags, "format", "v2");
   if (format == "v1") {
     save.format_version = snapshot::kVersionV1;
   } else if (format != "v2") {
@@ -194,6 +253,34 @@ int CmdBuild(const Flags& flags) {
   return 0;
 }
 
+// Shard-manifest metadata: the partition summary and a per-shard table.
+// Validates the manifest checksum but does not open the shard files;
+// run `drli inspect` on an individual .shard-NNNN file (a standard v2
+// snapshot) to audit its sections.
+int InspectManifest(const std::string& path) {
+  const auto inspected = InspectShardManifest(path);
+  if (!inspected.ok()) {
+    std::fprintf(stderr, "%s\n", inspected.status().ToString().c_str());
+    return 1;
+  }
+  const ShardManifestInfo& info = inspected.value();
+  std::printf("%s: shard manifest v%u (%s)\n", path.c_str(), info.version,
+              info.name.c_str());
+  std::printf(
+      "n=%llu d=%zu shards=%llu partitioner=%s seed=%llu\n",
+      static_cast<unsigned long long>(info.total_points), info.dim,
+      static_cast<unsigned long long>(info.num_shards),
+      ShardPartitionerName(info.partitioner),
+      static_cast<unsigned long long>(info.partition_seed));
+  std::printf("%-8s %10s  %s\n", "shard", "tuples", "file");
+  for (std::size_t s = 0; s < info.shards.size(); ++s) {
+    std::printf("%-8zu %10llu  %s\n", s,
+                static_cast<unsigned long long>(info.shards[s].num_points),
+                info.shards[s].file.c_str());
+  }
+  return 0;
+}
+
 // Snapshot metadata without constructing the index: format version,
 // shape, and (for v2) the section table with recomputed CRCs.
 int CmdInspect(const Flags& flags) {
@@ -202,6 +289,7 @@ int CmdInspect(const Flags& flags) {
     std::fprintf(stderr, "--index=<file> is required\n");
     return 2;
   }
+  if (IsShardManifest(path)) return InspectManifest(path);
   const auto inspected = InspectSnapshot(path);
   if (!inspected.ok()) {
     std::fprintf(stderr, "%s\n", inspected.status().ToString().c_str());
@@ -248,6 +336,7 @@ int CmdStats(const Flags& flags) {
     std::fprintf(stderr, "--index=<file> is required\n");
     return 2;
   }
+  if (IsShardManifest(path)) return InspectManifest(path);
   auto index = LoadDualLayerIndex(path);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
@@ -298,9 +387,19 @@ int CmdQuery(const Flags& flags) {
 
   std::unique_ptr<TopKIndex> owned;
   std::optional<DualLayerIndex> loaded_dl;
+  std::optional<ShardedDualLayerIndex> loaded_sharded;
   const TopKIndex* index = nullptr;
   std::size_t dim = 0;
-  if (!index_path.empty()) {
+  if (!index_path.empty() && IsShardManifest(index_path)) {
+    auto loaded = LoadShardedIndex(index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    loaded_sharded.emplace(std::move(loaded).value());
+    index = &*loaded_sharded;
+    dim = loaded_sharded->dim();
+  } else if (!index_path.empty()) {
     auto loaded = LoadDualLayerIndex(index_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -356,6 +455,12 @@ int CmdQuery(const Flags& flags) {
   std::printf("%s top-%zu (%.3f ms, %zu tuples evaluated, kernel=%s):\n",
               index->name().c_str(), k, ms, result.stats.tuples_evaluated,
               SimdTargetName(ActiveSimdTarget()));
+  if (loaded_sharded.has_value()) {
+    std::printf("shards touched %zu/%zu\n", result.stats.shards_touched,
+                loaded_sharded->num_shards());
+  } else if (result.stats.shards_touched > 0) {
+    std::printf("shards touched %zu\n", result.stats.shards_touched);
+  }
   for (std::size_t r = 0; r < result.items.size(); ++r) {
     std::printf("  %2zu. tuple %-8u score %.6f%s\n", r + 1,
                 result.items[r].id, result.items[r].score,
@@ -476,6 +581,36 @@ int CmdSweep(const Flags& flags) {
 int CmdCheck(const Flags& flags) {
   std::optional<DualLayerIndex> index;
   const std::string index_path = GetFlag(flags, "index");
+  if (!index_path.empty() && IsShardManifest(index_path)) {
+    // Sharded index: every shard is a full dual-resolution index, so
+    // the audit runs per shard (the merge layer itself is covered by
+    // the differential suite, not structural invariants).
+    auto loaded = LoadShardedIndex(index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    const ShardedDualLayerIndex& sharded = loaded.value();
+    CheckOptions options;
+    options.weight_samples = GetSizeFlag(flags, "samples", 16);
+    options.seed = GetSizeFlag(flags, "seed", 12345);
+    std::size_t invariants = 0;
+    bool ok = true;
+    for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+      const CheckReport report = CheckIndex(sharded.shard(s), options);
+      invariants += report.invariants_checked;
+      if (!report.ok()) {
+        ok = false;
+        std::fprintf(stderr, "shard %zu:\n%s", s, report.ToString().c_str());
+      }
+    }
+    std::printf("%s: n=%zu, %zu shards, %zu invariants checked\n",
+                sharded.name().c_str(), sharded.size(), sharded.num_shards(),
+                invariants);
+    if (!ok) return 1;
+    std::printf("OK\n");
+    return 0;
+  }
   if (!index_path.empty()) {
     auto loaded = LoadDualLayerIndex(index_path);
     if (!loaded.ok()) {
