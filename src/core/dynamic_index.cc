@@ -1,211 +1,66 @@
 #include "core/dynamic_index.h"
 
 #include <algorithm>
-
-#include "common/check.h"
-#include "common/stopwatch.h"
+#include <limits>
+#include <utility>
 
 namespace drli {
 
+TieredIndexOptions DynamicDualLayerIndex::EngineOptions(
+    const DynamicIndexOptions& options) {
+  TieredIndexOptions engine;
+  engine.run = options.base;
+  if (options.policy == MaintenancePolicy::kFlatRebuild) {
+    // The flat policy never seals or merges on its own: the wrapper's
+    // MaybeRebuild decides when to collapse everything via Compact().
+    engine.memtable_capacity = std::numeric_limits<std::size_t>::max();
+    engine.auto_compact = false;
+    engine.tombstone_compact_fraction = 0.0;
+  } else {
+    engine.memtable_capacity = options.memtable_capacity;
+    engine.fanout = options.fanout;
+    engine.auto_compact = options.auto_compact;
+  }
+  return engine;
+}
+
 DynamicDualLayerIndex::DynamicDualLayerIndex(
     std::size_t dim, const DynamicIndexOptions& options)
-    : DynamicDualLayerIndex(PointSet(dim), options) {}
+    : options_(options), engine_(dim, EngineOptions(options)) {}
 
 DynamicDualLayerIndex::DynamicDualLayerIndex(
     PointSet initial, const DynamicIndexOptions& options)
-    : dim_(initial.dim()),
-      options_(options),
-      base_(DualLayerIndex::Build(initial, options.base)),
-      delta_(initial.dim()) {
-  const std::size_t n = base_.size();
-  base_ids_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    base_ids_[i] = next_id_;
-    base_position_.emplace(next_id_, static_cast<TupleId>(i));
-    ++next_id_;
-  }
-}
-
-std::size_t DynamicDualLayerIndex::size() const {
-  return base_.size() - tombstones_.size() + delta_.size();
-}
-
-bool DynamicDualLayerIndex::Contains(TupleId id) const {
-  if (tombstones_.count(id)) return false;
-  if (base_position_.count(id)) return true;
-  return std::find(delta_ids_.begin(), delta_ids_.end(), id) !=
-         delta_ids_.end();
-}
-
-PointView DynamicDualLayerIndex::Get(TupleId id) const {
-  DRLI_CHECK(!tombstones_.count(id)) << "tuple " << id << " deleted";
-  const auto it = base_position_.find(id);
-  if (it != base_position_.end()) return base_.points()[it->second];
-  const auto pos = std::find(delta_ids_.begin(), delta_ids_.end(), id);
-  DRLI_CHECK(pos != delta_ids_.end()) << "unknown tuple " << id;
-  return delta_[static_cast<std::size_t>(pos - delta_ids_.begin())];
-}
+    : options_(options), engine_(std::move(initial), EngineOptions(options)) {}
 
 TupleId DynamicDualLayerIndex::Insert(PointView tuple) {
-  DRLI_CHECK_EQ(tuple.size(), dim_);
-  const TupleId id = next_id_++;
-  delta_ids_.push_back(id);
-  delta_.Add(tuple);
+  const TupleId id = engine_.Insert(tuple);
   MaybeRebuild();
   return id;
 }
 
 bool DynamicDualLayerIndex::Erase(TupleId id) {
-  if (tombstones_.count(id)) return false;
-  if (base_position_.count(id)) {
-    tombstones_.insert(id);
-    MaybeRebuild();
-    return true;
-  }
-  const auto pos_it = std::find(delta_ids_.begin(), delta_ids_.end(), id);
-  if (pos_it == delta_ids_.end()) return false;
-  // Swap-remove from the delta buffer.
-  const std::size_t pos =
-      static_cast<std::size_t>(pos_it - delta_ids_.begin());
-  const std::size_t last = delta_.size() - 1;
-  if (pos != last) {
-    const Point moved = delta_.Materialize(last);
-    for (std::size_t j = 0; j < dim_; ++j) delta_.Set(pos, j, moved[j]);
-    delta_ids_[pos] = delta_ids_[last];
-  }
-  delta_ids_.pop_back();
-  // PointSet has no pop; rebuild the buffer without the last row.
-  PointSet rebuilt(dim_);
-  rebuilt.Reserve(last);
-  for (std::size_t i = 0; i < last; ++i) rebuilt.Add(delta_[i]);
-  delta_ = std::move(rebuilt);
-  return true;
+  const bool erased = engine_.Erase(id);
+  if (erased) MaybeRebuild();
+  return erased;
 }
 
-void DynamicDualLayerIndex::Compact() {
-  PointSet live(dim_);
-  live.Reserve(size());
-  std::vector<TupleId> live_ids;
-  live_ids.reserve(size());
-  for (std::size_t i = 0; i < base_.size(); ++i) {
-    const TupleId id = base_ids_[i];
-    if (tombstones_.count(id)) continue;
-    live.Add(base_.points()[i]);
-    live_ids.push_back(id);
-  }
-  for (std::size_t i = 0; i < delta_.size(); ++i) {
-    live.Add(delta_[i]);
-    live_ids.push_back(delta_ids_[i]);
-  }
-  // Query's merged sort relies on base position order matching stable-id
-  // order to break exact score ties canonically, and the swap-remove in
-  // Erase permutes delta_ids_; restore ascending ids before rebuilding.
-  std::vector<TupleId> order(live_ids.size());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<TupleId>(i);
-  }
-  std::sort(order.begin(), order.end(), [&](TupleId a, TupleId b) {
-    return live_ids[a] < live_ids[b];
-  });
-  PointSet sorted_live(dim_);
-  sorted_live.Reserve(live.size());
-  std::vector<TupleId> sorted_ids;
-  sorted_ids.reserve(live_ids.size());
-  for (TupleId pos : order) {
-    sorted_live.Add(live[pos]);
-    sorted_ids.push_back(live_ids[pos]);
-  }
-
-  base_ = DualLayerIndex::Build(std::move(sorted_live), options_.base);
-  base_ids_ = std::move(sorted_ids);
-  base_position_.clear();
-  for (std::size_t i = 0; i < base_ids_.size(); ++i) {
-    base_position_.emplace(base_ids_[i], static_cast<TupleId>(i));
-  }
-  delta_ = PointSet(dim_);
-  delta_ids_.clear();
-  tombstones_.clear();
-  ++rebuilds_;
+std::size_t DynamicDualLayerIndex::rebuild_count() const {
+  return options_.policy == MaintenancePolicy::kFlatRebuild
+             ? engine_.compaction_count()
+             : engine_.seal_count() + engine_.compaction_count();
 }
 
 void DynamicDualLayerIndex::MaybeRebuild() {
-  const double base_n = static_cast<double>(base_.size());
+  if (options_.policy != MaintenancePolicy::kFlatRebuild) return;
+  const double base_n = static_cast<double>(engine_.indexed_rows());
   const double delta_cap =
       std::max(64.0, options_.rebuild_delta_fraction * base_n);
   const double tombstone_cap =
       std::max(64.0, options_.rebuild_tombstone_fraction * base_n);
-  if (static_cast<double>(delta_.size()) > delta_cap ||
-      static_cast<double>(tombstones_.size()) > tombstone_cap) {
-    Compact();
+  if (static_cast<double>(engine_.memtable_size()) > delta_cap ||
+      static_cast<double>(engine_.tombstone_count()) > tombstone_cap) {
+    engine_.Compact();
   }
-}
-
-TopKResult DynamicDualLayerIndex::Query(const TopKQuery& query) const {
-  Stopwatch timer;
-  if (const Status status = ValidateQuery(query, dim_); !status.ok()) {
-    return InvalidQueryResult(status);
-  }
-  TopKResult result;
-  if (query.k == 0) {
-    FinalizeComplete(result);
-    result.stats.elapsed_seconds = timer.ElapsedSeconds();
-    return result;
-  }
-
-  // Base index: over-fetch to survive tombstone filtering. The budget
-  // travels inside the query, so the base traversal enforces it and
-  // reports its own termination + frontier.
-  Termination stop = Termination::kComplete;
-  double frontier = std::numeric_limits<double>::infinity();
-  std::vector<ScoredTuple> candidates;
-  if (base_.size() > 0) {
-    TopKQuery base_query = query;
-    base_query.k = std::min(base_.size(), query.k + tombstones_.size());
-    const TopKResult base_result = base_.Query(base_query);
-    result.stats.Merge(base_result.stats);
-    stop = base_result.termination;
-    frontier = base_result.frontier_bound;
-    for (const ScoredTuple& item : base_result.items) {
-      const TupleId stable = base_ids_[item.id];
-      if (tombstones_.count(stable)) continue;
-      candidates.push_back(ScoredTuple{stable, item.score});
-    }
-    for (TupleId pos : base_result.accessed) {
-      result.accessed.push_back(base_ids_[pos]);
-    }
-  }
-  // Delta buffer: always a full scan, even when the base traversal was
-  // cut short -- the buffer is bounded by the rebuild threshold, so
-  // this is amortized-constant overshoot, and covering it completely
-  // lets a partial result certify against the base frontier alone
-  // (unsorted unscanned delta rows would otherwise force a -inf
-  // frontier and certify nothing).
-  for (std::size_t i = 0; i < delta_.size(); ++i) {
-    candidates.push_back(
-        ScoredTuple{delta_ids_[i], Score(query.weights, delta_[i])});
-    ++result.stats.tuples_evaluated;
-    result.accessed.push_back(delta_ids_[i]);
-  }
-
-  // Base results carry base positions whose order matches stable-id
-  // order (base_ids_ is ascending), so one canonical sort over the
-  // merged candidate set yields the exact (score, id) top-k.
-  std::sort(candidates.begin(), candidates.end(), ResultOrderLess);
-  if (candidates.size() > query.k) candidates.resize(query.k);
-  result.items = std::move(candidates);
-  if (stop == Termination::kComplete) {
-    FinalizeComplete(result);
-  } else {
-    // Unreturned live tuples are base tuples the cut-short traversal
-    // bounded by its frontier (tombstone filtering only removes
-    // candidates, and candidates cut at k rank canonically beyond the
-    // k-th item, which the strict-< certification rule already
-    // excludes).
-    FinalizePartial(result, stop, frontier);
-  }
-  // This call's own wall time, not the sum of merged sub-query timings.
-  result.stats.elapsed_seconds = timer.ElapsedSeconds();
-  return result;
 }
 
 }  // namespace drli

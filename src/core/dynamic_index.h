@@ -1,41 +1,56 @@
 // Dynamic maintenance around the (static, pre-materialized)
 // dual-resolution index. The paper builds DL offline; real deployments
-// also need inserts and deletes without a full rebuild. This wrapper
-// uses the classic differential design:
+// also need inserts and deletes without a full rebuild.
 //
-//  * inserts land in an unindexed delta buffer, scanned at query time
-//    and merged into the answer (cost += |delta|);
-//  * deletes become tombstones; the static index is queried for
-//    k + |tombstones| answers and tombstoned tuples are filtered out;
-//  * when either side exceeds its rebuild threshold the base index is
-//    reconstructed over the live tuples.
+// DynamicDualLayerIndex is a thin policy wrapper over the tiered
+// engine in core/tiered_index.h. Two maintenance policies:
 //
-// Answers are therefore always exact w.r.t. the current logical
-// relation, and between rebuilds the paper's access-cost advantage is
-// preserved up to the delta overhead (reported separately in
-// QueryStats via the usual counters).
+//  * kTiered (default): LSM-style. Inserts land in a memtable that
+//    seals into small immutable DL+ runs; deletes become tombstones;
+//    background compaction merges tiers incrementally, so no mutation
+//    ever pays a stop-the-world rebuild of the whole relation.
+//  * kFlatRebuild: the legacy differential design. One base run plus
+//    an unindexed delta buffer; when either the buffer or the
+//    tombstone set exceeds its threshold fraction of the base, the
+//    whole index is rebuilt over the live tuples (blocking).
+//
+// Answers are always exact w.r.t. the current logical relation under
+// either policy; they differ only in maintenance cost distribution
+// (amortized increments vs. rare stop-the-world spikes).
 
 #ifndef DRLI_CORE_DYNAMIC_INDEX_H_
 #define DRLI_CORE_DYNAMIC_INDEX_H_
 
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
 #include "common/point.h"
-#include "core/dual_layer.h"
+#include "core/tiered_index.h"
 #include "topk/query.h"
 
 namespace drli {
 
+enum class MaintenancePolicy : std::uint8_t {
+  kTiered = 0,    // LSM-style incremental compaction (default)
+  kFlatRebuild,   // base + delta with stop-the-world rebuilds
+};
+
 struct DynamicIndexOptions {
+  // Build options for the base index (kFlatRebuild) or every run
+  // (kTiered).
   DualLayerOptions base;
+  MaintenancePolicy policy = MaintenancePolicy::kTiered;
+
+  // --- kFlatRebuild thresholds ---
   // Rebuild when |delta buffer| exceeds this fraction of the base size
   // (minimum 64 tuples).
   double rebuild_delta_fraction = 0.1;
   // Rebuild when tombstones exceed this fraction of the base size.
   double rebuild_tombstone_fraction = 0.1;
+
+  // --- kTiered knobs (see TieredIndexOptions) ---
+  std::size_t memtable_capacity = 128;
+  std::size_t fanout = 4;
+  bool auto_compact = true;
 };
 
 // A top-k index over a mutable relation. Tuples are addressed by
@@ -49,46 +64,41 @@ class DynamicDualLayerIndex final : public TopKIndex {
 
   std::string name() const override { return "DL+dyn"; }
   // Number of live tuples.
-  std::size_t size() const override;
-  TopKResult Query(const TopKQuery& query) const override;
+  std::size_t size() const override { return engine_.size(); }
+  TopKResult Query(const TopKQuery& query) const override {
+    return engine_.Query(query);
+  }
 
   // Adds a tuple; returns its stable id.
   TupleId Insert(PointView tuple);
   // Removes a tuple by stable id; false if unknown or already deleted.
   bool Erase(TupleId id);
   // True iff the id refers to a live tuple.
-  bool Contains(TupleId id) const;
+  bool Contains(TupleId id) const { return engine_.Contains(id); }
   // The live tuple's attributes (CHECKs Contains).
-  PointView Get(TupleId id) const;
+  PointView Get(TupleId id) const { return engine_.Get(id); }
 
-  // Forces the differential state into the base index now.
-  void Compact();
+  // Forces the differential state into one fully merged base index now
+  // (no memtable, no tombstones, at most one run).
+  void Compact() { engine_.Compact(); }
 
   // Introspection for tests.
-  std::size_t delta_size() const { return delta_.size(); }
-  std::size_t tombstone_count() const { return tombstones_.size(); }
-  std::size_t rebuild_count() const { return rebuilds_; }
+  std::size_t delta_size() const { return engine_.memtable_size(); }
+  std::size_t tombstone_count() const { return engine_.tombstone_count(); }
+  // Structural maintenance events: seals + compactions (kTiered), or
+  // full rebuilds (kFlatRebuild, where every rebuild is one
+  // seal+merge pair and this counts the merges).
+  std::size_t rebuild_count() const;
+  MaintenancePolicy policy() const { return options_.policy; }
+  // The underlying tiered engine (run table, generation, ...).
+  const TieredDualLayerIndex& engine() const { return engine_; }
 
  private:
+  static TieredIndexOptions EngineOptions(const DynamicIndexOptions& options);
   void MaybeRebuild();
 
-  std::size_t dim_;
   DynamicIndexOptions options_;
-
-  // Base (static) index over base_points_; base_ids_[i] = stable id of
-  // base tuple i.
-  DualLayerIndex base_;
-  std::vector<TupleId> base_ids_;
-  // Stable id -> position in base (kInvalidTupleId when in delta).
-  std::unordered_map<TupleId, TupleId> base_position_;
-
-  // Delta buffer: stable id -> attributes.
-  std::vector<TupleId> delta_ids_;
-  PointSet delta_;
-
-  std::unordered_set<TupleId> tombstones_;  // stable ids
-  TupleId next_id_ = 0;
-  std::size_t rebuilds_ = 0;
+  TieredDualLayerIndex engine_;
 };
 
 }  // namespace drli

@@ -9,6 +9,7 @@
 #include "baselines/partitioned_layer.h"
 #include "baselines/view_index.h"
 #include "core/dual_layer.h"
+#include "core/tiered_index.h"
 #include "shard/sharded_index.h"
 #include "topk/scan.h"
 
@@ -26,7 +27,7 @@ std::string Lowered(std::string s) {
 
 std::vector<std::string> KnownIndexKinds() {
   return {"scan", "fa",  "ta",  "nra", "prefer", "lpta", "onion", "pli",
-          "dg",   "dg+", "hl",  "hl+", "dl",     "dl+",  "sdl+"};
+          "dg",   "dg+", "hl",  "hl+", "dl",     "dl+",  "sdl+",  "tdl+"};
 }
 
 StatusOr<std::unique_ptr<TopKIndex>> BuildIndex(const IndexBuildConfig& config,
@@ -123,6 +124,33 @@ StatusOr<std::unique_ptr<TopKIndex>> BuildIndex(const IndexBuildConfig& config,
     options.shard_options.zero_layer_clusters = config.zero_layer_clusters;
     return std::unique_ptr<TopKIndex>(std::make_unique<ShardedDualLayerIndex>(
         ShardedDualLayerIndex::Build(std::move(points), options)));
+  }
+  if (kind.rfind("tdl+", 0) == 0) {
+    TieredIndexOptions options;
+    options.run.skyline_algorithm = config.skyline_algorithm;
+    options.run.build_zero_layer = true;
+    options.run.zero_layer_clusters = config.zero_layer_clusters;
+    options.memtable_capacity = config.tiered_memtable_capacity;
+    // Optional inline spec: "tdl+<M>" = memtable capacity M.
+    const std::string spec = kind.substr(4);
+    if (!spec.empty()) {
+      if (spec.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::InvalidArgument("bad tiered kind spec: " + config.kind);
+      }
+      const unsigned long parsed = std::stoul(spec);
+      if (parsed == 0 || parsed > 1u << 20) {
+        return Status::InvalidArgument("memtable capacity out of range in: " +
+                                       config.kind);
+      }
+      options.memtable_capacity = parsed;
+    }
+    // Feed the relation through the mutation path (instead of the bulk
+    // constructor) so the built index genuinely spans multiple runs
+    // with live compaction state -- the configuration the differential
+    // oracle exists to cross-check against the static families.
+    auto index = std::make_unique<TieredDualLayerIndex>(points.dim(), options);
+    for (std::size_t i = 0; i < points.size(); ++i) index->Insert(points[i]);
+    return std::unique_ptr<TopKIndex>(std::move(index));
   }
   return Status::InvalidArgument("unknown index kind: " + config.kind);
 }

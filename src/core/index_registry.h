@@ -18,10 +18,13 @@ namespace drli {
 
 struct IndexBuildConfig {
   // One of: scan, fa, ta, nra, prefer, lpta, onion, pli, dg, dg+,
-  // hl, hl+, dl, dl+, sdl+ (case-insensitive). The sharded kind also
-  // accepts an inline spec "sdl+<S>[r|h]" -- shard count plus an
+  // hl, hl+, dl, dl+, sdl+, tdl+ (case-insensitive). The sharded kind
+  // also accepts an inline spec "sdl+<S>[r|h]" -- shard count plus an
   // optional partitioner letter (random / hyperplane) -- e.g. "sdl+4h";
-  // the suffix overrides num_shards / shard_partitioner below.
+  // the suffix overrides num_shards / shard_partitioner below. The
+  // tiered dynamic kind accepts "tdl+<M>" -- the memtable capacity,
+  // overriding tiered_memtable_capacity -- e.g. "tdl+7" seals a run
+  // every 7 inserts.
   std::string kind = "dl+";
   SkylineAlgorithm skyline_algorithm = SkylineAlgorithm::kSkyTree;
   // Convex-layer cap for onion/hl/hl+ (k must stay below it).
@@ -33,6 +36,10 @@ struct IndexBuildConfig {
   std::size_t num_shards = 4;
   std::string shard_partitioner = "hyperplane";
   std::uint64_t shard_seed = 42;
+  // Tiered dynamic kind ("tdl+"): rows buffered before a seal. The
+  // relation is fed through Insert at build time, so n / capacity
+  // seals (minus compactions) shape the run table.
+  std::size_t tiered_memtable_capacity = 32;
 };
 
 // All kinds accepted by BuildIndex.

@@ -1,0 +1,221 @@
+// LSM-style dynamic maintenance for the dual-resolution index (see
+// DESIGN.md, "Tiered dynamic maintenance").
+//
+// The relation is the union of
+//  * a mutable memtable (unindexed rows, scanned at query time),
+//  * a set of immutable runs, each a small DualLayerIndex built when
+//    the memtable sealed or when a compaction merged older runs,
+//  * a tombstone set masking deleted stable ids that still sit inside
+//    a run (memtable deletes are applied in place).
+//
+// Stable ids are assigned by Insert in increasing order and never
+// reused, so at any time the runs hold pairwise disjoint, ascending id
+// ranges: sealing takes the newest contiguous batch, and compaction
+// only ever merges *all* runs of one tier (or all runs), which keeps
+// every run an interval. Merging is therefore concatenation in
+// run order and the per-run id lists stay sorted -- the property the
+// query path leans on for canonical (score, id) tie-breaking.
+//
+// Queries run the same scatter-gather merge as the sharded coordinator
+// (shard/sharded_index.cc): one min-heap seeded with a per-run lower
+// bound (componentwise-min corners over the run's skyline, grouped to
+// at most kMaxBoundPointsPerRun corners) plus a cursor over the fully
+// scanned memtable. A run is opened -- its DualLayerIndex queried for
+// min(|run|, k + dead(run)) items, tombstones filtered on merge --
+// only when the merge frontier reaches its bound, so cold runs stay
+// closed exactly like cold shards. Budgets compose by remainder and
+// partial results certify against the surviving heap keys.
+//
+// Compaction is incremental: CompactStep() advances a single job by a
+// bounded amount (copy <= compact_rows_per_step live rows, then one
+// build step, then an O(#runs) install), so queries interleaved
+// between steps always see the pre-merge generation. Tombstones whose
+// run was consumed by the merge are dropped at install; ids erased
+// *after* their row was copied stay tombstoned in the new run (no
+// resurrection).
+
+#ifndef DRLI_CORE_TIERED_INDEX_H_
+#define DRLI_CORE_TIERED_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/point.h"
+#include "core/dual_layer.h"
+#include "topk/query.h"
+
+namespace drli {
+
+struct TieredIndexOptions {
+  TieredIndexOptions() { run.build_zero_layer = true; }
+
+  // Build options for every run (sealed memtables and merge outputs).
+  // Defaults to DL+ runs -- the zero layer is cheap at run sizes.
+  DualLayerOptions run;
+  // Seal the memtable into a tier-0 run once it reaches this many rows.
+  std::size_t memtable_capacity = 128;
+  // Merge a tier once it accumulates this many runs (size-tiered).
+  std::size_t fanout = 4;
+  // Drive one CompactStep() after every mutation. Off, runs accumulate
+  // until the caller pumps CompactStep()/Compact() explicitly.
+  bool auto_compact = true;
+  // Live rows copied per merge step (the unit of compaction progress).
+  std::size_t compact_rows_per_step = 4096;
+  // Merge all runs (dropping every consumed tombstone) once tombstones
+  // exceed max(64, this fraction of indexed rows). 0 disables.
+  double tombstone_compact_fraction = 0.5;
+  // Display name; empty = "DL+lsm".
+  std::string name;
+};
+
+// What one CompactStep() call did.
+enum class CompactProgress : std::uint8_t {
+  kIdle = 0,    // nothing to compact
+  kMerging,     // copied a bounded batch of live rows
+  kBuilding,    // built the merged run's DualLayerIndex
+  kInstalled,   // swapped the new run in (generation advanced)
+};
+
+// One immutable run: a DualLayerIndex over a contiguous batch of
+// stable ids. `ids` maps run-local tuple positions to stable ids and
+// is strictly ascending; `dead` counts members currently tombstoned.
+struct TieredRun {
+  std::uint32_t uid = 0;   // unique within the index, monotone
+  std::uint32_t tier = 0;  // 0 = sealed memtable, +1 per merge
+  DualLayerIndex index;
+  std::vector<TupleId> ids;
+  std::size_t dead = 0;
+  // Grouped skyline corners backing the run's query-time lower bound
+  // (see ComputeRunBound); `bound_corners` corners of dim() doubles.
+  std::vector<double> bound_values;
+};
+
+class TieredDualLayerIndex final : public TopKIndex {
+ public:
+  // Corner cap per run bound, matching the sharded coordinator's.
+  static constexpr std::size_t kMaxBoundPointsPerRun = 64;
+
+  explicit TieredDualLayerIndex(std::size_t dim,
+                                const TieredIndexOptions& options = {});
+  // Bulk start: `initial` becomes one run holding ids [0, n).
+  TieredDualLayerIndex(PointSet initial,
+                       const TieredIndexOptions& options = {});
+
+  TieredDualLayerIndex(TieredDualLayerIndex&&) = default;
+  TieredDualLayerIndex& operator=(TieredDualLayerIndex&&) = default;
+
+  std::string name() const override;
+  // Number of live tuples.
+  std::size_t size() const override;
+  TopKResult Query(const TopKQuery& query) const override;
+
+  // Adds a tuple; returns its stable id (never reused). May seal the
+  // memtable and, with auto_compact, advance compaction by one step.
+  TupleId Insert(PointView tuple);
+  // Removes a tuple by stable id; false if unknown or already deleted.
+  bool Erase(TupleId id);
+  // True iff the id refers to a live tuple.
+  bool Contains(TupleId id) const;
+  // The live tuple's attributes (CHECKs Contains).
+  PointView Get(TupleId id) const;
+
+  // Builds the current memtable into a tier-0 run (no-op when empty).
+  void SealMemtable();
+  // Advances the active compaction job by one bounded increment,
+  // scheduling a job first if the tier policy wants one. Queries
+  // issued between steps see the pre-merge runs until kInstalled.
+  CompactProgress CompactStep();
+  // Pumps CompactStep under `budget` until the index is fully merged
+  // into at most one run with no tombstones, or the budget trips.
+  // Returns kComplete on full compaction, else the tripped reason.
+  Termination Compact(const ExecBudget& budget);
+  // Blocking full compaction (seals, merges everything, drops all
+  // tombstones) -- the legacy DynamicDualLayerIndex::Compact contract.
+  void Compact();
+
+  // --- introspection (tests, persistence, inspect) ---
+  std::size_t dim() const { return dim_; }
+  const TieredIndexOptions& options() const { return options_; }
+  std::size_t memtable_size() const { return memtable_ids_.size(); }
+  std::size_t num_runs() const { return runs_.size(); }
+  const TieredRun& run(std::size_t i) const { return runs_[i]; }
+  // Rows held by runs, tombstoned members included.
+  std::size_t indexed_rows() const;
+  std::size_t tombstone_count() const { return tombstones_.size(); }
+  std::size_t seal_count() const { return seals_; }
+  std::size_t compaction_count() const { return compactions_; }
+  // Advances on every installed structural change (seal / merge).
+  std::uint64_t generation() const { return generation_; }
+  TupleId next_id() const { return next_id_; }
+  std::uint32_t next_run_uid() const { return next_run_uid_; }
+  bool compaction_active() const { return job_.has_value(); }
+  // The uid of the run holding `id`; nullopt for memtable-resident,
+  // dead, or unknown ids. Exposed for tests asserting id placement
+  // across compactions.
+  std::optional<std::uint32_t> run_uid_of(TupleId id) const;
+
+  // Memtable contents, ids ascending (persistence).
+  const PointSet& memtable() const { return memtable_; }
+  const std::vector<TupleId>& memtable_ids() const { return memtable_ids_; }
+  const std::unordered_set<TupleId>& tombstones() const {
+    return tombstones_;
+  }
+
+ private:
+  friend class TieredIndexIO;  // storage/tiered_io.cc
+
+  struct CompactionJob {
+    std::vector<std::uint32_t> input_uids;
+    std::uint32_t target_tier = 0;
+    PointSet rows;  // live rows accumulated so far, id order
+    std::vector<TupleId> row_ids;
+    std::vector<TupleId> dropped;  // tombstoned ids consumed (skipped)
+    std::size_t input_pos = 0;     // index into input_uids
+    std::size_t local_pos = 0;     // next row of the current input
+    bool merge_done = false;
+    std::optional<DualLayerIndex> built;
+
+    explicit CompactionJob(std::size_t dim) : rows(dim) {}
+  };
+
+  // Appends a run over `rows` (ids ascending) and bumps the
+  // generation; drops empty row sets.
+  void InstallRun(PointSet rows, std::vector<TupleId> ids,
+                  std::uint32_t tier);
+  void ComputeRunBound(TieredRun* run) const;
+  double RunLowerBound(const TieredRun& run, PointView weights) const;
+  // Picks the next merge job per the size-tiered policy; false = none.
+  bool ScheduleCompaction();
+  // Queues a merge of every run (full compaction driver).
+  void ScheduleFullCompaction();
+  void MaybeMaintain();
+  // Index into runs_ holding `id`, or npos. Runs hold disjoint id
+  // intervals, so a range check per run suffices before the binary
+  // search inside it.
+  std::size_t RunSlotOf(TupleId id) const;
+  std::size_t MemtablePosOf(TupleId id) const;
+  std::size_t SlotOfUid(std::uint32_t uid) const;
+
+  std::size_t dim_;
+  TieredIndexOptions options_;
+
+  PointSet memtable_;
+  std::vector<TupleId> memtable_ids_;  // ascending
+  std::vector<TieredRun> runs_;        // ascending min-id order
+  std::unordered_set<TupleId> tombstones_;  // masked run members
+
+  std::optional<CompactionJob> job_;
+
+  TupleId next_id_ = 0;
+  std::uint32_t next_run_uid_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t seals_ = 0;
+  std::size_t compactions_ = 0;
+};
+
+}  // namespace drli
+
+#endif  // DRLI_CORE_TIERED_INDEX_H_

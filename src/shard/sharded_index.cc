@@ -42,29 +42,6 @@ struct MergeEntryAfter {
   }
 };
 
-// Computes the budget left for the next shard query, or the reason the
-// coordinator must stop before opening it. Mirrors BudgetGate semantics
-// one level up: max_evals meters the cumulative per-shard traversal
-// cost, deadlines are measured from the coordinator's own start.
-Termination RemainingBudget(const ExecBudget& budget, std::size_t evaluated,
-                            const Stopwatch& timer, ExecBudget* sub) {
-  *sub = ExecBudget{};
-  sub->cancel = budget.cancel;
-  if (budget.max_evals != 0) {
-    if (evaluated >= budget.max_evals) return Termination::kStepBudget;
-    sub->max_evals = budget.max_evals - evaluated;
-  }
-  if (budget.deadline_seconds > 0.0) {
-    const double left = budget.deadline_seconds - timer.ElapsedSeconds();
-    if (left <= 0.0) return Termination::kDeadline;
-    sub->deadline_seconds = left;
-  }
-  if (budget.cancel != nullptr && budget.cancel->cancelled()) {
-    return Termination::kCancelled;
-  }
-  return Termination::kComplete;
-}
-
 }  // namespace
 
 const char* ShardPartitionerName(ShardPartitioner partitioner) {

@@ -34,11 +34,14 @@ struct DifferentialOptions {
   // are the sharded scatter-gather family at shard counts that cover
   // the degenerate (S=1), even-split, both-partitioner, and
   // n-not-divisible-by-S cases; all must merge to the bit-identical
-  // unsharded answer.
+  // unsharded answer. The tdl+ entries are the tiered dynamic family
+  // (relation fed through Insert, so the run table is live): a tiny
+  // memtable forcing many runs and compactions, and a capacity that
+  // leaves a partially filled memtable plus runs straddling ties.
   std::vector<std::string> exact_kinds = {
       "scan", "onion",  "pli",    "ta", "nra",  "prefer", "lpta",
       "dg",   "dg+",    "hl",     "hl+", "dl",  "dl+",    "sdl+1",
-      "sdl+2r", "sdl+4h", "sdl+7r"};
+      "sdl+2r", "sdl+4h", "sdl+7r", "tdl+7", "tdl+32"};
   // Families compared by score sequence only (tie ids may differ).
   std::vector<std::string> score_only_kinds = {"fa"};
   // Assert tuples_evaluated(dl) <= tuples_evaluated(dg) and

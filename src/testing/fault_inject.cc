@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -12,6 +13,8 @@
 #include "common/crc32c.h"
 #include "common/random.h"
 #include "core/serialization.h"
+#include "core/tiered_index.h"
+#include "storage/tiered_io.h"
 #include "testing/differential.h"
 
 namespace drli {
@@ -357,6 +360,322 @@ FaultSweepReport RunSnapshotFaultSweep(const std::string& path,
   }
 
   std::remove(tmp.c_str());
+  return report;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// The fixed probe queries of the tiered sweep; answers are compared
+// exactly (same ids, same score bits) against the durable generation.
+std::vector<TopKQuery> TieredProbeQueries(std::uint64_t seed,
+                                          std::size_t dim) {
+  Rng rng(seed ^ 0x2545f4914f6cdd1dULL);
+  std::vector<TopKQuery> queries;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{9},
+                              std::size_t{40}}) {
+    TopKQuery query;
+    query.k = k;
+    query.weights = rng.SimplexWeight(dim);
+    queries.push_back(std::move(query));
+  }
+  TopKQuery uniform;
+  uniform.k = 5;
+  uniform.weights.assign(dim, 1.0 / static_cast<double>(dim));
+  queries.push_back(std::move(uniform));
+  return queries;
+}
+
+std::vector<std::vector<ScoredTuple>> TieredProbeAnswers(
+    const TieredDualLayerIndex& index, const std::vector<TopKQuery>& queries) {
+  std::vector<std::vector<ScoredTuple>> answers;
+  answers.reserve(queries.size());
+  for (const TopKQuery& query : queries) {
+    answers.push_back(index.Query(query).items);
+  }
+  return answers;
+}
+
+bool TieredAnswersEqual(const std::vector<std::vector<ScoredTuple>>& a,
+                        const std::vector<std::vector<ScoredTuple>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    if (a[q].size() != b[q].size()) return false;
+    for (std::size_t i = 0; i < a[q].size(); ++i) {
+      if (a[q][i].id != b[q][i].id || a[q][i].score != b[q][i].score) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// One seeded mutation-trace step against the index (insert-heavy with
+// erases mixed in, plus explicit maintenance pokes).
+void TieredTraceStep(Rng* rng, TieredDualLayerIndex* index,
+                     std::vector<TupleId>* live) {
+  const std::size_t op = rng->Index(8);
+  if (op <= 4 || live->empty()) {
+    Point point;
+    point.reserve(index->dim());
+    for (std::size_t a = 0; a < index->dim(); ++a) {
+      point.push_back(rng->Uniform());
+    }
+    live->push_back(index->Insert(PointView(point)));
+  } else if (op <= 6) {
+    const std::size_t pick = rng->Index(live->size());
+    index->Erase((*live)[pick]);
+    (*live)[pick] = live->back();
+    live->pop_back();
+  } else {
+    index->CompactStep();
+  }
+}
+
+}  // namespace
+
+std::string TieredFaultReport::ToString() const {
+  std::ostringstream out;
+  out << cases << " case(s), " << rejected << " rejected, "
+      << recovered_previous << " recovered to the previous generation, "
+      << recovered_current << " loaded the new generation";
+  if (!violations.empty()) {
+    out << ", " << violations.size() << " violation(s):";
+    for (const std::string& v : violations) out << "\n  " << v;
+  }
+  return out.str();
+}
+
+TieredFaultReport RunTieredFaultSweep(const std::string& scratch_dir,
+                                      const TieredFaultOptions& options) {
+  TieredFaultReport report;
+  std::error_code ec;
+  const fs::path scratch(scratch_dir);
+  const fs::path dir_a = scratch / "gen_a";
+  const fs::path dir_b = scratch / "gen_b";
+  const fs::path dir_r = scratch / "recover";
+  for (const fs::path& dir : {dir_a, dir_b, dir_r}) {
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir, ec);
+    if (ec) {
+      report.violations.push_back("cannot create scratch dir " +
+                                  dir.string());
+      return report;
+    }
+  }
+  constexpr const char* kManifestName = "state.drlt";
+
+  // Build generation A through a seeded trace: small memtable and
+  // fanout so the saved state spans several runs, live tombstones, and
+  // (often) an in-flight compaction job.
+  Rng rng(options.seed);
+  const std::size_t dim = 3;
+  TieredIndexOptions build;
+  build.memtable_capacity = 8;
+  build.fanout = 2;
+  build.auto_compact = true;
+  build.compact_rows_per_step = 16;
+  TieredDualLayerIndex index(dim, build);
+  std::vector<TupleId> live;
+  for (std::size_t step = 0; step < 120; ++step) {
+    TieredTraceStep(&rng, &index, &live);
+  }
+  const std::vector<TopKQuery> queries = TieredProbeQueries(options.seed, dim);
+
+  const std::string manifest_a = (dir_a / kManifestName).string();
+  const std::string manifest_b = (dir_b / kManifestName).string();
+  {
+    const Status saved = SaveTieredIndex(index, manifest_a);
+    if (!saved.ok()) {
+      report.violations.push_back("generation A save failed: " +
+                                  saved.ToString());
+      return report;
+    }
+  }
+  // The durable-A answers must come from a load of A's files: the live
+  // index may carry an unsealed compaction job the snapshot does not.
+  std::vector<std::vector<ScoredTuple>> answers_a;
+  {
+    StatusOr<TieredDualLayerIndex> a = LoadTieredIndex(manifest_a);
+    if (!a.ok()) {
+      report.violations.push_back("pristine generation A fails to load: " +
+                                  a.status().ToString());
+      return report;
+    }
+    answers_a = TieredProbeAnswers(a.value(), queries);
+  }
+
+  for (std::size_t step = 0; step < options.mutations_between; ++step) {
+    TieredTraceStep(&rng, &index, &live);
+  }
+
+  TieredSaveOptions save_b;
+  std::vector<std::string> write_order;
+  save_b.write_order = &write_order;
+  save_b.sweep_strays = false;  // the sweep runs after the crash window
+  {
+    const Status saved = SaveTieredIndex(index, manifest_b, save_b);
+    if (!saved.ok()) {
+      report.violations.push_back("generation B save failed: " +
+                                  saved.ToString());
+      return report;
+    }
+  }
+  std::vector<std::vector<ScoredTuple>> answers_b;
+  {
+    StatusOr<TieredDualLayerIndex> b = LoadTieredIndex(manifest_b);
+    if (!b.ok()) {
+      report.violations.push_back("pristine generation B fails to load: " +
+                                  b.status().ToString());
+      return report;
+    }
+    answers_b = TieredProbeAnswers(b.value(), queries);
+  }
+
+  const auto reset_recovery_from = [&](const fs::path& source) {
+    fs::remove_all(dir_r, ec);
+    fs::create_directories(dir_r, ec);
+    for (const fs::directory_entry& entry : fs::directory_iterator(source)) {
+      fs::copy_file(entry.path(), dir_r / entry.path().filename(),
+                    fs::copy_options::overwrite_existing, ec);
+    }
+  };
+  const std::string manifest_r = (dir_r / kManifestName).string();
+
+  // --- family 1: crash between any two file commits of B's save.
+  // Every prefix of B's write order applied over A's files must
+  // recover to a durable generation: A while B's manifest is not yet
+  // committed, B once it is.
+  for (std::size_t j = 0; j <= write_order.size(); ++j) {
+    reset_recovery_from(dir_a);
+    for (std::size_t i = 0; i < j; ++i) {
+      const fs::path src(write_order[i]);
+      fs::copy_file(src, dir_r / src.filename(),
+                    fs::copy_options::overwrite_existing, ec);
+    }
+    ++report.cases;
+    const bool expect_b = j == write_order.size();
+    StatusOr<TieredDualLayerIndex> recovered = LoadTieredIndex(manifest_r);
+    if (!recovered.ok()) {
+      report.violations.push_back(
+          "crash prefix " + std::to_string(j) + "/" +
+          std::to_string(write_order.size()) +
+          " failed to recover: " + recovered.status().ToString());
+      continue;
+    }
+    const std::vector<std::vector<ScoredTuple>> got =
+        TieredProbeAnswers(recovered.value(), queries);
+    if (!TieredAnswersEqual(got, expect_b ? answers_b : answers_a)) {
+      report.violations.push_back(
+          "crash prefix " + std::to_string(j) + "/" +
+          std::to_string(write_order.size()) + " recovered generation " +
+          std::to_string(recovered.value().generation()) +
+          " with diverging answers");
+      continue;
+    }
+    if (expect_b) {
+      ++report.recovered_current;
+    } else {
+      ++report.recovered_previous;
+    }
+  }
+
+  // Corrupt-mutant probe: overwrite one file in an otherwise complete
+  // copy of B and require a clean rejection.
+  const auto probe_reject = [&](const std::string& target,
+                                const std::vector<std::uint8_t>& mutant,
+                                const std::string& what) {
+    WriteFileBytes(target, mutant);
+    ++report.cases;
+    StatusOr<TieredDualLayerIndex> loaded = LoadTieredIndex(manifest_r);
+    if (loaded.ok()) {
+      report.violations.push_back(what + " loaded successfully");
+      return;
+    }
+    const StatusCode code = loaded.status().code();
+    if (code == StatusCode::kCorruption || code == StatusCode::kIoError) {
+      ++report.rejected;
+    } else {
+      report.violations.push_back(what + " returned unexpected status: " +
+                                  loaded.status().ToString());
+    }
+  };
+
+  // --- family 2: manifest truncation at every byte (strided when the
+  // manifest outgrows truncation_cap).
+  const std::vector<std::uint8_t> manifest_bytes = ReadFileBytes(manifest_b);
+  reset_recovery_from(dir_b);
+  const std::size_t stride =
+      manifest_bytes.size() <= options.truncation_cap
+          ? 1
+          : manifest_bytes.size() / options.truncation_cap + 1;
+  for (std::size_t cut = 0; cut < manifest_bytes.size(); cut += stride) {
+    const std::vector<std::uint8_t> mutant(manifest_bytes.begin(),
+                                           manifest_bytes.begin() +
+                                               static_cast<long>(cut));
+    probe_reject(manifest_r, mutant,
+                 "manifest truncated to " + std::to_string(cut) + " bytes");
+  }
+
+  // --- family 3: run-file truncation at every v2 section boundary +/-1.
+  StatusOr<TieredManifestInfo> info_b = InspectTieredManifest(manifest_b);
+  if (!info_b.ok() || info_b.value().runs.empty()) {
+    report.violations.push_back("generation B manifest has no runs to cut");
+    return report;
+  }
+  const std::string run_name = info_b.value().runs.front().file;
+  const std::string run_b = (dir_b / run_name).string();
+  const std::string run_r = (dir_r / run_name).string();
+  const std::vector<std::uint8_t> run_bytes = ReadFileBytes(run_b);
+  const auto run_info = InspectSnapshot(run_b);
+  if (!run_info.ok()) {
+    report.violations.push_back("pristine run snapshot fails inspection: " +
+                                run_info.status().ToString());
+    return report;
+  }
+  reset_recovery_from(dir_b);
+  std::set<std::uint64_t> cuts = {0, 4, 8, run_bytes.size() - 1};
+  for (const SnapshotSectionInfo& row : run_info.value().sections) {
+    for (const std::int64_t delta : {-1, 0, 1}) {
+      const std::uint64_t edges[] = {row.offset, row.offset + row.length};
+      for (const std::uint64_t edge : edges) {
+        const std::int64_t cut = static_cast<std::int64_t>(edge) + delta;
+        if (cut >= 0 && cut < static_cast<std::int64_t>(run_bytes.size())) {
+          cuts.insert(static_cast<std::uint64_t>(cut));
+        }
+      }
+    }
+  }
+  for (const std::uint64_t cut : cuts) {
+    const std::vector<std::uint8_t> mutant(run_bytes.begin(),
+                                           run_bytes.begin() +
+                                               static_cast<long>(cut));
+    probe_reject(run_r, mutant,
+                 "run file truncated to " + std::to_string(cut) + " bytes");
+  }
+
+  // --- family 4: seeded single-byte flips, alternating between the
+  // manifest and the run file; both are fully checksummed, so every
+  // flip must be detected.
+  reset_recovery_from(dir_b);
+  for (std::size_t i = 0; i < options.num_flips; ++i) {
+    const bool hit_manifest = (i % 2) == 0;
+    const std::vector<std::uint8_t>& base =
+        hit_manifest ? manifest_bytes : run_bytes;
+    const std::size_t pos = rng.Index(base.size());
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << rng.Index(8));
+    std::vector<std::uint8_t> mutant = base;
+    mutant[pos] ^= mask;
+    probe_reject(hit_manifest ? manifest_r : run_r, mutant,
+                 std::string(hit_manifest ? "manifest" : "run") +
+                     " byte flip at " + std::to_string(pos) + " mask " +
+                     std::to_string(mask));
+    // Restore the mutated file for the next iteration.
+    WriteFileBytes(hit_manifest ? manifest_r : run_r, base);
+  }
+
+  for (const fs::path& dir : {dir_a, dir_b, dir_r}) fs::remove_all(dir, ec);
   return report;
 }
 

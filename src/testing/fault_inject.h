@@ -90,6 +90,51 @@ BudgetFaultReport RunBudgetFaultSweep(const PointSet& points,
                                       const std::vector<TopKQuery>& queries,
                                       const BudgetFaultOptions& options = {});
 
+// --- tiered-index crash recovery ---
+//
+// Simulates crashes around SaveTieredIndex's write schedule (runs
+// first, each atomic, generation manifest last) and corruption of the
+// written files. The sweep builds a tiered index through a seeded
+// mutation trace, saves generation A, mutates further, saves
+// generation B capturing its exact write order, and then:
+//  * replays every prefix of B's writes over a copy of A's files --
+//    every prefix must load cleanly and answer exactly as the last
+//    durable generation (A until B's manifest commits, B after);
+//  * truncates B's manifest at every byte (strided above
+//    truncation_cap) -- every cut must be rejected with a clean
+//    Corruption/IoError, never a crash or a silent success;
+//  * truncates one of B's run snapshots at every v2 section boundary
+//    and one byte around it -- same requirement;
+//  * applies seeded single-byte flips to the manifest and a run file
+//    -- both are fully checksummed, so every flip must be rejected.
+
+struct TieredFaultOptions {
+  std::uint64_t seed = 1;
+  // Random single-byte flips to try across the manifest + a run file.
+  std::size_t num_flips = 400;
+  // Mutation-trace ops applied between generation A and generation B.
+  std::size_t mutations_between = 48;
+  // Manifest truncation is exhaustive (every byte) up to this size;
+  // larger manifests are cut at evenly strided positions.
+  std::size_t truncation_cap = 4096;
+};
+
+struct TieredFaultReport {
+  std::size_t cases = 0;               // mutants + crash points attempted
+  std::size_t rejected = 0;            // corrupt mutants cleanly rejected
+  std::size_t recovered_previous = 0;  // crash prefixes that recovered A
+  std::size_t recovered_current = 0;   // full write sets that loaded B
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// Runs the sweep inside `scratch_dir` (created if missing; its contents
+// are removed at the end).
+TieredFaultReport RunTieredFaultSweep(const std::string& scratch_dir,
+                                      const TieredFaultOptions& options = {});
+
 // --- low-level helpers, shared with tests ---
 
 std::vector<std::uint8_t> ReadFileBytes(const std::string& path);

@@ -1,7 +1,11 @@
 #include "testing/fuzz.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -9,7 +13,9 @@
 #include "common/random.h"
 #include "core/dual_layer.h"
 #include "core/dynamic_index.h"
+#include "core/tiered_index.h"
 #include "data/generator.h"
+#include "storage/tiered_io.h"
 #include "testing/check_index.h"
 #include "testing/differential.h"
 #include "topk/query.h"
@@ -107,8 +113,13 @@ void CheckDynamicPartial(const TopKResult& got,
   }
 }
 
+// Drives the mirror, the flat-rebuild policy, and the tiered LSM
+// engine through one interleaved insert / erase / query /
+// maintenance-step trace. Both real indexes assign ids identically
+// (monotone from the shared prefix), so every check runs against both.
 void RunDynamicOracle(std::uint64_t seed, const PointSet& dataset,
-                      std::vector<std::string>* failures) {
+                      const FuzzOptions& options, FuzzCaseResult* result) {
+  std::vector<std::string>* failures = &result->failures;
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   const std::size_t d = dataset.dim();
 
@@ -116,7 +127,20 @@ void RunDynamicOracle(std::uint64_t seed, const PointSet& dataset,
   const std::size_t prefix = dataset.size() / 2;
   PointSet initial(d);
   for (std::size_t i = 0; i < prefix; ++i) initial.Add(dataset[i]);
-  DynamicDualLayerIndex dynamic(std::move(initial));
+
+  DynamicIndexOptions flat_options;
+  flat_options.policy = MaintenancePolicy::kFlatRebuild;
+  DynamicDualLayerIndex flat(initial, flat_options);
+
+  // Tiny rng-derived maintenance knobs so short traces still span many
+  // runs and live compactions; auto-compaction is itself fuzzed.
+  TieredIndexOptions tiered_options;
+  tiered_options.memtable_capacity = 4 + rng.Index(29);  // 4..32
+  tiered_options.fanout = 2 + rng.Index(3);              // 2..4
+  tiered_options.auto_compact = rng.Index(2) == 0;
+  tiered_options.compact_rows_per_step = 1 + rng.Index(24);
+  TieredDualLayerIndex tiered(std::move(initial), tiered_options);
+
   std::map<TupleId, Point> live;
   std::vector<TupleId> live_ids;
   for (std::size_t i = 0; i < prefix; ++i) {
@@ -124,11 +148,17 @@ void RunDynamicOracle(std::uint64_t seed, const PointSet& dataset,
     live_ids.push_back(static_cast<TupleId>(i));
   }
 
+  const auto note_state = [&] {
+    result->max_runs = std::max(result->max_runs, tiered.num_runs());
+    result->peak_tombstones =
+        std::max(result->peak_tombstones, tiered.tombstone_count());
+  };
+
   std::size_t next_row = prefix;  // dataset rows not yet inserted
-  const std::size_t steps = 2 * std::min<std::size_t>(dataset.size(), 40) + 12;
+  const std::size_t steps = 3 * std::min<std::size_t>(dataset.size(), 40) + 16;
   for (std::size_t step = 0; step < steps; ++step) {
-    const std::size_t op = rng.Index(4);
-    if (op <= 1) {
+    const std::size_t op = rng.Index(8);
+    if (op <= 2) {
       // Insert: remaining dataset rows first (they carry the
       // adversarial structure), then fresh random points.
       Point point;
@@ -138,21 +168,24 @@ void RunDynamicOracle(std::uint64_t seed, const PointSet& dataset,
         point.reserve(d);
         for (std::size_t a = 0; a < d; ++a) point.push_back(rng.Uniform());
       }
-      const TupleId id = dynamic.Insert(PointView(point));
-      if (live.count(id)) {
+      const TupleId id = flat.Insert(PointView(point));
+      const TupleId tiered_id = tiered.Insert(PointView(point));
+      if (id != tiered_id || live.count(id)) {
         std::ostringstream out;
-        out << "[dynamic] step " << step << ": Insert reused live id " << id;
+        out << "[dynamic] step " << step << ": Insert ids diverged (flat "
+            << id << ", tiered " << tiered_id << ") or reused a live id";
         failures->push_back(out.str());
         return;
       }
       live.emplace(id, std::move(point));
       live_ids.push_back(id);
-    } else if (op == 2 && !live_ids.empty()) {
+    } else if (op <= 4 && !live_ids.empty()) {
       const std::size_t pick = rng.Index(live_ids.size());
       const TupleId id = live_ids[pick];
       live_ids[pick] = live_ids.back();
       live_ids.pop_back();
-      if (!dynamic.Erase(id) || dynamic.Contains(id)) {
+      if (!flat.Erase(id) || flat.Contains(id) || !tiered.Erase(id) ||
+          tiered.Contains(id)) {
         std::ostringstream out;
         out << "[dynamic] step " << step << ": Erase(" << id
             << ") failed or left the id live";
@@ -160,45 +193,114 @@ void RunDynamicOracle(std::uint64_t seed, const PointSet& dataset,
         return;
       }
       live.erase(id);
-      if (dynamic.Erase(id)) {
+      if (flat.Erase(id) || tiered.Erase(id)) {
         std::ostringstream out;
         out << "[dynamic] step " << step << ": double Erase(" << id
             << ") claimed success";
         failures->push_back(out.str());
         return;
       }
-    } else {
+    } else if (op <= 6) {
       TopKQuery query;
       query.k = rng.Index(live.size() + 3);  // covers k = 0 and k > n
       query.weights = rng.SimplexWeight(d);
       const std::vector<ScoredTuple> want =
           MirrorTopK(live, query.weights, query.k);
-      CompareToMirror(dynamic.Query(query), want, "query", step, failures);
+      if (tiered.compaction_active()) ++result->mid_compaction_queries;
+      CompareToMirror(flat.Query(query), want, "flat query", step, failures);
+      CompareToMirror(tiered.Query(query), want, "tiered query", step,
+                      failures);
       if (!failures->empty()) return;
-      if (!live.empty() && rng.Index(2) == 0) {
+      if (!live.empty()) {
+        // Budgeted probe on every query step: a random cut point must
+        // still certify correctly against the multi-run frontier.
         TopKQuery budgeted = query;
         budgeted.budget.max_evals = 1 + rng.Index(live.size());
-        CheckDynamicPartial(dynamic.Query(budgeted), want, step, failures);
+        CheckDynamicPartial(tiered.Query(budgeted), want, step, failures);
         if (!failures->empty()) return;
+        if (rng.Index(2) == 0) {
+          CheckDynamicPartial(flat.Query(budgeted), want, step, failures);
+          if (!failures->empty()) return;
+        }
+      }
+    } else {
+      // Maintenance step: force a seal or advance compaction by one
+      // increment; a query on the next iteration lands mid-job.
+      if (rng.Index(2) == 0) {
+        tiered.SealMemtable();
+      } else {
+        tiered.CompactStep();
       }
     }
-    if (dynamic.size() != live.size()) {
+    note_state();
+    if (flat.size() != live.size() || tiered.size() != live.size()) {
       std::ostringstream out;
-      out << "[dynamic] step " << step << ": size() = " << dynamic.size()
-          << ", mirror has " << live.size();
+      out << "[dynamic] step " << step << ": flat size " << flat.size()
+          << ", tiered size " << tiered.size() << ", mirror has "
+          << live.size();
       failures->push_back(out.str());
       return;
     }
   }
 
-  // Compact must preserve ids, membership, and answers.
-  dynamic.Compact();
-  TopKQuery query;
-  query.k = live.size() / 2 + 1;
-  query.weights = rng.SimplexWeight(d);
-  CompareToMirror(dynamic.Query(query),
-                  MirrorTopK(live, query.weights, query.k), "post-compact",
+  TopKQuery final_query;
+  final_query.k = live.size() / 2 + 1;
+  final_query.weights = rng.SimplexWeight(d);
+  const std::vector<ScoredTuple> final_want =
+      MirrorTopK(live, final_query.weights, final_query.k);
+
+  if (options.tiered_roundtrip) {
+    // Save / load roundtrip of the live tiered state (mid-memtable,
+    // mid-tombstone, possibly mid-compaction-job -- the job is
+    // transient and must not affect the persisted answer).
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("drli_fuzz_tiered_" + std::to_string(getpid()) + "_" +
+          std::to_string(seed) + ".drlt"))
+            .string();
+    TieredSaveOptions save;
+    std::vector<std::string> written;
+    save.write_order = &written;
+    const Status saved = SaveTieredIndex(tiered, path, save);
+    if (!saved.ok()) {
+      failures->push_back("[dynamic] tiered save failed: " +
+                          saved.ToString());
+      return;
+    }
+    StatusOr<TieredDualLayerIndex> loaded = LoadTieredIndex(path);
+    if (!loaded.ok()) {
+      failures->push_back("[dynamic] tiered load failed: " +
+                          loaded.status().ToString());
+    } else {
+      if (loaded.value().size() != live.size() ||
+          loaded.value().generation() != tiered.generation()) {
+        failures->push_back(
+            "[dynamic] tiered roundtrip changed size or generation");
+      }
+      CompareToMirror(loaded.value().Query(final_query), final_want,
+                      "post-roundtrip", steps, failures);
+    }
+    for (const std::string& file : written) std::remove(file.c_str());
+    if (!failures->empty()) return;
+  }
+
+  // Full compaction must preserve ids, membership, and answers on both
+  // policies, and leave the tiered index in its canonical final shape.
+  flat.Compact();
+  tiered.Compact();
+  CompareToMirror(flat.Query(final_query), final_want, "flat post-compact",
                   steps, failures);
+  CompareToMirror(tiered.Query(final_query), final_want,
+                  "tiered post-compact", steps, failures);
+  if (!failures->empty()) return;
+  if (tiered.num_runs() > 1 || tiered.tombstone_count() != 0 ||
+      tiered.memtable_size() != 0 || tiered.compaction_active()) {
+    std::ostringstream out;
+    out << "[dynamic] full compaction left " << tiered.num_runs()
+        << " runs, " << tiered.tombstone_count() << " tombstones, memtable "
+        << tiered.memtable_size();
+    failures->push_back(out.str());
+  }
 }
 
 }  // namespace
@@ -355,7 +457,77 @@ FuzzCaseResult RunFuzzCase(std::uint64_t seed, const FuzzOptions& options) {
   }
 
   if (options.dynamic) {
-    RunDynamicOracle(seed, dataset, &result.failures);
+    RunDynamicOracle(seed, dataset, options, &result);
+  }
+  return result;
+}
+
+FuzzCaseResult RunMixedTraceCase(std::uint64_t seed,
+                                 const FuzzOptions& options) {
+  FuzzCaseResult result;
+  result.seed = seed;
+  PointSet dataset = MakeFuzzDataset(seed, options, &result.dataset_desc);
+  result.n = dataset.size();
+  result.d = dataset.dim();
+  Rng rng(seed * 0xd1342543de82ef95ULL + 3);
+  const std::size_t d = dataset.dim();
+
+  TieredIndexOptions tiered_options;
+  tiered_options.memtable_capacity = 8 + rng.Index(25);
+  tiered_options.fanout = 2 + rng.Index(3);
+  TieredDualLayerIndex tiered(dataset, tiered_options);
+  std::map<TupleId, Point> live;
+  std::vector<TupleId> live_ids;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    live.emplace(static_cast<TupleId>(i), dataset.Materialize(i));
+    live_ids.push_back(static_cast<TupleId>(i));
+  }
+
+  // Serving-shaped trace: ~95% reads, ~5% writes, sustained long
+  // enough for seals and compactions to happen under the read stream.
+  const std::size_t steps = 12 * std::min<std::size_t>(dataset.size(), 50) + 60;
+  for (std::size_t step = 0; step < steps; ++step) {
+    if (rng.Index(100) < 5) {
+      if (!live_ids.empty() && rng.Index(3) == 0) {
+        const std::size_t pick = rng.Index(live_ids.size());
+        const TupleId id = live_ids[pick];
+        live_ids[pick] = live_ids.back();
+        live_ids.pop_back();
+        if (!tiered.Erase(id)) {
+          result.failures.push_back("[mixed] erase of live id failed at step " +
+                                    std::to_string(step));
+          return result;
+        }
+        live.erase(id);
+      } else {
+        Point point;
+        point.reserve(d);
+        for (std::size_t a = 0; a < d; ++a) point.push_back(rng.Uniform());
+        const TupleId id = tiered.Insert(PointView(point));
+        live.emplace(id, std::move(point));
+        live_ids.push_back(id);
+      }
+      continue;
+    }
+    TopKQuery query;
+    query.k = 1 + rng.Index(live.size() + 2);
+    query.weights = rng.SimplexWeight(d);
+    const std::vector<ScoredTuple> want =
+        MirrorTopK(live, query.weights, query.k);
+    if (tiered.compaction_active()) ++result.mid_compaction_queries;
+    CompareToMirror(tiered.Query(query), want, "mixed query", step,
+                    &result.failures);
+    if (!result.failures.empty()) return result;
+    if (!live.empty() && rng.Index(4) == 0) {
+      TopKQuery budgeted = query;
+      budgeted.budget.max_evals = 1 + rng.Index(live.size());
+      CheckDynamicPartial(tiered.Query(budgeted), want, step,
+                          &result.failures);
+      if (!result.failures.empty()) return result;
+    }
+    result.max_runs = std::max(result.max_runs, tiered.num_runs());
+    result.peak_tombstones =
+        std::max(result.peak_tombstones, tiered.tombstone_count());
   }
   return result;
 }

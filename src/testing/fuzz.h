@@ -7,9 +7,12 @@
 //  2. the differential harness across every index family, with
 //     degenerate queries (k = 0, k = n, k > n) and tied weights mixed
 //     into the sampled ones;
-//  3. optionally a DynamicDualLayerIndex under interleaved insert /
-//     delete / query / Compact, compared against a brute-force mirror
-//     of the live set.
+//  3. optionally the dynamic engines -- the flat-rebuild policy and
+//     the tiered LSM engine with rng-derived memtable/fanout knobs --
+//     under interleaved insert / delete / query / seal / compact-step
+//     traces, compared against a brute-force mirror of the live set,
+//     with a budgeted probe at a random cut point on every query and a
+//     save/load roundtrip of the live multi-run state at the end.
 //
 // Everything is derived from the case seed, so any failure replays
 // with `drli_fuzz --replay=<seed>`.
@@ -39,6 +42,10 @@ struct FuzzOptions {
   // fuse) tripping mid-traversal, asserting certified-prefix
   // correctness. 0 disables budget faults.
   std::size_t budget_cut_points = 3;
+  // Save the live tiered state (memtable, runs, tombstones) at the end
+  // of the dynamic trace and verify the loaded copy answers
+  // identically. Costs a little file IO per case.
+  bool tiered_roundtrip = true;
 };
 
 struct FuzzCaseResult {
@@ -47,6 +54,12 @@ struct FuzzCaseResult {
   std::size_t d = 0;
   std::string dataset_desc;
   std::vector<std::string> failures;
+
+  // Dynamic-oracle trace telemetry (tiered engine), used to pick
+  // corpus seeds that actually exercise multi-run shapes.
+  std::size_t max_runs = 0;
+  std::size_t mid_compaction_queries = 0;
+  std::size_t peak_tombstones = 0;
 
   bool ok() const { return failures.empty(); }
 };
@@ -59,6 +72,15 @@ PointSet MakeFuzzDataset(std::uint64_t seed, const FuzzOptions& options,
 // Runs the full case for `seed`. Never throws; failures are collected
 // as human-readable lines prefixed with the oracle that found them.
 FuzzCaseResult RunFuzzCase(std::uint64_t seed, const FuzzOptions& options = {});
+
+// Sustained serving-shaped trace (~95% reads / ~5% writes) against the
+// tiered dynamic engine and the brute-force mirror: seals and
+// compactions happen under the read stream, every answer is checked,
+// and a fraction of reads carry a random execution budget. The
+// entry point for `drli_fuzz --mixed-rw` and the nightly
+// sanitizer soak.
+FuzzCaseResult RunMixedTraceCase(std::uint64_t seed,
+                                 const FuzzOptions& options = {});
 
 }  // namespace drli
 

@@ -80,6 +80,25 @@ std::vector<TopKResult> TopKIndex::QueryBatch(
   return results;
 }
 
+Termination RemainingBudget(const ExecBudget& budget, std::size_t evaluated,
+                            const Stopwatch& timer, ExecBudget* sub) {
+  *sub = ExecBudget{};
+  sub->cancel = budget.cancel;
+  if (budget.max_evals != 0) {
+    if (evaluated >= budget.max_evals) return Termination::kStepBudget;
+    sub->max_evals = budget.max_evals - evaluated;
+  }
+  if (budget.deadline_seconds > 0.0) {
+    const double left = budget.deadline_seconds - timer.ElapsedSeconds();
+    if (left <= 0.0) return Termination::kDeadline;
+    sub->deadline_seconds = left;
+  }
+  if (budget.cancel != nullptr && budget.cancel->cancelled()) {
+    return Termination::kCancelled;
+  }
+  return Termination::kComplete;
+}
+
 Status ValidateQuery(const TopKQuery& query, std::size_t dim) {
   if (query.weights.size() != dim) {
     return Status::InvalidArgument(

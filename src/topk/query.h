@@ -119,6 +119,10 @@ struct QueryStats {
   // coordinator's pruning effectiveness metric: nonempty_shards -
   // shards_touched shards were skipped outright.
   std::size_t shards_touched = 0;
+  // Runs the tiered dynamic index opened for this query (tiered family
+  // only; 0 elsewhere). num_runs - runs_opened runs were pruned by
+  // their frontier lower bound.
+  std::size_t runs_opened = 0;
   // Wall time of the Query call (seconds). Complements the paper's
   // tuples-evaluated metric in benchmark output; summed by Merge.
   double elapsed_seconds = 0.0;
@@ -127,6 +131,7 @@ struct QueryStats {
     tuples_evaluated += other.tuples_evaluated;
     virtual_evaluated += other.virtual_evaluated;
     shards_touched += other.shards_touched;
+    runs_opened += other.runs_opened;
     elapsed_seconds += other.elapsed_seconds;
   }
 };
@@ -314,6 +319,15 @@ class TopKIndex {
   std::vector<TopKResult> QueryBatch(const std::vector<TopKQuery>& queries,
                                      const BatchOptions& options) const;
 };
+
+// Computes the budget left for a coordinator's next sub-query, or the
+// reason it must stop before issuing it. Mirrors BudgetGate semantics
+// one level up: max_evals meters the cumulative per-partition traversal
+// cost, deadlines are measured from the coordinator's own start
+// (`timer`). Shared by the sharded scatter-gather coordinator and the
+// tiered dynamic index's run merge.
+Termination RemainingBudget(const ExecBudget& budget, std::size_t evaluated,
+                            const Stopwatch& timer, ExecBudget* sub);
 
 // Validates that the query is well-formed for dimensionality d:
 // |weights| == d, weights strictly positive and finite. k = 0 is legal

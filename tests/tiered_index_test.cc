@@ -1,0 +1,401 @@
+// Tiered (LSM-style) dynamic index: seal / compaction state machine,
+// multi-run merge correctness against a brute-force mirror, id
+// stability across compactions, tombstone masking, budgeted queries
+// certifying against multi-run frontiers, and the deterministic
+// query-mid-compaction interleaving contract (queries between
+// CompactStep calls always see the pre-merge generation and never
+// block on the merge).
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/random.h"
+#include "core/dynamic_index.h"
+#include "core/tiered_index.h"
+#include "test_util.h"
+#include "topk/query.h"
+
+namespace drli {
+namespace {
+
+// Brute-force oracle over the live (id -> row) map, canonical order.
+std::vector<ScoredTuple> ExactTopK(const std::map<TupleId, Point>& live,
+                                   const TopKQuery& query) {
+  std::vector<ScoredTuple> all;
+  all.reserve(live.size());
+  for (const auto& [id, row] : live) {
+    all.push_back({id, Score(PointView(query.weights.data(),
+                                       query.weights.size()),
+                             PointView(row.data(), row.size()))});
+  }
+  std::sort(all.begin(), all.end(), ResultOrderLess);
+  if (all.size() > query.k) all.resize(query.k);
+  return all;
+}
+
+void ExpectExact(const TieredDualLayerIndex& index,
+                 const std::map<TupleId, Point>& live, std::size_t k,
+                 const char* where) {
+  Rng rng(7);
+  for (std::size_t q = 0; q < 6; ++q) {
+    TopKQuery query;
+    query.weights = rng.SimplexWeight(index.dim());
+    query.k = k;
+    const std::vector<ScoredTuple> want = ExactTopK(live, query);
+    const TopKResult got = index.Query(query);
+    ASSERT_TRUE(got.complete()) << where << ": " << got.error;
+    ASSERT_EQ(got.items.size(), want.size()) << where;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got.items[i].id, want[i].id) << where << " rank " << i;
+      EXPECT_DOUBLE_EQ(got.items[i].score, want[i].score)
+          << where << " rank " << i;
+    }
+  }
+}
+
+Point RandomRow(Rng& rng, std::size_t d) {
+  Point row(d);
+  for (double& x : row) x = rng.Uniform();
+  return row;
+}
+
+TieredIndexOptions SmallRuns() {
+  TieredIndexOptions options;
+  options.memtable_capacity = 8;
+  options.fanout = 2;
+  options.auto_compact = false;  // tests drive the state machine
+  return options;
+}
+
+TEST(TieredIndexTest, InsertsSpanRunsAndStayExact) {
+  TieredDualLayerIndex index(3, SmallRuns());
+  std::map<TupleId, Point> live;
+  Rng rng(11);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const Point row = RandomRow(rng, 3);
+    live[index.Insert(PointView(row.data(), row.size()))] = row;
+  }
+  EXPECT_GE(index.num_runs(), 4u);  // 60 rows / memtable of 8
+  EXPECT_GT(index.memtable_size(), 0u);
+  EXPECT_EQ(index.size(), live.size());
+  ExpectExact(index, live, 5, "multi-run");
+  ExpectExact(index, live, 60, "k = n");
+}
+
+TEST(TieredIndexTest, SealAndCompactPreserveAnswers) {
+  TieredDualLayerIndex index(2, SmallRuns());
+  std::map<TupleId, Point> live;
+  Rng rng(13);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const Point row = RandomRow(rng, 2);
+    live[index.Insert(PointView(row.data(), row.size()))] = row;
+  }
+  index.SealMemtable();
+  EXPECT_EQ(index.memtable_size(), 0u);
+  ExpectExact(index, live, 7, "sealed");
+  const std::uint64_t generation = index.generation();
+  index.Compact();
+  EXPECT_LE(index.num_runs(), 1u);
+  EXPECT_EQ(index.tombstone_count(), 0u);
+  EXPECT_GT(index.generation(), generation);
+  ExpectExact(index, live, 7, "compacted");
+}
+
+// Queries issued between CompactStep calls must return the exact
+// answer at every phase of the merge (the pre-merge generation stays
+// queryable until kInstalled swaps atomically) -- the "queries never
+// block on compaction" contract, exercised deterministically.
+TEST(TieredIndexTest, QueryMidCompactionSeesConsistentGeneration) {
+  TieredIndexOptions options = SmallRuns();
+  options.compact_rows_per_step = 4;  // many merge steps per job
+  TieredDualLayerIndex index(3, options);
+  std::map<TupleId, Point> live;
+  Rng rng(17);
+  for (std::size_t i = 0; i < 48; ++i) {
+    const Point row = RandomRow(rng, 3);
+    live[index.Insert(PointView(row.data(), row.size()))] = row;
+  }
+  index.SealMemtable();
+  const std::size_t runs_before = index.num_runs();
+  ASSERT_GE(runs_before, 2u);
+  std::size_t steps = 0;
+  std::size_t mid_phase_queries = 0;
+  while (true) {
+    const CompactProgress progress = index.CompactStep();
+    if (progress == CompactProgress::kIdle) break;
+    ++steps;
+    // The merge is mid-flight: answers must already be exact, and the
+    // pre-install phases must not have mutated the visible run set.
+    if (progress != CompactProgress::kInstalled) {
+      EXPECT_EQ(index.num_runs(), runs_before) << "merge leaked early";
+      ++mid_phase_queries;
+    }
+    ExpectExact(index, live, 5, "mid-compaction");
+    ASSERT_LT(steps, 1000u) << "compaction does not terminate";
+  }
+  EXPECT_GT(mid_phase_queries, 2u) << "merge completed in one step; the "
+                                      "interleaving was never exercised";
+  EXPECT_LT(index.num_runs(), runs_before);
+  ExpectExact(index, live, 5, "post-compaction");
+}
+
+TEST(TieredIndexTest, EraseThenReinsertKeepsIdsStableAcrossCompactions) {
+  TieredDualLayerIndex index(2, SmallRuns());
+  std::map<TupleId, Point> live;
+  Rng rng(19);
+  std::vector<TupleId> ids;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Point row = RandomRow(rng, 2);
+    const TupleId id = index.Insert(PointView(row.data(), row.size()));
+    live[id] = row;
+    ids.push_back(id);
+  }
+  // Erase a third, remember their rows, re-insert the same rows: the
+  // new copies must get fresh ids (never reused), and the old ids must
+  // stay dead forever -- across an intervening full compaction.
+  std::vector<std::pair<TupleId, Point>> erased;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    erased.push_back({ids[i], live[ids[i]]});
+    ASSERT_TRUE(index.Erase(ids[i]));
+    live.erase(ids[i]);
+  }
+  index.Compact();
+  for (const auto& [old_id, row] : erased) {
+    const TupleId fresh = index.Insert(PointView(row.data(), row.size()));
+    EXPECT_GT(fresh, old_id) << "stable id reused";
+    EXPECT_FALSE(index.Contains(old_id));
+    EXPECT_TRUE(index.Contains(fresh));
+    live[fresh] = row;
+  }
+  index.Compact();
+  for (const auto& [old_id, row] : erased) {
+    EXPECT_FALSE(index.Contains(old_id)) << "erased id resurrected";
+  }
+  EXPECT_EQ(index.size(), live.size());
+  ExpectExact(index, live, 9, "after erase/reinsert/compact");
+}
+
+TEST(TieredIndexTest, KLargerThanLiveSizeWithTombstones) {
+  TieredDualLayerIndex index(3, SmallRuns());
+  std::map<TupleId, Point> live;
+  Rng rng(23);
+  std::vector<TupleId> ids;
+  for (std::size_t i = 0; i < 25; ++i) {
+    const Point row = RandomRow(rng, 3);
+    const TupleId id = index.Insert(PointView(row.data(), row.size()));
+    live[id] = row;
+    ids.push_back(id);
+  }
+  index.SealMemtable();
+  for (std::size_t i = 0; i < ids.size(); i += 2) {  // tombstone most rows
+    ASSERT_TRUE(index.Erase(ids[i]));
+    live.erase(ids[i]);
+  }
+  EXPECT_GT(index.tombstone_count(), 0u);
+  // k far beyond the live count: every live tuple comes back exactly
+  // once, no tombstoned id leaks.
+  TopKQuery query;
+  query.weights = {0.2, 0.3, 0.5};
+  query.k = 1000;
+  const TopKResult result = index.Query(query);
+  ASSERT_TRUE(result.complete()) << result.error;
+  EXPECT_EQ(result.items.size(), live.size());
+  for (const ScoredTuple& item : result.items) {
+    EXPECT_TRUE(live.count(item.id)) << "dead id " << item.id << " returned";
+  }
+  ExpectExact(index, live, live.size() + 5, "k > live");
+}
+
+TEST(TieredIndexTest, AllTombstonedRunsAndEmptyMemtable) {
+  TieredDualLayerIndex index(2, SmallRuns());
+  std::vector<TupleId> ids;
+  Rng rng(29);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const Point row = RandomRow(rng, 2);
+    ids.push_back(index.Insert(PointView(row.data(), row.size())));
+  }
+  index.SealMemtable();  // everything indexed, memtable empty
+  for (const TupleId id : ids) ASSERT_TRUE(index.Erase(id));
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_GT(index.num_runs(), 0u);  // runs still hold the dead rows
+  TopKQuery query;
+  query.weights = {0.5, 0.5};
+  query.k = 3;
+  const TopKResult result = index.Query(query);
+  ASSERT_TRUE(result.complete()) << result.error;
+  EXPECT_TRUE(result.items.empty());
+  // Compaction over fully-dead runs collapses to nothing.
+  index.Compact();
+  EXPECT_EQ(index.num_runs(), 0u);
+  EXPECT_EQ(index.tombstone_count(), 0u);
+  // Double-erase and unknown ids are recoverable no-ops.
+  EXPECT_FALSE(index.Erase(ids.front()));
+  EXPECT_FALSE(index.Erase(123456u));
+}
+
+// Budgeted query over a genuinely multi-run shape: the certified
+// prefix must be an exact prefix of the brute-force answer, and the
+// frontier bound must bound every unreturned live tuple -- the bound
+// here is a min over per-run frontiers plus surviving heap keys.
+TEST(TieredIndexTest, BudgetedQueryCertifiesAgainstMultiRunFrontier) {
+  TieredDualLayerIndex index(3, SmallRuns());
+  std::map<TupleId, Point> live;
+  Rng rng(31);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const Point row = RandomRow(rng, 3);
+    live[index.Insert(PointView(row.data(), row.size()))] = row;
+  }
+  ASSERT_GE(index.num_runs(), 4u);
+  TopKQuery query;
+  query.weights = {0.4, 0.3, 0.3};
+  query.k = 10;
+  const std::vector<ScoredTuple> exact = ExactTopK(live, query);
+  std::size_t partials = 0;
+  for (std::size_t budget = 1; budget <= 40; ++budget) {
+    TopKQuery budgeted = query;
+    budgeted.budget.max_evals = budget;
+    const TopKResult result = index.Query(budgeted);
+    if (result.complete()) {
+      ASSERT_EQ(result.items.size(), exact.size());
+      continue;
+    }
+    ++partials;
+    EXPECT_EQ(result.termination, Termination::kStepBudget);
+    ASSERT_LE(result.certified_prefix, result.items.size());
+    for (std::size_t i = 0; i < result.certified_prefix; ++i) {
+      EXPECT_EQ(result.items[i].id, exact[i].id) << "budget " << budget;
+      EXPECT_DOUBLE_EQ(result.items[i].score, exact[i].score);
+    }
+    // Every unreturned live tuple scores >= the frontier bound.
+    for (const auto& [id, row] : live) {
+      bool returned = false;
+      for (const ScoredTuple& item : result.items) {
+        if (item.id == id) { returned = true; break; }
+      }
+      if (returned) continue;
+      const double score =
+          Score(PointView(query.weights.data(), query.weights.size()),
+                PointView(row.data(), row.size()));
+      EXPECT_GE(score, result.frontier_bound)
+          << "budget " << budget << " id " << id;
+    }
+  }
+  EXPECT_GT(partials, 0u) << "no budget ever fired; sweep is vacuous";
+}
+
+// The per-run lower bounds must keep cold runs closed: with the best
+// tuple planted in one run, k=1 queries should not open every run.
+TEST(TieredIndexTest, ColdRunsStayClosed) {
+  TieredIndexOptions options = SmallRuns();
+  TieredDualLayerIndex index(2, options);
+  Rng rng(37);
+  // Three well-separated score bands, one run each (seal in between):
+  // the 0.0 band dominates every query, the 0.8 band can never win.
+  for (const double base : {0.8, 0.4, 0.0}) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      const Point row = {base + 0.1 * rng.Uniform(),
+                         base + 0.1 * rng.Uniform()};
+      index.Insert(PointView(row.data(), row.size()));
+    }
+    index.SealMemtable();
+  }
+  ASSERT_EQ(index.num_runs(), 3u);
+  TopKQuery query;
+  query.weights = {0.5, 0.5};
+  query.k = 1;
+  const TopKResult result = index.Query(query);
+  ASSERT_TRUE(result.complete());
+  EXPECT_LT(result.stats.runs_opened, index.num_runs())
+      << "every run was opened for k=1; bounds prune nothing";
+  EXPECT_GE(result.stats.runs_opened, 1u);
+}
+
+TEST(TieredIndexTest, BudgetedCompactIsResumable) {
+  TieredDualLayerIndex index(3, SmallRuns());
+  Rng rng(41);
+  for (std::size_t i = 0; i < 80; ++i) {
+    const Point row = RandomRow(rng, 3);
+    index.Insert(PointView(row.data(), row.size()));
+  }
+  ExecBudget tiny;
+  tiny.max_evals = 3;  // trips almost immediately
+  std::size_t rounds = 0;
+  while (index.Compact(tiny) != Termination::kComplete) {
+    ASSERT_LT(++rounds, 10000u) << "budgeted compaction does not progress";
+  }
+  EXPECT_GT(rounds, 0u) << "budget never fired";
+  EXPECT_LE(index.num_runs(), 1u);
+  EXPECT_EQ(index.tombstone_count(), 0u);
+  EXPECT_EQ(index.memtable_size(), 0u);
+}
+
+TEST(TieredIndexTest, BulkConstructorMatchesInsertPath) {
+  const PointSet points = testing_util::MakeToyDataset();
+  TieredIndexOptions options = SmallRuns();
+  const TieredDualLayerIndex bulk{[&] {
+    PointSet copy(points.dim());
+    for (std::size_t i = 0; i < points.size(); ++i) copy.Add(points[i]);
+    return copy;
+  }(), options};
+  TieredDualLayerIndex incremental(points.dim(), options);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    incremental.Insert(points[i]);
+  }
+  EXPECT_EQ(bulk.num_runs(), 1u);  // bulk start is one run
+  for (const TopKQuery& query :
+       testing_util::RandomQueries(points.dim(), 4, 12, 43)) {
+    const TopKResult a = bulk.Query(query);
+    const TopKResult b = incremental.Query(query);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].id, b.items[i].id);
+      EXPECT_DOUBLE_EQ(a.items[i].score, b.items[i].score);
+    }
+  }
+}
+
+// The legacy wrapper: both maintenance policies answer identically and
+// keep the historical observable behaviour (delta drains on Compact).
+TEST(TieredIndexTest, DynamicWrapperPoliciesAgree) {
+  DynamicIndexOptions tiered_options;
+  tiered_options.policy = MaintenancePolicy::kTiered;
+  tiered_options.memtable_capacity = 8;
+  DynamicIndexOptions flat_options;
+  flat_options.policy = MaintenancePolicy::kFlatRebuild;
+  DynamicDualLayerIndex tiered(3, tiered_options);
+  DynamicDualLayerIndex flat(3, flat_options);
+  Rng rng(47);
+  std::vector<TupleId> ids;
+  for (std::size_t i = 0; i < 120; ++i) {
+    const Point row = RandomRow(rng, 3);
+    const TupleId a = tiered.Insert(PointView(row.data(), row.size()));
+    const TupleId b = flat.Insert(PointView(row.data(), row.size()));
+    ASSERT_EQ(a, b) << "policies diverge on id assignment";
+    ids.push_back(a);
+    if (i % 5 == 2 && !ids.empty()) {
+      const TupleId victim = ids[rng.Index(ids.size())];
+      ASSERT_EQ(tiered.Erase(victim), flat.Erase(victim));
+    }
+  }
+  ASSERT_EQ(tiered.size(), flat.size());
+  for (const TopKQuery& query : testing_util::RandomQueries(3, 6, 10, 53)) {
+    const TopKResult a = tiered.Query(query);
+    const TopKResult b = flat.Query(query);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].id, b.items[i].id);
+      EXPECT_DOUBLE_EQ(a.items[i].score, b.items[i].score);
+    }
+  }
+  tiered.Compact();
+  flat.Compact();
+  EXPECT_EQ(tiered.delta_size(), 0u);
+  EXPECT_EQ(flat.delta_size(), 0u);
+  EXPECT_EQ(tiered.size(), flat.size());
+}
+
+}  // namespace
+}  // namespace drli

@@ -91,6 +91,36 @@ if "$CLI" build --input="$WORK/data.csv" --kind=dl+ --shards=2 --format=v1 \
   exit 1
 fi
 
+# Tiered dynamic index: stream the relation through the insert path,
+# persist the generation (manifest + run snapshots), inspect the run
+# table, and query through the multi-run merge.
+TIERED_OUT="$("$CLI" build --input="$WORK/data.csv" --kind=tdl+256 \
+  --out="$WORK/tiered.drlt")"
+echo "$TIERED_OUT" | grep -q "built DL+lsm over 2000 tuples"
+echo "$TIERED_OUT" | grep -q "saved manifest to"
+# Run files are named by immutable uid; compaction may have retired
+# uid 0, so take the first surviving run file from the manifest table.
+RUN_FILE="$WORK/$("$CLI" inspect --index="$WORK/tiered.drlt" \
+  | awk '$4 ~ /\.run-/ { print $4; exit }')"
+test -f "$RUN_FILE"
+"$CLI" inspect --index="$WORK/tiered.drlt" | grep -q "tiered manifest v1"
+"$CLI" inspect --index="$WORK/tiered.drlt" | grep -qE "generation=[0-9]+"
+"$CLI" inspect --index="$RUN_FILE" | grep -q "kernel dispatch:"
+"$CLI" query --index="$WORK/tiered.drlt" --weights=0.2,0.3,0.5 --k=5 \
+  | grep -qE "runs opened [0-9]+/[0-9]+"
+# The tiered merge is bit-identical to the single-index answer.
+"$CLI" query --index="$WORK/tiered.drlt" --weights=0.2,0.3,0.5 --k=5 \
+  | grep "tuple " >"$WORK/tiered_items.txt"
+diff "$WORK/simd_items.txt" "$WORK/tiered_items.txt"
+# A manifest pointing at a missing run file fails cleanly.
+mv "$RUN_FILE" "$RUN_FILE.gone"
+if "$CLI" query --index="$WORK/tiered.drlt" --weights=0.2,0.3,0.5 --k=5 \
+    2>/dev/null; then
+  echo "expected failure for missing run file" >&2
+  exit 1
+fi
+mv "$RUN_FILE.gone" "$RUN_FILE"
+
 # Error paths exit non-zero.
 if "$CLI" build --input="$WORK/data.csv" --kind=onion --out="$WORK/x.bin" 2>/dev/null; then
   echo "expected failure for non-serializable kind" >&2

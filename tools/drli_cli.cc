@@ -15,6 +15,17 @@
 //   drli check    --index=index.bin
 //   drli check    --input=data.csv --kind=dl+ --samples=32
 //
+// Tiered dynamic index: --kind=tdl+ (optionally tdl+<M> for a memtable
+// of M rows) builds the LSM-style engine by streaming the relation
+// through its insert path and writes a generation manifest plus one
+// run snapshot per sealed run; inspect/query detect tiered manifests
+// automatically and inspect prints the run table.
+//
+//   drli build    --input=data.csv --kind=tdl+128 --out=index.drlt
+//   drli inspect  --index=index.drlt        # generation + run table
+//   drli query    --index=index.drlt --weights=0.3,0.3,0.4 --k=10
+//                 # prints "runs opened R_o/R" next to the timings
+//
 // Sharded serving (DESIGN.md §7): --shards=S at build time partitions
 // the relation and writes one snapshot per shard plus a manifest;
 // inspect/query/check detect manifest files automatically.
@@ -51,10 +62,12 @@
 #include "core/index_registry.h"
 #include "core/rank_sweep_2d.h"
 #include "core/serialization.h"
+#include "core/tiered_index.h"
 #include "data/csv.h"
 #include "data/generator.h"
 #include "shard/shard_io.h"
 #include "shard/sharded_index.h"
+#include "storage/tiered_io.h"
 #include "testing/check_index.h"
 
 namespace drli {
@@ -159,9 +172,9 @@ int CmdBuild(const Flags& flags) {
     return 1;
   }
   const std::string kind = GetFlag(flags, "kind", "dl+");
-  if (kind != "dl" && kind != "dl+") {
+  if (kind != "dl" && kind != "dl+" && kind.rfind("tdl+", 0) != 0) {
     std::fprintf(stderr,
-                 "only dl and dl+ support serialization; got %s\n",
+                 "only dl, dl+ and tdl+ support serialization; got %s\n",
                  kind.c_str());
     return 2;
   }
@@ -169,6 +182,35 @@ int CmdBuild(const Flags& flags) {
   if (out.empty()) {
     std::fprintf(stderr, "--out=<index file> is required\n");
     return 2;
+  }
+  if (kind.rfind("tdl+", 0) == 0) {
+    // The registry streams the relation through the insert path, so
+    // the saved state genuinely spans sealed runs plus a (possibly
+    // partial) memtable -- the shape a live dynamic deployment has.
+    IndexBuildConfig config;
+    config.kind = kind;
+    config.zero_layer_clusters = GetSizeFlag(flags, "clusters", 0);
+    Stopwatch timer;
+    auto built = BuildIndex(config, dataset.value().points());
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    const auto* tiered =
+        static_cast<const TieredDualLayerIndex*>(built.value().get());
+    std::printf("built %s over %zu tuples in %.2fs "
+                "(%zu runs, %zu memtable rows, %zu seals, %zu compactions)\n",
+                tiered->name().c_str(), tiered->size(),
+                timer.ElapsedSeconds(), tiered->num_runs(),
+                tiered->memtable_size(), tiered->seal_count(),
+                tiered->compaction_count());
+    if (const Status status = SaveTieredIndex(*tiered, out); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved manifest to %s (+%zu run snapshots)\n", out.c_str(),
+                tiered->num_runs());
+    return 0;
   }
   DualLayerOptions options;
   options.build_zero_layer = (kind == "dl+");
@@ -281,6 +323,35 @@ int InspectManifest(const std::string& path) {
   return 0;
 }
 
+// Tiered-manifest metadata: the generation summary and the run table.
+// Validates the manifest checksum but does not open the run files;
+// `drli inspect` on an individual .run-NNNNNN file (a standard v2
+// snapshot) audits its sections.
+int InspectTiered(const std::string& path) {
+  const auto inspected = InspectTieredManifest(path);
+  if (!inspected.ok()) {
+    std::fprintf(stderr, "%s\n", inspected.status().ToString().c_str());
+    return 1;
+  }
+  const TieredManifestInfo& info = inspected.value();
+  std::printf("%s: tiered manifest v%u (%s)\n", path.c_str(), info.version,
+              info.name.c_str());
+  std::printf("generation=%llu d=%zu runs=%zu memtable=%llu tombstones=%llu "
+              "next_id=%llu\n",
+              static_cast<unsigned long long>(info.generation), info.dim,
+              info.runs.size(),
+              static_cast<unsigned long long>(info.memtable_rows),
+              static_cast<unsigned long long>(info.num_tombstones),
+              static_cast<unsigned long long>(info.next_id));
+  std::printf("%-8s %-6s %10s  %s\n", "run", "tier", "tuples", "file");
+  for (const TieredManifestRunInfo& run : info.runs) {
+    std::printf("%-8u %-6u %10llu  %s\n", run.uid, run.tier,
+                static_cast<unsigned long long>(run.num_points),
+                run.file.c_str());
+  }
+  return 0;
+}
+
 // Snapshot metadata without constructing the index: format version,
 // shape, and (for v2) the section table with recomputed CRCs.
 int CmdInspect(const Flags& flags) {
@@ -290,6 +361,7 @@ int CmdInspect(const Flags& flags) {
     return 2;
   }
   if (IsShardManifest(path)) return InspectManifest(path);
+  if (IsTieredManifest(path)) return InspectTiered(path);
   const auto inspected = InspectSnapshot(path);
   if (!inspected.ok()) {
     std::fprintf(stderr, "%s\n", inspected.status().ToString().c_str());
@@ -337,6 +409,7 @@ int CmdStats(const Flags& flags) {
     return 2;
   }
   if (IsShardManifest(path)) return InspectManifest(path);
+  if (IsTieredManifest(path)) return InspectTiered(path);
   auto index = LoadDualLayerIndex(path);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
@@ -388,6 +461,7 @@ int CmdQuery(const Flags& flags) {
   std::unique_ptr<TopKIndex> owned;
   std::optional<DualLayerIndex> loaded_dl;
   std::optional<ShardedDualLayerIndex> loaded_sharded;
+  std::optional<TieredDualLayerIndex> loaded_tiered;
   const TopKIndex* index = nullptr;
   std::size_t dim = 0;
   if (!index_path.empty() && IsShardManifest(index_path)) {
@@ -399,6 +473,15 @@ int CmdQuery(const Flags& flags) {
     loaded_sharded.emplace(std::move(loaded).value());
     index = &*loaded_sharded;
     dim = loaded_sharded->dim();
+  } else if (!index_path.empty() && IsTieredManifest(index_path)) {
+    auto loaded = LoadTieredIndex(index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    loaded_tiered.emplace(std::move(loaded).value());
+    index = &*loaded_tiered;
+    dim = loaded_tiered->dim();
   } else if (!index_path.empty()) {
     auto loaded = LoadDualLayerIndex(index_path);
     if (!loaded.ok()) {
@@ -460,6 +543,11 @@ int CmdQuery(const Flags& flags) {
                 loaded_sharded->num_shards());
   } else if (result.stats.shards_touched > 0) {
     std::printf("shards touched %zu\n", result.stats.shards_touched);
+  }
+  if (loaded_tiered.has_value()) {
+    std::printf("runs opened %zu/%zu (+memtable of %zu rows)\n",
+                result.stats.runs_opened, loaded_tiered->num_runs(),
+                loaded_tiered->memtable_size());
   }
   for (std::size_t r = 0; r < result.items.size(); ++r) {
     std::printf("  %2zu. tuple %-8u score %.6f%s\n", r + 1,

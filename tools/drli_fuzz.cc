@@ -3,8 +3,13 @@
 //   drli_fuzz --cases=500 --seed=1        # seeds 1..500
 //   drli_fuzz --replay=391                # one failing seed, verbose
 //   drli_fuzz --cases=200 --dynamic=0     # skip the DynamicIndex oracle
+//   drli_fuzz --mixed-rw --cases=40       # sustained ~95/5 read/write
+//                                         # traces against the tiered
+//                                         # engine (nightly sanitizer
+//                                         # soak entry point)
 //   drli_fuzz --snapshot-faults --flips=20000 --seed=7
-//                                         # snapshot corruption sweep
+//                                         # snapshot corruption sweep +
+//                                         # tiered crash-recovery sweep
 //   drli_fuzz --budget-faults --cases=20 --seed=3
 //                                         # exhaustive execution-budget
 //                                         # fault sweep (every step index
@@ -15,12 +20,14 @@
 // duplicates, grid-snapped coordinates, coplanar rows, d in 2..5, tiny
 // n), runs the invariant checker on dl/dl+ builds, cross-checks every
 // registered family against the brute-force reference, and replays an
-// insert/erase/query trace against DynamicDualLayerIndex. A failure
-// prints "FAIL seed=<seed>" and the process exits nonzero; the same
-// seed reproduces the case deterministically.
+// insert/erase/query/compact-step trace against both dynamic engines
+// (flat-rebuild and tiered). A failure prints "FAIL seed=<seed>" and
+// the process exits nonzero; the same seed reproduces the case
+// deterministically.
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,9 +48,42 @@ int Usage() {
   std::fprintf(stderr,
                "usage: drli_fuzz [--cases=N] [--seed=S] [--replay=SEED]\n"
                "                 [--dynamic=0|1] [--max-n=N]\n"
+               "       drli_fuzz --mixed-rw [--cases=N] [--seed=S]\n"
                "       drli_fuzz --snapshot-faults [--flips=N] [--seed=S]\n"
                "       drli_fuzz --budget-faults [--cases=N] [--seed=S]\n");
   return 2;
+}
+
+// Sustained ~95% read / ~5% write traces against the tiered dynamic
+// engine, each checked step by step against a brute-force mirror. The
+// nightly ASan/UBSan job runs this mode to soak the concurrent-shape
+// state machine (seal and compaction under a read stream).
+int RunMixedTraces(std::size_t cases, std::uint64_t first_seed) {
+  std::size_t failed = 0;
+  std::size_t max_runs = 0;
+  std::size_t mid_compaction = 0;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    const FuzzCaseResult result = RunMixedTraceCase(seed);
+    max_runs = std::max(max_runs, result.max_runs);
+    mid_compaction += result.mid_compaction_queries;
+    if (result.ok()) continue;
+    ++failed;
+    std::printf("FAIL seed=%llu (%s)\n",
+                static_cast<unsigned long long>(seed),
+                result.dataset_desc.c_str());
+    for (const std::string& failure : result.failures) {
+      std::printf("  %s\n", failure.c_str());
+    }
+  }
+  if (failed == 0) {
+    std::printf("%zu/%zu mixed-rw traces ok (max %zu runs, %zu queries "
+                "mid-compaction)\n",
+                cases, cases, max_runs, mid_compaction);
+    return 0;
+  }
+  std::printf("%zu/%zu mixed-rw traces FAILED\n", failed, cases);
+  return 1;
 }
 
 // Execution-budget fault sweep: for each case seed, derive the usual
@@ -151,6 +191,17 @@ int RunSnapshotFaults(std::size_t flips, std::uint64_t seed) {
       std::remove(path.c_str());
     }
   }
+  // Tiered crash-recovery sweep: crash prefixes over the generation
+  // write schedule plus corruption of the manifest and run files.
+  {
+    testing::TieredFaultOptions sweep;
+    sweep.seed = seed;
+    sweep.num_flips = flips;
+    const testing::TieredFaultReport report =
+        testing::RunTieredFaultSweep(base + "tiered", sweep);
+    std::printf("tiered crash sweep: %s\n", report.ToString().c_str());
+    ok = ok && report.ok();
+  }
   std::printf(ok ? "snapshot fault sweep ok\n"
                  : "snapshot fault sweep FAILED\n");
   return ok ? 0 : 1;
@@ -162,6 +213,7 @@ int Main(int argc, char** argv) {
   bool replay = false;
   bool snapshot_faults = false;
   bool budget_faults = false;
+  bool mixed_rw = false;
   // DRLI_FAULT_FLIPS pre-sets the flip budget (the nightly job raises
   // it); --flips= wins over the environment.
   std::size_t flips = 1000;
@@ -178,6 +230,8 @@ int Main(int argc, char** argv) {
       snapshot_faults = true;
     } else if (arg == "--budget-faults") {
       budget_faults = true;
+    } else if (arg == "--mixed-rw") {
+      mixed_rw = true;
     } else if (arg.rfind("--flips=", 0) == 0) {
       flips = std::strtoul(value("--flips="), nullptr, 10);
     } else if (arg.rfind("--cases=", 0) == 0) {
@@ -198,6 +252,7 @@ int Main(int argc, char** argv) {
   }
   if (snapshot_faults) return RunSnapshotFaults(flips, first_seed);
   if (budget_faults) return RunBudgetFaults(cases, first_seed);
+  if (mixed_rw) return RunMixedTraces(cases, first_seed);
 
   std::size_t failed = 0;
   for (std::size_t i = 0; i < cases; ++i) {
@@ -207,6 +262,10 @@ int Main(int argc, char** argv) {
       std::printf("seed=%llu dataset: %s\n",
                   static_cast<unsigned long long>(seed),
                   result.dataset_desc.c_str());
+      std::printf("  tiered trace: max_runs=%zu mid_compaction_queries=%zu "
+                  "peak_tombstones=%zu\n",
+                  result.max_runs, result.mid_compaction_queries,
+                  result.peak_tombstones);
     }
     if (result.ok()) continue;
     ++failed;
