@@ -50,6 +50,13 @@ struct Row {
   double single_query_budgeted_seconds = 0;
   double batch_qps_1t = 0;
   double batch_qps_nt = 0;
+  // The two clocks of the parallel batch, straight from BatchStats:
+  // wall is the single clock around the batch (the QPS denominator),
+  // query_seconds is the SUM of per-query clocks -- over parallel
+  // workers it exceeds wall by roughly the worker count, which is why
+  // QPS must never be computed from it.
+  double batch_wall_seconds_nt = 0;
+  double batch_query_seconds_nt = 0;
   double avg_tuples = 0;  // Definition 9, for cross-checking
   const char* kernel = "";  // active score-kernel dispatch target
 };
@@ -127,18 +134,25 @@ Row Measure(std::size_t n, std::size_t d, std::size_t num_queries,
   DRLI_CHECK(budgeted_tuples == tuples)
       << "budgeted traversal changed the evaluation count";
 
-  // Batch throughput: identical workload, 1 worker vs. `threads`.
+  // Batch throughput: identical workload, 1 worker vs. `threads`. QPS
+  // divides by BatchStats::wall_seconds -- the batch's single wall
+  // clock -- never by the sum of per-query clocks, which over parallel
+  // workers overstates elapsed time by ~the worker count.
   setenv("DRLI_THREADS", "1", 1);
-  timer.Restart();
-  const std::vector<TopKResult> serial_results = index.QueryBatch(queries);
+  BatchStats serial_stats;
+  const std::vector<TopKResult> serial_results =
+      index.QueryBatch(queries, BatchOptions{}, &serial_stats);
   row.batch_qps_1t =
-      static_cast<double>(num_queries) / timer.ElapsedSeconds();
+      static_cast<double>(num_queries) / serial_stats.wall_seconds;
 
   setenv("DRLI_THREADS", std::to_string(threads).c_str(), 1);
-  timer.Restart();
-  const std::vector<TopKResult> parallel_results = index.QueryBatch(queries);
+  BatchStats parallel_stats;
+  const std::vector<TopKResult> parallel_results =
+      index.QueryBatch(queries, BatchOptions{}, &parallel_stats);
   row.batch_qps_nt =
-      static_cast<double>(num_queries) / timer.ElapsedSeconds();
+      static_cast<double>(num_queries) / parallel_stats.wall_seconds;
+  row.batch_wall_seconds_nt = parallel_stats.wall_seconds;
+  row.batch_query_seconds_nt = parallel_stats.merged.elapsed_seconds;
 
   for (std::size_t i = 0; i < num_queries; ++i) {
     DRLI_CHECK(serial_results[i].items.size() ==
@@ -189,7 +203,7 @@ int main(int argc, char** argv) {
   out << "[\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buffer[512];
+    char buffer[640];
     std::snprintf(
         buffer, sizeof(buffer),
         "  {\"n\": %zu, \"d\": %zu, \"batch\": %zu, \"threads\": %zu, "
@@ -197,11 +211,13 @@ int main(int argc, char** argv) {
         "\"build_seconds_serial\": %.6f, \"build_seconds_parallel\": %.6f, "
         "\"single_query_seconds\": %.9f, "
         "\"single_query_budgeted_seconds\": %.9f, \"batch_qps_1t\": %.1f, "
-        "\"batch_qps_nt\": %.1f, \"avg_tuples\": %.2f}%s\n",
+        "\"batch_qps_nt\": %.1f, \"batch_wall_seconds_nt\": %.6f, "
+        "\"batch_query_seconds_nt\": %.6f, \"avg_tuples\": %.2f}%s\n",
         r.n, r.d, r.batch, r.threads, r.kernel, r.build_seconds_serial,
         r.build_seconds_parallel, r.single_query_seconds,
         r.single_query_budgeted_seconds, r.batch_qps_1t, r.batch_qps_nt,
-        r.avg_tuples, i + 1 < rows.size() ? "," : "");
+        r.batch_wall_seconds_nt, r.batch_query_seconds_nt, r.avg_tuples,
+        i + 1 < rows.size() ? "," : "");
     out << buffer;
   }
   out << "]\n";

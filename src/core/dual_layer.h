@@ -119,6 +119,21 @@ struct DualLayerBuildStats {
   std::size_t coarse_pairs_tested = 0;
 };
 
+// One (coarse layer, fine sublayer) group of real tuples with its
+// attribute bounding box, in layer order (same partition as
+// LayerGroups). The constrained scenario traversal treats each
+// sublayer as a pruning unit: skip the whole group when its box misses
+// the constraint box, otherwise open it in ascending order of the
+// componentwise-min corner's score (a lower bound on every member's
+// score under non-negative weights).
+struct SublayerSummary {
+  std::uint32_t coarse = 0;
+  std::uint32_t fine = 0;
+  std::vector<TupleId> members;  // LayerGroups order
+  Point bbox_lo;                 // componentwise min over members
+  Point bbox_hi;                 // componentwise max over members
+};
+
 // Derived, traversal-ordered layout the query path runs on. Built by
 // FinalizeInitialNodes (once per Build and once per snapshot load --
 // never persisted; a snapshot stores only the node-space index).
@@ -287,6 +302,17 @@ class DualLayerIndex final : public TopKIndex {
   // Real tuples grouped by (coarse layer, fine sublayer), in layer
   // order -- the disk clustering unit for storage/page_layout.
   std::vector<std::vector<TupleId>> LayerGroups() const;
+  // Per-sublayer summaries in layer order: the LayerGroups partition
+  // plus each group's attribute bounding box. bbox_lo is the
+  // componentwise-min corner, so Score(weights, bbox_lo) lower-bounds
+  // every member's score for any non-negative weights -- the bound the
+  // constrained scenario's group heap orders by (scenarios/
+  // constrained.h), and bbox overlap against a constraint box is the
+  // prune test. Derived by FinalizeInitialNodes after every build and
+  // snapshot load; never persisted.
+  const std::vector<SublayerSummary>& sublayer_catalog() const {
+    return sublayer_catalog_;
+  }
   bool uses_weight_table() const { return use_weight_table_; }
   const WeightRangeTable& weight_table() const { return weight_table_; }
   // The derived slot-space layout queries run on (tests, benchmarks).
@@ -350,6 +376,7 @@ class DualLayerIndex final : public TopKIndex {
   // Derived from the members above by FinalizeInitialNodes; never
   // serialized (rebuilt after every build and snapshot load).
   QueryLayout layout_;
+  std::vector<SublayerSummary> sublayer_catalog_;
 
   // 2-d zero layer (Section V-A).
   bool use_weight_table_ = false;

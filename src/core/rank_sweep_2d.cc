@@ -67,6 +67,12 @@ RankSweepResult SweepTopKSets2D(const PointSet& points, std::size_t k) {
   // passed slightly below the sweep position so that cascades of
   // crossings at one weight (concurrent lines) are not lost.
   auto crossing = [&](TupleId upper, TupleId lower, double after) {
+    // Equal first attributes tie the scores exactly at w = 1 and
+    // nowhere else: there is no interior crossing. This test must be
+    // exact -- the generic formula below rounds such crossings to
+    // 1 - ulp, which would fabricate an interior breakpoint whose
+    // sliver segment carries a fully inverted (and wrong) order.
+    if (points.At(upper, 0) == points.At(lower, 0)) return 2.0;
     const double slope_diff = slope(upper) - slope(lower);
     if (slope_diff <= 0.0) return 2.0;  // upper stays at or below
     const double w = (intercept(lower) - intercept(upper)) / slope_diff;

@@ -261,9 +261,10 @@ bool TieredDualLayerIndex::ScheduleCompaction() {
   // (b) tombstone pressure: merge everything, dropping every consumed
   // tombstone.
   if (options_.tombstone_compact_fraction > 0.0) {
-    const double cap = std::max(
-        64.0, options_.tombstone_compact_fraction *
-                  static_cast<double>(indexed_rows()));
+    const double cap =
+        std::max(static_cast<double>(options_.tombstone_compact_min),
+                 options_.tombstone_compact_fraction *
+                     static_cast<double>(indexed_rows()));
     if (static_cast<double>(tombstones_.size()) > cap) {
       ScheduleFullCompaction();
       return true;

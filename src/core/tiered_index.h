@@ -65,8 +65,14 @@ struct TieredIndexOptions {
   // Live rows copied per merge step (the unit of compaction progress).
   std::size_t compact_rows_per_step = 4096;
   // Merge all runs (dropping every consumed tombstone) once tombstones
-  // exceed max(64, this fraction of indexed rows). 0 disables.
+  // exceed max(tombstone_compact_min, this fraction of indexed rows).
+  // 0 disables.
   double tombstone_compact_fraction = 0.5;
+  // Absolute floor under the tombstone trigger: below this many
+  // tombstones no fraction ever fires. The default keeps the historical
+  // behaviour (a hardcoded 64 kept the trigger off delete-heavy tiny
+  // indexes); set 0 to let the fraction govern alone at any size.
+  std::size_t tombstone_compact_min = 64;
   // Display name; empty = "DL+lsm".
   std::string name;
 };

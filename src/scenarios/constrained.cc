@@ -1,0 +1,361 @@
+#include "scenarios/constrained.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace drli {
+namespace {
+
+// Running top-k under the canonical order: a max-heap whose head is
+// the worst kept candidate, so an offer either displaces the head or
+// is rejected as canonically later than everything kept.
+class TopKKeeper {
+ public:
+  explicit TopKKeeper(std::size_t k) : k_(k) {}
+
+  void Offer(const ScoredTuple& t) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back(t);
+      std::push_heap(heap_.begin(), heap_.end(), ResultOrderLess);
+      return;
+    }
+    if (ResultOrderLess(t, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), ResultOrderLess);
+      heap_.back() = t;
+      std::push_heap(heap_.begin(), heap_.end(), ResultOrderLess);
+    }
+  }
+
+  bool full() const { return heap_.size() == k_; }
+  // Worst kept candidate; only meaningful when full().
+  const ScoredTuple& worst() const { return heap_.front(); }
+
+  std::vector<ScoredTuple> TakeSorted() {
+    std::sort(heap_.begin(), heap_.end(), ResultOrderLess);
+    return std::move(heap_);
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<ScoredTuple> heap_;
+};
+
+Status ValidateConstrained(const ConstrainedQuery& query, std::size_t dim) {
+  TopKQuery base;
+  base.weights = query.weights;
+  base.k = query.k;
+  if (Status status = ValidateQuery(base, dim); !status.ok()) return status;
+  return ValidateBox(query.box, dim);
+}
+
+// Can a unit with bound `bound` still change a full keeper's answer?
+// Ties must stay open: an equal-score member with a smaller id would
+// displace the current worst.
+bool FrontierOpen(const TopKKeeper& keeper, double bound) {
+  return !keeper.full() || bound <= keeper.worst().score;
+}
+
+}  // namespace
+
+TopKResult ConstrainedTopK(const DualLayerIndex& index,
+                           const ConstrainedQuery& query) {
+  Stopwatch timer;
+  TopKResult result;
+  if (Status status = ValidateConstrained(query, index.points().dim());
+      !status.ok()) {
+    return InvalidQueryResult(status);
+  }
+
+  // Sublayer groups in ascending corner-bound order. The corner is the
+  // group's componentwise-min box corner, so its score lower-bounds
+  // every member under the non-negative weights ValidateQuery admits.
+  const std::vector<SublayerSummary>& catalog = index.sublayer_catalog();
+  using Entry = std::pair<double, std::size_t>;  // (bound, catalog slot)
+  std::vector<Entry> entries;
+  entries.reserve(catalog.size());
+  for (std::size_t g = 0; g < catalog.size(); ++g) {
+    entries.emplace_back(Score(query.weights, catalog[g].bbox_lo), g);
+  }
+  std::sort(entries.begin(), entries.end());
+
+  BudgetGate gate(query.budget);
+  TopKKeeper keeper(query.k);
+  for (std::size_t next = 0; next < entries.size(); ++next) {
+    const double bound = entries[next].first;
+    if (!FrontierOpen(keeper, bound)) break;
+    if (const Termination stop = gate.Step(result.stats.tuples_evaluated);
+        stop != Termination::kComplete) {
+      result.items = keeper.TakeSorted();
+      result.stats.elapsed_seconds = timer.ElapsedSeconds();
+      FinalizePartial(result, stop, bound);
+      return result;
+    }
+    const SublayerSummary& group = catalog[entries[next].second];
+    if (!query.box.Intersects(group.bbox_lo, group.bbox_hi)) {
+      ++result.stats.boxes_pruned;
+      continue;
+    }
+    for (const TupleId id : group.members) {
+      const PointView p = index.points()[id];
+      if (!query.box.Contains(p)) continue;
+      // Definition-9 accounting: only tuples the predicate admits are
+      // scored; a containment miss costs comparisons, not a score.
+      ++result.stats.tuples_evaluated;
+      result.accessed.push_back(id);
+      keeper.Offer(ScoredTuple{id, Score(query.weights, p)});
+    }
+  }
+
+  result.items = keeper.TakeSorted();
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  FinalizeComplete(result);
+  return result;
+}
+
+TopKResult ConstrainedTopK(const ShardedDualLayerIndex& index,
+                           const ConstrainedQuery& query) {
+  Stopwatch timer;
+  TopKResult result;
+  if (Status status = ValidateConstrained(query, index.dim()); !status.ok()) {
+    return InvalidQueryResult(status);
+  }
+
+  // Shards in ascending frontier-bound order (the grouped-corner bound
+  // the unconstrained coordinator uses). The per-shard box is the fold
+  // of the shard's sublayer catalog boxes.
+  using Entry = std::pair<double, std::size_t>;  // (bound, shard)
+  std::vector<Entry> entries;
+  for (std::size_t s = 0; s < index.num_shards(); ++s) {
+    if (index.shard_members(s).empty()) continue;
+    entries.emplace_back(index.ShardLowerBound(s, query.weights), s);
+  }
+  std::sort(entries.begin(), entries.end());
+
+  TopKKeeper keeper(query.k);
+  const auto finish_partial = [&](Termination reason, double frontier) {
+    result.items = keeper.TakeSorted();
+    result.stats.elapsed_seconds = timer.ElapsedSeconds();
+    FinalizePartial(result, reason, frontier);
+    return result;
+  };
+
+  for (std::size_t next = 0; next < entries.size(); ++next) {
+    const double bound = entries[next].first;
+    const std::size_t s = entries[next].second;
+    if (!FrontierOpen(keeper, bound)) break;
+
+    const DualLayerIndex& shard = index.shard(s);
+    const std::vector<SublayerSummary>& catalog = shard.sublayer_catalog();
+    bool overlaps = false;
+    for (const SublayerSummary& group : catalog) {
+      if (query.box.Intersects(group.bbox_lo, group.bbox_hi)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) {
+      ++result.stats.boxes_pruned;
+      continue;
+    }
+
+    ConstrainedQuery sub = query;
+    const Termination remaining =
+        RemainingBudget(query.budget, result.stats.tuples_evaluated, timer,
+                        &sub.budget);
+    if (remaining != Termination::kComplete) {
+      return finish_partial(remaining, bound);
+    }
+
+    TopKResult local = ConstrainedTopK(shard, sub);
+    ++result.stats.shards_touched;
+    result.stats.tuples_evaluated += local.stats.tuples_evaluated;
+    result.stats.virtual_evaluated += local.stats.virtual_evaluated;
+    result.stats.boxes_pruned += local.stats.boxes_pruned;
+    const std::vector<TupleId>& members = index.shard_members(s);
+    for (const TupleId local_id : local.accessed) {
+      result.accessed.push_back(members[local_id]);
+    }
+    // Local (score, local-id) order equals global (score, global-id)
+    // order because shard membership is ascending -- same argument as
+    // the unconstrained scatter-gather merge.
+    const std::size_t usable = local.complete()
+                                   ? local.items.size()
+                                   : local.certified_prefix;
+    for (std::size_t i = 0; i < usable; ++i) {
+      keeper.Offer(
+          ScoredTuple{members[local.items[i].id], local.items[i].score});
+    }
+    if (!local.complete()) {
+      // The tripped shard bounds its own remainder; later shards are
+      // bounded by their (ascending) corner bounds.
+      double frontier = local.frontier_bound;
+      if (next + 1 < entries.size()) {
+        frontier = std::min(frontier, entries[next + 1].first);
+      }
+      return finish_partial(local.termination, frontier);
+    }
+  }
+
+  result.items = keeper.TakeSorted();
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  FinalizeComplete(result);
+  return result;
+}
+
+TopKResult ConstrainedTopK(const TieredDualLayerIndex& index,
+                           const ConstrainedQuery& query) {
+  Stopwatch timer;
+  TopKResult result;
+  if (Status status = ValidateConstrained(query, index.dim()); !status.ok()) {
+    return InvalidQueryResult(status);
+  }
+
+  TopKKeeper keeper(query.k);
+
+  // The memtable is always fully scanned (it is small by construction:
+  // at most memtable_capacity rows), so a later partial stop only has
+  // to certify against run bounds.
+  const PointSet& memtable = index.memtable();
+  const std::vector<TupleId>& memtable_ids = index.memtable_ids();
+  for (std::size_t i = 0; i < memtable.size(); ++i) {
+    const PointView p = memtable[i];
+    if (!query.box.Contains(p)) continue;
+    ++result.stats.tuples_evaluated;
+    result.accessed.push_back(memtable_ids[i]);
+    keeper.Offer(ScoredTuple{memtable_ids[i], Score(query.weights, p)});
+  }
+
+  // Runs in ascending grouped-corner bound order.
+  using Entry = std::pair<double, std::size_t>;  // (bound, run slot)
+  std::vector<Entry> entries;
+  const std::size_t d = index.dim();
+  for (std::size_t r = 0; r < index.num_runs(); ++r) {
+    const TieredRun& run = index.run(r);
+    double bound = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c * d < run.bound_values.size(); ++c) {
+      bound = std::min(
+          bound, Score(query.weights,
+                       PointView(run.bound_values.data() + c * d, d)));
+    }
+    entries.emplace_back(bound, r);
+  }
+  std::sort(entries.begin(), entries.end());
+
+  const auto finish_partial = [&](Termination reason, double frontier) {
+    result.items = keeper.TakeSorted();
+    result.stats.elapsed_seconds = timer.ElapsedSeconds();
+    FinalizePartial(result, reason, frontier);
+    return result;
+  };
+
+  for (std::size_t next = 0; next < entries.size(); ++next) {
+    const double bound = entries[next].first;
+    const TieredRun& run = index.run(entries[next].second);
+    if (!FrontierOpen(keeper, bound)) break;
+
+    const std::vector<SublayerSummary>& catalog = run.index.sublayer_catalog();
+    bool overlaps = false;
+    for (const SublayerSummary& group : catalog) {
+      if (query.box.Intersects(group.bbox_lo, group.bbox_hi)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) {
+      ++result.stats.boxes_pruned;
+      continue;
+    }
+
+    ConstrainedQuery sub = query;
+    const Termination remaining =
+        RemainingBudget(query.budget, result.stats.tuples_evaluated, timer,
+                        &sub.budget);
+    if (remaining != Termination::kComplete) {
+      return finish_partial(remaining, bound);
+    }
+    // k + dead(run) local items guarantee k live ones when the run has
+    // them: any further member follows at least k live predecessors.
+    sub.k = query.k + run.dead;
+
+    TopKResult local = ConstrainedTopK(run.index, sub);
+    ++result.stats.runs_opened;
+    result.stats.tuples_evaluated += local.stats.tuples_evaluated;
+    result.stats.virtual_evaluated += local.stats.virtual_evaluated;
+    result.stats.boxes_pruned += local.stats.boxes_pruned;
+    for (const TupleId local_id : local.accessed) {
+      result.accessed.push_back(run.ids[local_id]);
+    }
+    const std::size_t usable = local.complete()
+                                   ? local.items.size()
+                                   : local.certified_prefix;
+    for (std::size_t i = 0; i < usable; ++i) {
+      const TupleId gid = run.ids[local.items[i].id];
+      if (index.tombstones().count(gid) != 0) continue;
+      keeper.Offer(ScoredTuple{gid, local.items[i].score});
+    }
+    if (!local.complete()) {
+      double frontier = local.frontier_bound;
+      if (next + 1 < entries.size()) {
+        frontier = std::min(frontier, entries[next + 1].first);
+      }
+      return finish_partial(local.termination, frontier);
+    }
+  }
+
+  result.items = keeper.TakeSorted();
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  FinalizeComplete(result);
+  return result;
+}
+
+TopKResult ConstrainedScanRows(const PointSet& points,
+                               const std::vector<TupleId>& ids,
+                               const ConstrainedQuery& query) {
+  Stopwatch timer;
+  TopKResult result;
+  if (Status status = ValidateConstrained(query, points.dim()); !status.ok()) {
+    return InvalidQueryResult(status);
+  }
+
+  BudgetGate gate(query.budget);
+  TopKKeeper keeper(query.k);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (const Termination stop = gate.Step(result.stats.tuples_evaluated);
+        stop != Termination::kComplete) {
+      result.items = keeper.TakeSorted();
+      result.stats.elapsed_seconds = timer.ElapsedSeconds();
+      // Mid-scan there is no bound on the unscanned remainder (same
+      // contract as the unconstrained FullScan): certify nothing.
+      FinalizePartial(result, stop,
+                      -std::numeric_limits<double>::infinity());
+      return result;
+    }
+    const PointView p = points[i];
+    if (!query.box.Contains(p)) continue;
+    ++result.stats.tuples_evaluated;
+    result.accessed.push_back(ids[i]);
+    keeper.Offer(ScoredTuple{ids[i], Score(query.weights, p)});
+  }
+
+  result.items = keeper.TakeSorted();
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  FinalizeComplete(result);
+  return result;
+}
+
+TopKResult ConstrainedTopKScan(const PointSet& points,
+                               const ConstrainedQuery& query) {
+  std::vector<TupleId> identity(points.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) {
+    identity[i] = static_cast<TupleId>(i);
+  }
+  return ConstrainedScanRows(points, identity, query);
+}
+
+}  // namespace drli

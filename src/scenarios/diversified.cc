@@ -1,0 +1,207 @@
+#include "scenarios/diversified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace drli {
+namespace {
+
+Status ValidateDiversified(const DiversifiedQuery& query, std::size_t dim) {
+  TopKQuery base;
+  base.weights = query.weights;
+  base.k = query.k;
+  if (Status status = ValidateQuery(base, dim); !status.ok()) return status;
+  if (!std::isfinite(query.lambda) || query.lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be finite and non-negative");
+  }
+  if (query.pool_factor < 1) {
+    return Status::InvalidArgument("pool_factor must be >= 1");
+  }
+  return Status::Ok();
+}
+
+double Similarity(PointView a, PointView b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return 1.0 / (1.0 + std::sqrt(sum));
+}
+
+// The greedy over a pool given in canonical (score, id) order. Both
+// the accelerated path and the brute-force reference run exactly this
+// code on their pools, so certified prefixes agree bit-for-bit: same
+// Similarity arithmetic, same running-max accumulation (in selection
+// order), same (g, id) tie-break.
+std::vector<DiversifiedPick> GreedySelect(const PointSet& points,
+                                          const std::vector<ScoredTuple>& pool,
+                                          double lambda, std::size_t k) {
+  std::vector<DiversifiedPick> picks;
+  // max over already-picked similarities, per pool candidate.
+  std::vector<double> penalty(pool.size(), 0.0);
+  std::vector<char> taken(pool.size(), 0);
+  while (picks.size() < k) {
+    std::size_t best = pool.size();
+    double best_g = 0.0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i]) continue;
+      const double g = pool[i].score + lambda * penalty[i];
+      if (best == pool.size() || g < best_g ||
+          (g == best_g && pool[i].id < pool[best].id)) {
+        best = i;
+        best_g = g;
+      }
+    }
+    if (best == pool.size()) break;  // pool exhausted
+    taken[best] = 1;
+    picks.push_back(DiversifiedPick{pool[best].id, pool[best].score, best_g});
+    const PointView chosen = points[pool[best].id];
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i]) continue;
+      penalty[i] =
+          std::max(penalty[i], Similarity(points[pool[i].id], chosen));
+    }
+  }
+  return picks;
+}
+
+// Leading run of picks whose utility is strictly below the pool bound
+// -- certification is prefix-only: once one pick could have been
+// beaten by an out-of-pool tuple, every later penalty is suspect.
+std::size_t CertifiedPicks(const std::vector<DiversifiedPick>& picks,
+                           double pool_bound) {
+  std::size_t certified = 0;
+  while (certified < picks.size() &&
+         picks[certified].utility < pool_bound) {
+    ++certified;
+  }
+  return certified;
+}
+
+}  // namespace
+
+DiversifiedResult DiversifiedTopK(const TopKIndex& index,
+                                  const PointSet& points,
+                                  const DiversifiedQuery& query) {
+  Stopwatch timer;
+  DiversifiedResult result;
+  if (Status status = ValidateDiversified(query, points.dim());
+      !status.ok()) {
+    result.termination = Termination::kInvalidQuery;
+    result.error = status.ToString();
+    return result;
+  }
+  const std::size_t n = index.size();
+  if (query.k == 0 || n == 0) {
+    result.termination = Termination::kComplete;
+    result.pool_bound = std::numeric_limits<double>::infinity();
+    result.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  std::size_t m = std::min(n, std::max(query.k,
+                                       query.pool_factor * query.k));
+  for (;;) {
+    TopKQuery pool_query;
+    pool_query.weights = query.weights;
+    pool_query.k = m;
+    const Termination remaining =
+        RemainingBudget(query.budget, result.stats.tuples_evaluated, timer,
+                        &pool_query.budget);
+    if (remaining != Termination::kComplete) {
+      // Budget gone before the (re)grown pool could run: keep whatever
+      // the previous round certified.
+      result.termination = remaining;
+      result.stats.elapsed_seconds = timer.ElapsedSeconds();
+      return result;
+    }
+
+    const TopKResult pool_result = index.Query(pool_query);
+    result.stats.Merge(pool_result.stats);
+    if (pool_result.termination == Termination::kInvalidQuery ||
+        pool_result.termination == Termination::kError) {
+      result.termination = pool_result.termination;
+      result.error = pool_result.error;
+      result.stats.elapsed_seconds = timer.ElapsedSeconds();
+      return result;
+    }
+
+    // The certified pool and the score bound no out-of-pool tuple can
+    // beat: +inf when the pool is the whole relation, the m-th score
+    // for a complete smaller pool (a non-pool tuple canonically
+    // follows the m-th item), the frontier bound for a partial.
+    std::vector<ScoredTuple> pool(
+        pool_result.items.begin(),
+        pool_result.items.begin() +
+            (pool_result.complete() ? pool_result.items.size()
+                                    : pool_result.certified_prefix));
+    double pool_bound;
+    if (!pool_result.complete()) {
+      pool_bound = pool_result.frontier_bound;
+    } else if (pool.size() >= n) {
+      pool_bound = std::numeric_limits<double>::infinity();
+    } else {
+      pool_bound = pool.empty()
+                       ? -std::numeric_limits<double>::infinity()
+                       : pool.back().score;
+    }
+
+    result.picks = GreedySelect(points, pool, query.lambda, query.k);
+    result.pool_size = pool.size();
+    result.pool_bound = pool_bound;
+    result.certified_prefix = CertifiedPicks(result.picks, pool_bound);
+    const std::size_t want = std::min<std::size_t>(query.k, n);
+    if (result.certified_prefix == result.picks.size() &&
+        result.picks.size() == want) {
+      result.termination = Termination::kComplete;
+      result.stats.elapsed_seconds = timer.ElapsedSeconds();
+      return result;
+    }
+    if (!pool_result.complete()) {
+      // Partial pool: report the budget trip with the prefix the
+      // certificate still covers.
+      result.termination = pool_result.termination;
+      result.stats.elapsed_seconds = timer.ElapsedSeconds();
+      return result;
+    }
+    // Complete pool but an uncertified pick: grow and retry (the pool
+    // is strictly below the relation size here, otherwise the bound
+    // was +inf and everything certified).
+    m = std::min(n, m * 2);
+  }
+}
+
+DiversifiedResult DiversifiedTopKScan(const PointSet& points,
+                                      const DiversifiedQuery& query) {
+  Stopwatch timer;
+  DiversifiedResult result;
+  if (Status status = ValidateDiversified(query, points.dim());
+      !status.ok()) {
+    result.termination = Termination::kInvalidQuery;
+    result.error = status.ToString();
+    return result;
+  }
+  std::vector<ScoredTuple> pool;
+  pool.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    pool.push_back(ScoredTuple{static_cast<TupleId>(i),
+                               Score(query.weights, points[i])});
+  }
+  std::sort(pool.begin(), pool.end(), ResultOrderLess);
+  result.stats.tuples_evaluated = points.size();
+  result.picks = GreedySelect(points, pool, query.lambda, query.k);
+  result.pool_size = pool.size();
+  result.pool_bound = std::numeric_limits<double>::infinity();
+  result.certified_prefix = result.picks.size();
+  result.termination = Termination::kComplete;
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace drli

@@ -1,0 +1,90 @@
+// Diversified top-k (DESIGN.md "Query scenarios"): greedy re-ranking
+// that trades score for spread. The answer is the sequence produced by
+// the canonical greedy over the WHOLE relation:
+//
+//   repeat k times: pick the unselected tuple minimizing
+//       g(t) = Score(w, t) + lambda * max_{s in selected} Sim(t, s)
+//   with Sim(a, b) = 1 / (1 + ||a - b||_2), ties on g broken by
+//   ascending id; the first pick (empty selection) is the canonical
+//   top-1. Lower g is better (lower scores are better everywhere in
+//   this library) and the similarity penalty pushes picks away from
+//   tuples already chosen.
+//
+// Index acceleration runs the greedy over a certified candidate pool
+// instead of the relation: a plain top-m query with m = max(k,
+// pool_factor * k). The certificate: every tuple outside a certified
+// top-m pool scores >= the pool bound (the m-th item's score for a
+// complete pool, the frontier bound for a budgeted partial), and
+// g(t) >= Score(w, t) because the penalty is non-negative -- so a
+// greedy pick with g strictly below the pool bound beats every
+// out-of-pool tuple, id tie-break included. Picks are certified in
+// selection order until the first uncertified one; with an unlimited
+// budget the pool doubles until every pick is certified (worst case:
+// pool = relation, bound = +inf), so the accelerated greedy equals the
+// brute-force greedy exactly.
+
+#ifndef DRLI_SCENARIOS_DIVERSIFIED_H_
+#define DRLI_SCENARIOS_DIVERSIFIED_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "topk/query.h"
+
+namespace drli {
+
+struct DiversifiedQuery {
+  Point weights;
+  std::size_t k = 1;
+  // Penalty strength; 0 reduces the greedy to the canonical top-k in
+  // selection order. Must be finite and >= 0.
+  double lambda = 0.5;
+  // Initial pool size multiplier c: the first pool query asks for
+  // max(k, c * k) items. Must be >= 1.
+  std::size_t pool_factor = 4;
+  ExecBudget budget{};
+};
+
+// One greedy selection, in selection order.
+struct DiversifiedPick {
+  TupleId id = kInvalidTupleId;
+  double score = 0.0;    // plain linear score
+  double utility = 0.0;  // g at selection time (== score for the first)
+};
+
+struct DiversifiedResult {
+  std::vector<DiversifiedPick> picks;  // selection order, not score order
+  QueryStats stats;
+  Termination termination = Termination::kComplete;
+  // picks[0 .. certified_prefix) provably equal the brute-force greedy
+  // prefix. Equals picks.size() whenever termination == kComplete.
+  std::size_t certified_prefix = 0;
+  // Pool the final greedy ran over, and the score lower bound that
+  // held for every tuple outside it.
+  std::size_t pool_size = 0;
+  double pool_bound = 0.0;
+  std::string error;
+
+  bool complete() const { return termination == Termination::kComplete; }
+};
+
+// Pool-and-grow greedy over any index family. `points` must be the
+// relation `index` was built over (ids index into it); the index
+// answers the pool queries, the similarity penalty reads `points`.
+// stats accumulates every pool query's cost; the greedy itself scores
+// no new tuples.
+DiversifiedResult DiversifiedTopK(const TopKIndex& index,
+                                  const PointSet& points,
+                                  const DiversifiedQuery& query);
+
+// Brute-force reference: the same greedy with pool = whole relation
+// (bound +inf, everything certified). The differential oracle compares
+// engines against this.
+DiversifiedResult DiversifiedTopKScan(const PointSet& points,
+                                      const DiversifiedQuery& query);
+
+}  // namespace drli
+
+#endif  // DRLI_SCENARIOS_DIVERSIFIED_H_

@@ -1,0 +1,45 @@
+#include "scenarios/scenario_box.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace drli {
+
+AttributeBox AttributeBox::All(std::size_t d) {
+  AttributeBox box;
+  box.lo.assign(d, -std::numeric_limits<double>::infinity());
+  box.hi.assign(d, std::numeric_limits<double>::infinity());
+  return box;
+}
+
+bool AttributeBox::Contains(PointView p) const {
+  for (std::size_t a = 0; a < lo.size(); ++a) {
+    if (p[a] < lo[a] || p[a] > hi[a]) return false;
+  }
+  return true;
+}
+
+bool AttributeBox::Intersects(PointView other_lo, PointView other_hi) const {
+  for (std::size_t a = 0; a < lo.size(); ++a) {
+    if (other_hi[a] < lo[a] || other_lo[a] > hi[a]) return false;
+  }
+  return true;
+}
+
+Status ValidateBox(const AttributeBox& box, std::size_t dim) {
+  if (box.lo.size() != dim || box.hi.size() != dim) {
+    return Status::InvalidArgument(
+        "constraint box dimensionality mismatch: got " +
+        std::to_string(box.lo.size()) + "x" + std::to_string(box.hi.size()) +
+        ", index has " + std::to_string(dim));
+  }
+  for (std::size_t a = 0; a < dim; ++a) {
+    if (std::isnan(box.lo[a]) || std::isnan(box.hi[a])) {
+      return Status::InvalidArgument("constraint box endpoints must not be NaN");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace drli

@@ -15,9 +15,12 @@
 #include "core/dynamic_index.h"
 #include "core/tiered_index.h"
 #include "data/generator.h"
+#include "scenarios/constrained.h"
+#include "scenarios/diversified.h"
 #include "storage/tiered_io.h"
 #include "testing/check_index.h"
 #include "testing/differential.h"
+#include "testing/scenario_oracle.h"
 #include "topk/query.h"
 
 namespace drli {
@@ -110,6 +113,112 @@ void CheckDynamicPartial(const TopKResult& got,
         << want[rank].id << ", score " << want[rank].score << ")";
     failures->push_back(out.str());
     return;
+  }
+}
+
+// Scenario probes for the mixed-rw trace: the constrained traversal
+// over the live tiered index (runs + memtable + tombstones) against
+// the reference scan over the live rows, and the diversified greedy
+// against the same greedy over the compacted live set. `universe`
+// holds every row ever inserted at its stable id (ids are never
+// reused), so global pick ids index it even after erases.
+void RunMixedScenarioProbes(const TieredDualLayerIndex& tiered,
+                            const PointSet& universe,
+                            const std::map<TupleId, Point>& live, Rng& rng,
+                            std::size_t step,
+                            std::vector<std::string>* failures) {
+  if (live.empty()) return;
+  const std::size_t d = universe.dim();
+  std::vector<TupleId> ids;  // ascending (map iteration order)
+  PointSet live_points(d);
+  ids.reserve(live.size());
+  for (const auto& [id, point] : live) {
+    ids.push_back(id);
+    live_points.Add(PointView(point));
+  }
+
+  {
+    ConstrainedQuery query;
+    query.weights = rng.SimplexWeight(d);
+    query.k = 1 + rng.Index(live.size() + 2);
+    const TupleId a = ids[rng.Index(ids.size())];
+    const TupleId b = ids[rng.Index(ids.size())];
+    query.box.lo.resize(d);
+    query.box.hi.resize(d);
+    for (std::size_t attr = 0; attr < d; ++attr) {
+      query.box.lo[attr] =
+          std::min(universe.At(a, attr), universe.At(b, attr));
+      query.box.hi[attr] =
+          std::max(universe.At(a, attr), universe.At(b, attr));
+    }
+    const TopKResult want = ConstrainedScanRows(live_points, ids, query);
+    const TopKResult got = ConstrainedTopK(tiered, query);
+    if (!got.complete()) {
+      failures->push_back("[mixed] constrained step " + std::to_string(step) +
+                          ": unbudgeted query did not complete: " + got.error);
+      return;
+    }
+    if (got.items.size() != want.items.size()) {
+      std::ostringstream out;
+      out << "[mixed] constrained step " << step << ": got "
+          << got.items.size() << " items, scan has " << want.items.size();
+      failures->push_back(out.str());
+      return;
+    }
+    for (std::size_t rank = 0; rank < want.items.size(); ++rank) {
+      if (got.items[rank].id == want.items[rank].id &&
+          got.items[rank].score == want.items[rank].score) {
+        continue;
+      }
+      std::ostringstream out;
+      out << "[mixed] constrained step " << step << ": rank " << rank
+          << " is (id " << got.items[rank].id << ", score "
+          << got.items[rank].score << "), scan says (id "
+          << want.items[rank].id << ", score " << want.items[rank].score
+          << ")";
+      failures->push_back(out.str());
+      return;
+    }
+  }
+
+  if (rng.Index(2) == 0) {
+    DiversifiedQuery query;
+    query.weights = rng.SimplexWeight(d);
+    query.k = 1 + rng.Index(4);
+    query.lambda = rng.Uniform(0.0, 1.5);
+    query.pool_factor = 2;
+    const DiversifiedResult got = DiversifiedTopK(tiered, universe, query);
+    // The greedy over the compacted live set with order-preserving id
+    // relabeling makes the same selections: scores, similarities, and
+    // the ascending-id tie-break are all invariant under the mapping.
+    const DiversifiedResult want = DiversifiedTopKScan(live_points, query);
+    if (!got.complete()) {
+      failures->push_back("[mixed] diversified step " + std::to_string(step) +
+                          ": unbudgeted query did not complete: " + got.error);
+      return;
+    }
+    if (got.picks.size() != want.picks.size()) {
+      std::ostringstream out;
+      out << "[mixed] diversified step " << step << ": got "
+          << got.picks.size() << " picks, scan has " << want.picks.size();
+      failures->push_back(out.str());
+      return;
+    }
+    for (std::size_t i = 0; i < want.picks.size(); ++i) {
+      const TupleId want_id = ids[want.picks[i].id];
+      if (got.picks[i].id == want_id &&
+          got.picks[i].score == want.picks[i].score &&
+          got.picks[i].utility == want.picks[i].utility) {
+        continue;
+      }
+      std::ostringstream out;
+      out << "[mixed] diversified step " << step << ": pick " << i
+          << " is id " << got.picks[i].id << " (g=" << got.picks[i].utility
+          << "), scan says id " << want_id << " (g=" << want.picks[i].utility
+          << ")";
+      failures->push_back(out.str());
+      return;
+    }
   }
 }
 
@@ -456,6 +565,13 @@ FuzzCaseResult RunFuzzCase(std::uint64_t seed, const FuzzOptions& options) {
     }
   }
 
+  if (options.scenarios) {
+    for (const std::string& failure : CheckScenarioFamilies(dataset, seed)) {
+      result.failures.push_back("[scenario] " + failure);
+    }
+    if (!result.failures.empty()) return result;
+  }
+
   if (options.dynamic) {
     RunDynamicOracle(seed, dataset, options, &result);
   }
@@ -476,6 +592,9 @@ FuzzCaseResult RunMixedTraceCase(std::uint64_t seed,
   tiered_options.memtable_capacity = 8 + rng.Index(25);
   tiered_options.fanout = 2 + rng.Index(3);
   TieredDualLayerIndex tiered(dataset, tiered_options);
+  // Every row ever inserted, at its stable id (ids are never reused);
+  // the diversified probe reads penalties through global ids.
+  PointSet universe = dataset;
   std::map<TupleId, Point> live;
   std::vector<TupleId> live_ids;
   for (std::size_t i = 0; i < dataset.size(); ++i) {
@@ -504,6 +623,7 @@ FuzzCaseResult RunMixedTraceCase(std::uint64_t seed,
         point.reserve(d);
         for (std::size_t a = 0; a < d; ++a) point.push_back(rng.Uniform());
         const TupleId id = tiered.Insert(PointView(point));
+        universe.Add(PointView(point));
         live.emplace(id, std::move(point));
         live_ids.push_back(id);
       }
@@ -523,6 +643,11 @@ FuzzCaseResult RunMixedTraceCase(std::uint64_t seed,
       budgeted.budget.max_evals = 1 + rng.Index(live.size());
       CheckDynamicPartial(tiered.Query(budgeted), want, step,
                           &result.failures);
+      if (!result.failures.empty()) return result;
+    }
+    if (options.scenarios && rng.Index(8) == 0) {
+      RunMixedScenarioProbes(tiered, universe, live, rng, step,
+                             &result.failures);
       if (!result.failures.empty()) return result;
     }
     result.max_runs = std::max(result.max_runs, tiered.num_runs());

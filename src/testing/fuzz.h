@@ -46,6 +46,10 @@ struct FuzzOptions {
   // of the dynamic trace and verify the loaded copy answers
   // identically. Costs a little file IO per case.
   bool tiered_roundtrip = true;
+  // Drive the scenario oracle (constrained / diversified / reverse
+  // top-k vs. their brute-force references) over the case dataset, and
+  // mix constrained + diversified probes into the mixed-rw trace.
+  bool scenarios = true;
 };
 
 struct FuzzCaseResult {

@@ -1,0 +1,50 @@
+// Differential oracle for the scenarios layer (src/scenarios/):
+// constrained, diversified, and reverse top-k, each compared against
+// its brute-force reference over seed-derived probes. The companion of
+// testing/differential.h one workload up: where the differential
+// harness pits 20 index families against one brute-force scan on plain
+// top-k, this one pits the three accelerated scenario engines (DL+,
+// sharded, tiered) against the scenario-specific references.
+//
+// Probes are deterministic in the seed, so every failure replays. Box
+// probes are built FROM data coordinates (two sampled tuples span the
+// box), which makes exact FP ties on box edges the common case rather
+// than a corner case; degenerate probes add the empty box, the
+// all-space box, point boxes, k > matching-tuples, and boundary
+// (zero-weight) weight vectors.
+
+#ifndef DRLI_TESTING_SCENARIO_ORACLE_H_
+#define DRLI_TESTING_SCENARIO_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+
+namespace drli {
+
+struct ScenarioOracleOptions {
+  // Random constrained probes (each runs on DL+, sharded, tiered).
+  std::size_t constrained_probes = 3;
+  // Budgeted re-runs per constrained probe (certified-prefix checks).
+  std::size_t budget_probes = 2;
+  // Also run the fixed degenerate-box battery.
+  bool degenerate_boxes = true;
+  // Diversified probes (greedy vs. brute-force greedy).
+  std::size_t diversified_probes = 2;
+  // Reverse top-k probes (d == 2 datasets only).
+  std::size_t reverse_probes = 3;
+};
+
+// Builds a DL+ index, a sharded index, and a tiered index over
+// `points` and drives all three scenario families against their
+// brute-force references. Returns one human-readable line per
+// mismatch; empty means every probe agreed.
+std::vector<std::string> CheckScenarioFamilies(
+    const PointSet& points, std::uint64_t seed,
+    const ScenarioOracleOptions& options = {});
+
+}  // namespace drli
+
+#endif  // DRLI_TESTING_SCENARIO_ORACLE_H_

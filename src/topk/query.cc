@@ -80,6 +80,19 @@ std::vector<TopKResult> TopKIndex::QueryBatch(
   return results;
 }
 
+std::vector<TopKResult> TopKIndex::QueryBatch(
+    const std::vector<TopKQuery>& queries, const BatchOptions& options,
+    BatchStats* stats) const {
+  Stopwatch wall;
+  std::vector<TopKResult> results = QueryBatch(queries, options);
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    for (const TopKResult& result : results) stats->merged.Merge(result.stats);
+    stats->wall_seconds = wall.ElapsedSeconds();
+  }
+  return results;
+}
+
 Termination RemainingBudget(const ExecBudget& budget, std::size_t evaluated,
                             const Stopwatch& timer, ExecBudget* sub) {
   *sub = ExecBudget{};
@@ -106,11 +119,17 @@ Status ValidateQuery(const TopKQuery& query, std::size_t dim) {
         std::to_string(query.weights.size()) + ", index has " +
         std::to_string(dim));
   }
+  bool any_positive = false;
   for (double w : query.weights) {
-    if (!(w > 0.0) || !std::isfinite(w)) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
       return Status::InvalidArgument(
-          "weights must be strictly positive and finite");
+          "weights must be non-negative and finite");
     }
+    if (w > 0.0) any_positive = true;
+  }
+  if (!any_positive) {
+    return Status::InvalidArgument(
+        "weights must include at least one positive entry");
   }
   return Status::Ok();
 }

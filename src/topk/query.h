@@ -84,8 +84,11 @@ struct ExecBudget {
   }
 };
 
-// A linear top-k query: strictly positive weights summing to 1, and the
-// retrieval size k. Lower scores are better.
+// A linear top-k query: non-negative finite weights summing to 1 (at
+// least one strictly positive), and the retrieval size k. Lower scores
+// are better. Zero weights are legal in every family -- queries on the
+// weight-simplex boundary arise naturally from reverse top-k slope
+// intervals and constrained scenarios (see ValidateQuery).
 struct TopKQuery {
   Point weights;
   std::size_t k = 1;
@@ -123,8 +126,16 @@ struct QueryStats {
   // only; 0 elsewhere). num_runs - runs_opened runs were pruned by
   // their frontier lower bound.
   std::size_t runs_opened = 0;
+  // Bounding boxes (sublayer groups, runs, or whole shards) discarded
+  // by a constrained-query predicate without scoring any member
+  // (scenarios/constrained.h only; 0 elsewhere). The constrained
+  // traversal's pruning effectiveness metric.
+  std::size_t boxes_pruned = 0;
   // Wall time of the Query call (seconds). Complements the paper's
-  // tuples-evaluated metric in benchmark output; summed by Merge.
+  // tuples-evaluated metric in benchmark output. Merge sums it, so a
+  // merged value over a parallel batch is aggregate query-seconds (CPU
+  // occupancy), NOT the batch's wall time -- use BatchStats::
+  // wall_seconds for throughput math.
   double elapsed_seconds = 0.0;
 
   void Merge(const QueryStats& other) {
@@ -132,8 +143,20 @@ struct QueryStats {
     virtual_evaluated += other.virtual_evaluated;
     shards_touched += other.shards_touched;
     runs_opened += other.runs_opened;
+    boxes_pruned += other.boxes_pruned;
     elapsed_seconds += other.elapsed_seconds;
   }
+};
+
+// Batch-level accounting for one QueryBatch call. `merged` is the
+// Merge of every result's stats; its elapsed_seconds is the SUM of
+// per-query wall clocks, which over a parallel batch overstates the
+// real elapsed time by roughly the worker count. `wall_seconds` is the
+// single wall clock around the whole batch -- the denominator a
+// throughput (QPS) report must divide by.
+struct BatchStats {
+  QueryStats merged;
+  double wall_seconds = 0.0;
 };
 
 // Why a Query call stopped. Everything except kComplete describes a
@@ -318,6 +341,16 @@ class TopKIndex {
   // a budget inherit options.default_budget.
   std::vector<TopKResult> QueryBatch(const std::vector<TopKQuery>& queries,
                                      const BatchOptions& options) const;
+
+  // QueryBatch with batch-level accounting: fills *stats with the
+  // Merge of every result's QueryStats plus the batch's own single
+  // wall clock. Per-query elapsed_seconds stay per-query; their sum
+  // lands in stats->merged.elapsed_seconds (aggregate query-seconds),
+  // while stats->wall_seconds is what a QPS computation divides by --
+  // under the parallel fast path the two differ by ~the worker count.
+  std::vector<TopKResult> QueryBatch(const std::vector<TopKQuery>& queries,
+                                     const BatchOptions& options,
+                                     BatchStats* stats) const;
 };
 
 // Computes the budget left for a coordinator's next sub-query, or the
@@ -330,8 +363,16 @@ Termination RemainingBudget(const ExecBudget& budget, std::size_t evaluated,
                             const Stopwatch& timer, ExecBudget* sub);
 
 // Validates that the query is well-formed for dimensionality d:
-// |weights| == d, weights strictly positive and finite. k = 0 is legal
-// and yields an empty result; k > n is legal and returns all n tuples.
+// |weights| == d, every weight finite and >= 0, at least one weight
+// strictly positive. Zero weights are accepted uniformly across all
+// index families (brute-force reference included): boundary-of-simplex
+// queries are exactly what reverse top-k slope intervals and
+// constrained scenarios produce, and every traversal invariant in the
+// library (dominance => score <=, grouped-corner shard/run bounds,
+// the 2-d weight-range chain) only needs non-negative weights. The
+// all-zero vector is rejected: it scores every tuple 0 and reduces
+// "top-k" to an id sort, which no caller means. k = 0 is legal and
+// yields an empty result; k > n is legal and returns all n tuples.
 // Returns InvalidArgument instead of aborting -- untrusted callers get
 // a recoverable error.
 Status ValidateQuery(const TopKQuery& query, std::size_t dim);

@@ -264,7 +264,16 @@ TEST(InvalidQueryTest, EveryFamilyRejectsRecoverably) {
     bad_weight.k = 3;
     const TopKResult r2 = built.value()->Query(bad_weight);
     EXPECT_EQ(r2.termination, Termination::kInvalidQuery) << kind;
-    EXPECT_NE(r2.error.find("strictly positive"), std::string::npos) << kind;
+    EXPECT_NE(r2.error.find("non-negative"), std::string::npos) << kind;
+
+    // A zero weight is the legal simplex boundary: every family must
+    // accept it and agree on the answer with the brute-force scan.
+    TopKQuery boundary;
+    boundary.weights = {0.0, 0.4, 0.6};
+    boundary.k = 3;
+    const TopKResult r3 = built.value()->Query(boundary);
+    EXPECT_EQ(r3.termination, Termination::kComplete) << kind;
+    EXPECT_EQ(r3.items.size(), 3u) << kind;
 
     // The same rejection must flow through the batch path.
     const std::vector<TopKResult> batch =

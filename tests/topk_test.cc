@@ -158,13 +158,26 @@ TEST(ValidateQueryTest, RejectsBadQueriesRecoverably) {
   EXPECT_FALSE(dim_status.ok());
   EXPECT_NE(dim_status.message().find("dimensionality"), std::string::npos);
 
+  // Zero weights are legal (boundary of the simplex) as long as one
+  // entry stays positive; the all-zero vector is not.
   TopKQuery zero_weight;
   zero_weight.weights = {0.0, 1.0};
   zero_weight.k = 1;
-  const Status weight_status = ValidateQuery(zero_weight, 2);
+  EXPECT_TRUE(ValidateQuery(zero_weight, 2).ok());
+
+  TopKQuery all_zero;
+  all_zero.weights = {0.0, 0.0};
+  all_zero.k = 1;
+  const Status all_zero_status = ValidateQuery(all_zero, 2);
+  EXPECT_FALSE(all_zero_status.ok());
+  EXPECT_NE(all_zero_status.message().find("positive"), std::string::npos);
+
+  TopKQuery negative_weight;
+  negative_weight.weights = {-0.5, 1.5};
+  negative_weight.k = 1;
+  const Status weight_status = ValidateQuery(negative_weight, 2);
   EXPECT_FALSE(weight_status.ok());
-  EXPECT_NE(weight_status.message().find("strictly positive"),
-            std::string::npos);
+  EXPECT_NE(weight_status.message().find("non-negative"), std::string::npos);
 
   TopKQuery nan_weight;
   nan_weight.weights = {std::numeric_limits<double>::quiet_NaN(), 1.0};

@@ -53,6 +53,32 @@ diff "$WORK/simd_items.txt" "$WORK/scalar_items.txt"
 "$CLI" generate --dist=ind --n=300 --d=2 --seed=3 --out="$WORK/d2.csv" >/dev/null
 "$CLI" sweep --input="$WORK/d2.csv" --k=3 --reverse=0 | grep -q "weight-space partition"
 
+# Query scenarios: constrained (box pushdown with the pruning counter),
+# diversified (greedy with utility column), reverse (interval answer).
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 \
+  --box=0.1:0.9,:0.8,0.2: | grep -q "constrained top-5"
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 \
+  --box=0.1:0.9,:0.8,0.2: | grep -qE "boxes pruned"
+"$CLI" query --input="$WORK/data.csv" --kind=tdl+64 --weights=0.2,0.3,0.5 \
+  --k=5 --box=0.1:0.9,:0.8,0.2: | grep -q "constrained top-5"
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=4 \
+  --lambda=0.5 | grep -q "utility"
+"$CLI" query --input="$WORK/d2.csv" --k=3 --reverse=0 \
+  | grep -q "reverse top-3 of tuple 0"
+# An inverted box is legal and empty; a malformed box is rejected.
+"$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 \
+  --box=0.9:0.1,:,: | grep -q "constrained top-5"
+if "$CLI" query --index="$WORK/index.bin" --weights=0.2,0.3,0.5 --k=5 \
+    --box=0.1:0.9 2>/dev/null; then
+  echo "expected failure for wrong-arity box" >&2
+  exit 1
+fi
+# Reverse needs a 2-d relation: recoverable rejection on 3-d.
+if "$CLI" query --index="$WORK/index.bin" --k=3 --reverse=0 2>/dev/null; then
+  echo "expected failure for 3-d reverse query" >&2
+  exit 1
+fi
+
 # Invariant checker: saved index and on-the-fly builds both pass.
 "$CLI" check --index="$WORK/index.bin" | grep -q "OK"
 "$CLI" check --input="$WORK/data.csv" --kind=dl --samples=8 | grep -q "OK"

@@ -15,6 +15,19 @@
 //   drli check    --index=index.bin
 //   drli check    --input=data.csv --kind=dl+ --samples=32
 //
+// Query scenarios (DESIGN.md "Query scenarios"):
+//
+//   drli query    --index=index.bin --weights=0.5,0.5 --k=10
+//                 --box=0.2:0.8,:0.5
+//                 # constrained top-k inside the attribute box; each
+//                 # component is lo:hi, an empty side is unbounded
+//   drli query    --index=index.bin --weights=0.5,0.5 --k=10
+//                 --lambda=0.7 --pool-factor=4
+//                 # diversified greedy re-ranking (score + lambda * sim)
+//   drli query    --index=index.bin --k=5 --reverse=42
+//                 # reverse top-k: the w1 intervals on which tuple 42
+//                 # is in the top-k (2-d dl+ indexes only)
+//
 // Tiered dynamic index: --kind=tdl+ (optionally tdl+<M> for a memtable
 // of M rows) builds the LSM-style engine by streaming the relation
 // through its insert path and writes a generation manifest plus one
@@ -65,6 +78,9 @@
 #include "core/tiered_index.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "scenarios/constrained.h"
+#include "scenarios/diversified.h"
+#include "scenarios/reverse_topk.h"
 #include "shard/shard_io.h"
 #include "shard/sharded_index.h"
 #include "storage/tiered_io.h"
@@ -454,6 +470,46 @@ StatusOr<Point> ParseWeights(const Flags& flags, std::size_t d) {
   return weights;
 }
 
+// --box=lo:hi,lo:hi,... -- one inclusive range per attribute; an empty
+// side is unbounded, a bare ":" leaves the attribute unconstrained.
+StatusOr<AttributeBox> ParseBoxFlag(const std::string& value,
+                                    std::size_t d) {
+  const std::vector<std::string> parts = SplitComma(value);
+  if (parts.size() != d) {
+    return Status::InvalidArgument("--box must have " + std::to_string(d) +
+                                   " lo:hi components");
+  }
+  AttributeBox box = AttributeBox::All(d);
+  for (std::size_t a = 0; a < d; ++a) {
+    const std::size_t colon = parts[a].find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("--box component \"" + parts[a] +
+                                     "\" is not lo:hi");
+    }
+    const std::string lo = parts[a].substr(0, colon);
+    const std::string hi = parts[a].substr(colon + 1);
+    if (!lo.empty()) box.lo[a] = std::strtod(lo.c_str(), nullptr);
+    if (!hi.empty()) box.hi[a] = std::strtod(hi.c_str(), nullptr);
+  }
+  return box;
+}
+
+void PrintTopKItems(const TopKResult& result) {
+  for (std::size_t r = 0; r < result.items.size(); ++r) {
+    std::printf("  %2zu. tuple %-8u score %.6f%s\n", r + 1,
+                result.items[r].id, result.items[r].score,
+                !result.complete() && r >= result.certified_prefix
+                    ? "  (uncertified)"
+                    : "");
+  }
+  if (!result.complete()) {
+    std::printf("partial result: stopped on %s; first %zu of %zu items "
+                "certified exact\n",
+                TerminationName(result.termination), result.certified_prefix,
+                result.items.size());
+  }
+}
+
 int CmdQuery(const Flags& flags) {
   const std::size_t k = GetSizeFlag(flags, "k", 10);
   const std::string index_path = GetFlag(flags, "index");
@@ -462,6 +518,8 @@ int CmdQuery(const Flags& flags) {
   std::optional<DualLayerIndex> loaded_dl;
   std::optional<ShardedDualLayerIndex> loaded_sharded;
   std::optional<TieredDualLayerIndex> loaded_tiered;
+  std::optional<Dataset> dataset;
+  const TieredDualLayerIndex* tiered_alias = nullptr;
   const TopKIndex* index = nullptr;
   std::size_t dim = 0;
   if (!index_path.empty() && IsShardManifest(index_path)) {
@@ -492,21 +550,86 @@ int CmdQuery(const Flags& flags) {
     index = &*loaded_dl;
     dim = loaded_dl->points().dim();
   } else {
-    auto dataset = LoadInput(flags);
-    if (!dataset.ok()) {
-      std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    auto loaded = LoadInput(flags);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
     }
-    dim = dataset.value().dim();
-    IndexBuildConfig config;
-    config.kind = GetFlag(flags, "kind", "dl+");
-    auto built = BuildIndex(config, dataset.value().points());
-    if (!built.ok()) {
-      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    dataset.emplace(std::move(loaded).value());
+    dim = dataset->dim();
+    const std::string kind = GetFlag(flags, "kind", "dl+");
+    const bool concrete_engine = !GetFlag(flags, "box").empty() ||
+                                 !GetFlag(flags, "reverse").empty();
+    if (concrete_engine && (kind == "dl" || kind == "dl+")) {
+      // The constrained / reverse traversals dispatch on the concrete
+      // engine type, so build the dual-layer index directly instead of
+      // through the registry's type-erased handle.
+      DualLayerOptions options;
+      options.build_zero_layer = (kind == "dl+");
+      options.zero_layer_clusters = GetSizeFlag(flags, "clusters", 0);
+      loaded_dl.emplace(DualLayerIndex::Build(dataset->points(), options));
+      index = &*loaded_dl;
+    } else {
+      IndexBuildConfig config;
+      config.kind = kind;
+      auto built = BuildIndex(config, dataset->points());
+      if (!built.ok()) {
+        std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+        return 1;
+      }
+      owned = std::move(built).value();
+      index = owned.get();
+      if (kind.rfind("tdl+", 0) == 0) {
+        tiered_alias = static_cast<const TieredDualLayerIndex*>(owned.get());
+      }
+    }
+  }
+
+  // Serving controls: --deadline-ms caps wall time, --max-evals caps
+  // scored tuples; either can cut the traversal short, in which case
+  // the certified prefix of the partial answer is reported. They apply
+  // to every scenario below as well.
+  ExecBudget budget;
+  const std::string deadline_ms = GetFlag(flags, "deadline-ms");
+  if (!deadline_ms.empty()) {
+    budget.deadline_seconds =
+        std::strtod(deadline_ms.c_str(), nullptr) / 1000.0;
+  }
+  budget.max_evals = GetSizeFlag(flags, "max-evals", 0);
+
+  // Reverse top-k: no weight vector -- the weights ARE the answer.
+  const std::string reverse_flag = GetFlag(flags, "reverse");
+  if (!reverse_flag.empty()) {
+    if (!loaded_dl.has_value()) {
+      std::fprintf(stderr,
+                   "--reverse needs a dl+ engine: a dual-layer snapshot or "
+                   "--input with --kind=dl+\n");
+      return 2;
+    }
+    ReverseTopKQuery rquery;
+    rquery.target =
+        static_cast<TupleId>(std::strtoul(reverse_flag.c_str(), nullptr, 10));
+    rquery.k = k;
+    rquery.budget = budget;
+    Stopwatch timer;
+    const ReverseTopKResult result = ReverseTopK2D(*loaded_dl, rquery);
+    const double ms = timer.ElapsedMillis();
+    if (!result.complete()) {
+      std::fprintf(stderr, "reverse query stopped (%s): %s\n",
+                   TerminationName(result.termination), result.error.c_str());
       return 1;
     }
-    owned = std::move(built).value();
-    index = owned.get();
+    std::printf("%s reverse top-%zu of tuple %u "
+                "(%.3f ms, %zu tuples swept%s):",
+                loaded_dl->name().c_str(), k, rquery.target, ms,
+                result.stats.tuples_evaluated,
+                result.used_weight_table ? ", via 2-d weight table" : "");
+    if (result.intervals.empty()) std::printf(" never in the top-%zu", k);
+    for (const WeightInterval& iv : result.intervals) {
+      std::printf(" [%.5f, %.5f]", iv.lo, iv.hi);
+    }
+    std::printf("\n");
+    return 0;
   }
 
   auto weights = ParseWeights(flags, dim);
@@ -514,18 +637,98 @@ int CmdQuery(const Flags& flags) {
     std::fprintf(stderr, "%s\n", weights.status().ToString().c_str());
     return 2;
   }
+
+  // Constrained top-k: the plain query restricted to an attribute box,
+  // with whole sublayers / shards / runs pruned on bounding-box misses.
+  const std::string box_flag = GetFlag(flags, "box");
+  if (!box_flag.empty()) {
+    auto box = ParseBoxFlag(box_flag, dim);
+    if (!box.ok()) {
+      std::fprintf(stderr, "%s\n", box.status().ToString().c_str());
+      return 2;
+    }
+    ConstrainedQuery cquery;
+    cquery.weights = weights.value();
+    cquery.k = k;
+    cquery.box = std::move(box).value();
+    cquery.budget = budget;
+    Stopwatch timer;
+    const TopKResult result =
+        loaded_dl.has_value()      ? ConstrainedTopK(*loaded_dl, cquery)
+        : loaded_sharded.has_value() ? ConstrainedTopK(*loaded_sharded, cquery)
+        : loaded_tiered.has_value()  ? ConstrainedTopK(*loaded_tiered, cquery)
+        : tiered_alias != nullptr    ? ConstrainedTopK(*tiered_alias, cquery)
+                                     : ConstrainedTopKScan(
+                                           dataset->points(), cquery);
+    const double ms = timer.ElapsedMillis();
+    if (result.termination == Termination::kInvalidQuery ||
+        result.termination == Termination::kError) {
+      std::fprintf(stderr, "query rejected (%s): %s\n",
+                   TerminationName(result.termination), result.error.c_str());
+      return 1;
+    }
+    std::printf("%s constrained top-%zu "
+                "(%.3f ms, %zu tuples evaluated, %zu boxes pruned):\n",
+                index->name().c_str(), k, ms, result.stats.tuples_evaluated,
+                result.stats.boxes_pruned);
+    PrintTopKItems(result);
+    return 0;
+  }
+
+  // Diversified top-k: greedy score + lambda * similarity re-ranking
+  // over a certified candidate pool.
+  const std::string lambda_flag = GetFlag(flags, "lambda");
+  if (!lambda_flag.empty()) {
+    const PointSet* relation = dataset.has_value() ? &dataset->points()
+                               : loaded_dl.has_value() ? &loaded_dl->points()
+                                                       : nullptr;
+    if (relation == nullptr) {
+      std::fprintf(stderr,
+                   "--lambda needs the relation for the similarity "
+                   "penalty: a dual-layer snapshot or --input\n");
+      return 2;
+    }
+    DiversifiedQuery dquery;
+    dquery.weights = weights.value();
+    dquery.k = k;
+    dquery.lambda = std::strtod(lambda_flag.c_str(), nullptr);
+    dquery.pool_factor = GetSizeFlag(flags, "pool-factor", 4);
+    dquery.budget = budget;
+    Stopwatch timer;
+    const DiversifiedResult result =
+        DiversifiedTopK(*index, *relation, dquery);
+    const double ms = timer.ElapsedMillis();
+    if (result.termination == Termination::kInvalidQuery ||
+        result.termination == Termination::kError) {
+      std::fprintf(stderr, "query rejected (%s): %s\n",
+                   TerminationName(result.termination), result.error.c_str());
+      return 1;
+    }
+    std::printf("%s diversified top-%zu, lambda=%g "
+                "(%.3f ms, %zu tuples evaluated, pool %zu):\n",
+                index->name().c_str(), k, dquery.lambda, ms,
+                result.stats.tuples_evaluated, result.pool_size);
+    for (std::size_t r = 0; r < result.picks.size(); ++r) {
+      std::printf("  %2zu. tuple %-8u score %.6f utility %.6f%s\n", r + 1,
+                  result.picks[r].id, result.picks[r].score,
+                  result.picks[r].utility,
+                  !result.complete() && r >= result.certified_prefix
+                      ? "  (uncertified)"
+                      : "");
+    }
+    if (!result.complete()) {
+      std::printf("partial result: stopped on %s; first %zu of %zu picks "
+                  "certified exact\n",
+                  TerminationName(result.termination),
+                  result.certified_prefix, result.picks.size());
+    }
+    return 0;
+  }
+
   TopKQuery query;
   query.weights = weights.value();
   query.k = k;
-  // Serving controls: --deadline-ms caps wall time, --max-evals caps
-  // scored tuples; either can cut the traversal short, in which case
-  // the certified prefix of the partial answer is reported.
-  const std::string deadline_ms = GetFlag(flags, "deadline-ms");
-  if (!deadline_ms.empty()) {
-    query.budget.deadline_seconds =
-        std::strtod(deadline_ms.c_str(), nullptr) / 1000.0;
-  }
-  query.budget.max_evals = GetSizeFlag(flags, "max-evals", 0);
+  query.budget = budget;
   Stopwatch timer;
   const TopKResult result = index->Query(query);
   const double ms = timer.ElapsedMillis();
@@ -549,19 +752,7 @@ int CmdQuery(const Flags& flags) {
                 result.stats.runs_opened, loaded_tiered->num_runs(),
                 loaded_tiered->memtable_size());
   }
-  for (std::size_t r = 0; r < result.items.size(); ++r) {
-    std::printf("  %2zu. tuple %-8u score %.6f%s\n", r + 1,
-                result.items[r].id, result.items[r].score,
-                !result.complete() && r >= result.certified_prefix
-                    ? "  (uncertified)"
-                    : "");
-  }
-  if (!result.complete()) {
-    std::printf("partial result: stopped on %s; first %zu of %zu items "
-                "certified exact\n",
-                TerminationName(result.termination), result.certified_prefix,
-                result.items.size());
-  }
+  PrintTopKItems(result);
   if (GetFlag(flags, "explain") == "true" && loaded_dl.has_value()) {
     std::printf("\naccess breakdown by sublayer:\n");
     std::printf("%-8s %-6s %-8s %-8s\n", "coarse", "fine", "size",
