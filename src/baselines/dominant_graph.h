@@ -50,6 +50,7 @@ class DominantGraphIndex final : public TopKIndex {
 
   std::string name() const override { return name_; }
   std::size_t size() const override { return points_.size(); }
+  std::size_t dim() const override { return points_.dim(); }
   TopKResult Query(const TopKQuery& query) const override;
 
   // Extension beyond the paper's linear model: skyline layers and

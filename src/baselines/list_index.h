@@ -44,6 +44,7 @@ class ListIndex final : public TopKIndex {
 
   std::string name() const override;
   std::size_t size() const override { return points_.size(); }
+  std::size_t dim() const override { return points_.dim(); }
   TopKResult Query(const TopKQuery& query) const override;
 
   ListAlgorithm algorithm() const { return algorithm_; }

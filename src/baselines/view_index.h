@@ -58,6 +58,7 @@ class ViewIndex final : public TopKIndex {
 
   std::string name() const override { return name_; }
   std::size_t size() const override { return points_.size(); }
+  std::size_t dim() const override { return points_.dim(); }
   TopKResult Query(const TopKQuery& query) const override;
 
   const ViewIndexBuildStats& build_stats() const { return stats_; }

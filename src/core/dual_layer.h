@@ -247,6 +247,7 @@ class DualLayerIndex final : public TopKIndex {
 
   std::string name() const override { return name_; }
   std::size_t size() const override { return points_.size(); }
+  std::size_t dim() const override { return points_.dim(); }
   // Convenience wrapper over the scratch overload (thread-local
   // scratch, so repeated calls on one thread already reuse state).
   TopKResult Query(const TopKQuery& query) const override;

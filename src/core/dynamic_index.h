@@ -65,6 +65,7 @@ class DynamicDualLayerIndex final : public TopKIndex {
   std::string name() const override { return "DL+dyn"; }
   // Number of live tuples.
   std::size_t size() const override { return engine_.size(); }
+  std::size_t dim() const override { return engine_.dim(); }
   TopKResult Query(const TopKQuery& query) const override {
     return engine_.Query(query);
   }

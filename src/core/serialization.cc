@@ -797,13 +797,10 @@ StatusOr<DualLayerIndex> LoadDualLayerIndex(
     }
     // Fall through to the owning read (e.g. filesystems without mmap).
   }
-  std::ifstream re(path, std::ios::binary);
-  if (!re) return Status::IoError("cannot open " + path);
-  std::vector<std::uint8_t> bytes(size.value());
-  re.read(reinterpret_cast<char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  if (!re) return Status::IoError("short read on " + path);
-  return DualLayerSerializer::LoadV2(bytes.data(), bytes.size(), nullptr);
+  auto bytes = MmapFile::ReadFileContents(path);
+  if (!bytes.ok()) return bytes.status();
+  return DualLayerSerializer::LoadV2(bytes.value().data(),
+                                     bytes.value().size(), nullptr);
 }
 
 namespace {

@@ -143,7 +143,7 @@ class TieredDualLayerIndex final : public TopKIndex {
   void Compact();
 
   // --- introspection (tests, persistence, inspect) ---
-  std::size_t dim() const { return dim_; }
+  std::size_t dim() const override { return dim_; }
   const TieredIndexOptions& options() const { return options_; }
   std::size_t memtable_size() const { return memtable_ids_.size(); }
   std::size_t num_runs() const { return runs_.size(); }

@@ -1,0 +1,207 @@
+#include "server/client.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace drli {
+namespace server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+DrliClient::~DrliClient() { Close(); }
+
+Status DrliClient::Connect(const std::string& host, std::uint16_t port,
+                           double timeout_seconds) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (timeout_seconds > 0.0) {
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds - std::floor(timeout_seconds)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status status = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  rxbuf_.clear();
+  rxpos_ = 0;
+  return Status::Ok();
+}
+
+void DrliClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rxbuf_.clear();
+  rxpos_ = 0;
+}
+
+Status DrliClient::SendRaw(const std::vector<std::uint8_t>& bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + done, bytes.size() - done,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<wire::Frame> DrliClient::ReadFrame() {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  while (true) {
+    wire::Frame frame;
+    std::string error;
+    const wire::FrameScan scan =
+        wire::ScanFrame(rxbuf_, &rxpos_, &frame, &error);
+    if (scan == wire::FrameScan::kFrame) {
+      if (rxpos_ == rxbuf_.size()) {
+        rxbuf_.clear();
+        rxpos_ = 0;
+      }
+      return frame;
+    }
+    if (scan == wire::FrameScan::kCorrupt) {
+      return Status::Corruption("corrupt reply frame: " + error);
+    }
+    std::uint8_t chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IoError("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("receive timeout");
+      }
+      return Errno("recv");
+    }
+    rxbuf_.insert(rxbuf_.end(), chunk, chunk + n);
+  }
+}
+
+Status DrliClient::SendRequest(const wire::Request& request,
+                               std::uint32_t* id) {
+  *id = next_request_id_++;
+  if (next_request_id_ == 0) next_request_id_ = 1;
+  std::vector<std::uint8_t> frame;
+  wire::AppendFrame(*id, wire::EncodeRequest(request), &frame);
+  return SendRaw(frame);
+}
+
+StatusOr<wire::Frame> DrliClient::Roundtrip(const wire::Request& request) {
+  std::uint32_t id = 0;
+  Status status = SendRequest(request, &id);
+  if (!status.ok()) return status;
+  while (true) {
+    auto frame = ReadFrame();
+    if (!frame.ok()) return frame.status();
+    // request_id 0 is the server's "cannot trust your stream" reply to
+    // a corrupt frame; with a single request in flight either id is
+    // the answer to this call.
+    if (frame.value().request_id == id || frame.value().request_id == 0) {
+      return frame;
+    }
+  }
+}
+
+StatusOr<wire::WireResult> DrliClient::Query(const wire::WireQuery& query) {
+  wire::Request request;
+  request.verb = wire::Verb::kQuery;
+  request.queries.push_back(query);
+  auto frame = Roundtrip(request);
+  if (!frame.ok()) return frame.status();
+  std::vector<wire::WireResult> results;
+  Status status = wire::DecodeResultReply(frame.value().payload, &results);
+  if (!status.ok()) return status;
+  if (results.size() != 1) {
+    return Status::Corruption("expected 1 result, got " +
+                              std::to_string(results.size()));
+  }
+  return std::move(results[0]);
+}
+
+StatusOr<std::vector<wire::WireResult>> DrliClient::Batch(
+    const std::vector<wire::WireQuery>& queries) {
+  wire::Request request;
+  request.verb = wire::Verb::kBatch;
+  request.queries = queries;
+  auto frame = Roundtrip(request);
+  if (!frame.ok()) return frame.status();
+  std::vector<wire::WireResult> results;
+  Status status = wire::DecodeResultReply(frame.value().payload, &results);
+  if (!status.ok()) return status;
+  return results;
+}
+
+StatusOr<wire::HealthInfo> DrliClient::Health() {
+  wire::Request request;
+  request.verb = wire::Verb::kHealth;
+  auto frame = Roundtrip(request);
+  if (!frame.ok()) return frame.status();
+  wire::HealthInfo info;
+  Status status = wire::DecodeHealthReply(frame.value().payload, &info);
+  if (!status.ok()) return status;
+  return info;
+}
+
+StatusOr<wire::InspectInfo> DrliClient::Inspect() {
+  wire::Request request;
+  request.verb = wire::Verb::kInspect;
+  auto frame = Roundtrip(request);
+  if (!frame.ok()) return frame.status();
+  wire::InspectInfo info;
+  Status status = wire::DecodeInspectReply(frame.value().payload, &info);
+  if (!status.ok()) return status;
+  return info;
+}
+
+StatusOr<wire::ReloadInfo> DrliClient::Reload() {
+  wire::Request request;
+  request.verb = wire::Verb::kReload;
+  auto frame = Roundtrip(request);
+  if (!frame.ok()) return frame.status();
+  wire::ReloadInfo info;
+  Status status = wire::DecodeReloadReply(frame.value().payload, &info);
+  if (!status.ok()) return status;
+  return info;
+}
+
+}  // namespace server
+}  // namespace drli

@@ -1,0 +1,69 @@
+// Blocking client for the serving front end's wire protocol. One
+// connection, one request in flight at a time: each call frames a
+// request, sends it, and blocks for the matching reply (send/receive
+// timeouts via SO_SNDTIMEO/SO_RCVTIMEO). Used by the drli_client
+// tool, the server tests, and -- through the raw hooks -- the server
+// fault sweep, which needs to put deliberately broken bytes on the
+// wire.
+
+#ifndef DRLI_SERVER_CLIENT_H_
+#define DRLI_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace drli {
+namespace server {
+
+class DrliClient {
+ public:
+  DrliClient() = default;
+  ~DrliClient();
+  DrliClient(const DrliClient&) = delete;
+  DrliClient& operator=(const DrliClient&) = delete;
+
+  // Connects to host:port; `timeout_seconds` bounds every subsequent
+  // send and receive (0 = block forever).
+  Status Connect(const std::string& host, std::uint16_t port,
+                 double timeout_seconds = 5.0);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // One query; the reply's single WireResult.
+  StatusOr<wire::WireResult> Query(const wire::WireQuery& query);
+  // One batch frame; results in request order.
+  StatusOr<std::vector<wire::WireResult>> Batch(
+      const std::vector<wire::WireQuery>& queries);
+  StatusOr<wire::HealthInfo> Health();
+  StatusOr<wire::InspectInfo> Inspect();
+  StatusOr<wire::ReloadInfo> Reload();
+
+  // --- raw hooks (fault injection) ---
+
+  // Puts arbitrary bytes on the wire, framing included by the caller.
+  Status SendRaw(const std::vector<std::uint8_t>& bytes);
+  // Blocks for one well-formed frame (Corruption if the server's own
+  // bytes ever fail to frame -- the fault sweep's "every reply is
+  // well-formed" assertion).
+  StatusOr<wire::Frame> ReadFrame();
+  int fd() const { return fd_; }
+
+ private:
+  Status SendRequest(const wire::Request& request, std::uint32_t* id);
+  // Sends `request` and reads frames until one matches its id.
+  StatusOr<wire::Frame> Roundtrip(const wire::Request& request);
+
+  int fd_ = -1;
+  std::uint32_t next_request_id_ = 1;
+  std::vector<std::uint8_t> rxbuf_;
+  std::size_t rxpos_ = 0;
+};
+
+}  // namespace server
+}  // namespace drli
+
+#endif  // DRLI_SERVER_CLIENT_H_

@@ -1,0 +1,477 @@
+#include "server/protocol.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "common/crc32c.h"
+
+namespace drli {
+namespace wire {
+namespace {
+
+// Little-endian append/read helpers. The reader is bounds-checked on
+// every access: a hostile payload can make a Get fail, never over-read
+// or trigger an unbounded allocation.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>* out) : out_(out) {}
+
+  void U8(std::uint8_t v) { out_->push_back(v); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+ private:
+  void Raw(const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    out_->insert(out_->end(), bytes, bytes + len);
+  }
+
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  bool U8(std::uint8_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(std::uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(std::uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s, std::size_t max_len = kMaxFramePayload) {
+    std::uint32_t len = 0;
+    if (!U32(&len) || len > max_len || len > remaining()) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  bool Raw(void* out, std::size_t len) {
+    if (len > remaining()) return false;
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void EncodeQueryBody(const WireQuery& query, Writer* w) {
+  w->U8(static_cast<std::uint8_t>(query.scenario));
+  w->U64(query.k);
+  w->F64(query.deadline_ms);
+  w->U64(query.max_evals);
+  w->U32(static_cast<std::uint32_t>(query.weights.size()));
+  for (double v : query.weights) w->F64(v);
+  switch (query.scenario) {
+    case Scenario::kPlain:
+      break;
+    case Scenario::kConstrained:
+      w->U32(static_cast<std::uint32_t>(query.box.dim()));
+      for (std::size_t a = 0; a < query.box.dim(); ++a) {
+        w->F64(query.box.lo[a]);
+        w->F64(query.box.hi[a]);
+      }
+      break;
+    case Scenario::kDiversified:
+      w->F64(query.lambda);
+      w->U64(query.pool_factor);
+      break;
+    case Scenario::kReverse:
+      w->U32(query.reverse_target);
+      break;
+  }
+}
+
+bool DecodeQueryBody(Reader* r, WireQuery* query) {
+  std::uint8_t scenario = 0;
+  if (!r->U8(&scenario) || scenario > 3) return false;
+  query->scenario = static_cast<Scenario>(scenario);
+  if (!r->U64(&query->k) || !r->F64(&query->deadline_ms) ||
+      !r->U64(&query->max_evals)) {
+    return false;
+  }
+  std::uint32_t dim = 0;
+  if (!r->U32(&dim) || dim > kMaxWireDim ||
+      static_cast<std::size_t>(dim) * sizeof(double) > r->remaining()) {
+    return false;
+  }
+  query->weights.resize(dim);
+  for (double& v : query->weights) {
+    if (!r->F64(&v)) return false;
+  }
+  switch (query->scenario) {
+    case Scenario::kPlain:
+      break;
+    case Scenario::kConstrained: {
+      std::uint32_t box_dim = 0;
+      if (!r->U32(&box_dim) || box_dim > kMaxWireDim ||
+          static_cast<std::size_t>(box_dim) * 2 * sizeof(double) >
+              r->remaining()) {
+        return false;
+      }
+      query->box.lo.resize(box_dim);
+      query->box.hi.resize(box_dim);
+      for (std::size_t a = 0; a < box_dim; ++a) {
+        if (!r->F64(&query->box.lo[a]) || !r->F64(&query->box.hi[a])) {
+          return false;
+        }
+      }
+      break;
+    }
+    case Scenario::kDiversified:
+      if (!r->F64(&query->lambda) || !r->U64(&query->pool_factor)) {
+        return false;
+      }
+      break;
+    case Scenario::kReverse:
+      if (!r->U32(&query->reverse_target)) return false;
+      break;
+  }
+  return true;
+}
+
+void EncodeResultBody(const WireResult& result, Writer* w) {
+  w->U8(static_cast<std::uint8_t>(result.status));
+  w->U8(result.termination);
+  w->U64(result.certified_prefix);
+  w->F64(result.frontier_bound);
+  w->U64(result.tuples_evaluated);
+  w->U64(result.generation);
+  w->U32(result.retry_after_ms);
+  w->Str(result.message);
+  w->U32(static_cast<std::uint32_t>(result.items.size()));
+  for (const WireItem& item : result.items) {
+    w->U32(item.id);
+    w->F64(item.score);
+    w->F64(item.utility);
+  }
+  w->U32(static_cast<std::uint32_t>(result.intervals.size()));
+  for (const WireInterval& iv : result.intervals) {
+    w->F64(iv.lo);
+    w->F64(iv.hi);
+  }
+}
+
+bool DecodeResultBody(Reader* r, WireResult* result) {
+  std::uint8_t status = 0;
+  if (!r->U8(&status) || status > 5) return false;
+  result->status = static_cast<ReplyStatus>(status);
+  if (!r->U8(&result->termination) || result->termination > 6 ||
+      !r->U64(&result->certified_prefix) || !r->F64(&result->frontier_bound) ||
+      !r->U64(&result->tuples_evaluated) || !r->U64(&result->generation) ||
+      !r->U32(&result->retry_after_ms) || !r->Str(&result->message)) {
+    return false;
+  }
+  std::uint32_t count = 0;
+  if (!r->U32(&count) || count > kMaxWireItems ||
+      static_cast<std::size_t>(count) * 20 > r->remaining()) {
+    return false;
+  }
+  result->items.resize(count);
+  for (WireItem& item : result->items) {
+    if (!r->U32(&item.id) || !r->F64(&item.score) || !r->F64(&item.utility)) {
+      return false;
+    }
+  }
+  if (!r->U32(&count) || count > kMaxWireItems ||
+      static_cast<std::size_t>(count) * 16 > r->remaining()) {
+    return false;
+  }
+  result->intervals.resize(count);
+  for (WireInterval& iv : result->intervals) {
+    if (!r->F64(&iv.lo) || !r->F64(&iv.hi)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ReplyStatusName(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk:
+      return "ok";
+    case ReplyStatus::kOverloaded:
+      return "overloaded";
+    case ReplyStatus::kInvalidQuery:
+      return "invalid-query";
+    case ReplyStatus::kError:
+      return "error";
+    case ReplyStatus::kMalformed:
+      return "malformed";
+    case ReplyStatus::kShuttingDown:
+      return "shutting-down";
+  }
+  return "unknown";
+}
+
+void AppendFrame(std::uint32_t request_id,
+                 const std::vector<std::uint8_t>& payload,
+                 std::vector<std::uint8_t>* out) {
+  DRLI_CHECK(payload.size() <= kMaxFramePayload)
+      << "frame payload " << payload.size() << " over the wire cap";
+  Writer w(out);
+  w.U32(kFrameMagic);
+  w.U32(static_cast<std::uint32_t>(payload.size()));
+  w.U32(Crc32c(payload.data(), payload.size()));
+  w.U32(request_id);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+FrameScan ScanFrame(const std::vector<std::uint8_t>& buf, std::size_t* pos,
+                    Frame* frame, std::string* error) {
+  const std::size_t avail = buf.size() - *pos;
+  if (avail < kFrameHeaderBytes) return FrameScan::kNeedMore;
+  const std::uint8_t* head = buf.data() + *pos;
+  std::uint32_t magic, len, crc, request_id;
+  std::memcpy(&magic, head, 4);
+  std::memcpy(&len, head + 4, 4);
+  std::memcpy(&crc, head + 8, 4);
+  std::memcpy(&request_id, head + 12, 4);
+  if (magic != kFrameMagic) {
+    *error = "bad frame magic";
+    return FrameScan::kCorrupt;
+  }
+  if (len > kMaxFramePayload) {
+    *error = "frame payload length " + std::to_string(len) +
+             " exceeds the wire cap";
+    return FrameScan::kCorrupt;
+  }
+  if (avail < kFrameHeaderBytes + len) return FrameScan::kNeedMore;
+  const std::uint8_t* payload = head + kFrameHeaderBytes;
+  if (Crc32c(payload, len) != crc) {
+    *error = "frame payload CRC mismatch";
+    return FrameScan::kCorrupt;
+  }
+  frame->request_id = request_id;
+  frame->payload.assign(payload, payload + len);
+  *pos += kFrameHeaderBytes + len;
+  return FrameScan::kFrame;
+}
+
+std::vector<std::uint8_t> EncodeRequest(const Request& request) {
+  std::vector<std::uint8_t> payload;
+  Writer w(&payload);
+  w.U8(static_cast<std::uint8_t>(request.verb));
+  switch (request.verb) {
+    case Verb::kQuery:
+      DRLI_CHECK(request.queries.size() == 1);
+      EncodeQueryBody(request.queries[0], &w);
+      break;
+    case Verb::kBatch:
+      DRLI_CHECK(request.queries.size() <= kMaxBatchQueries);
+      w.U32(static_cast<std::uint32_t>(request.queries.size()));
+      for (const WireQuery& query : request.queries) {
+        EncodeQueryBody(query, &w);
+      }
+      break;
+    case Verb::kInspect:
+    case Verb::kHealth:
+    case Verb::kReload:
+      break;
+  }
+  return payload;
+}
+
+Status DecodeRequest(const std::vector<std::uint8_t>& payload,
+                     Request* request) {
+  Reader r(payload.data(), payload.size());
+  std::uint8_t verb = 0;
+  if (!r.U8(&verb) || verb < 1 || verb > 5) {
+    return Status::Corruption("unknown request verb");
+  }
+  request->verb = static_cast<Verb>(verb);
+  request->queries.clear();
+  switch (request->verb) {
+    case Verb::kQuery: {
+      WireQuery query;
+      if (!DecodeQueryBody(&r, &query)) {
+        return Status::Corruption("undecodable query body");
+      }
+      request->queries.push_back(std::move(query));
+      break;
+    }
+    case Verb::kBatch: {
+      std::uint32_t count = 0;
+      if (!r.U32(&count) || count > kMaxBatchQueries) {
+        return Status::Corruption("batch count out of range");
+      }
+      request->queries.resize(count);
+      for (WireQuery& query : request->queries) {
+        if (!DecodeQueryBody(&r, &query)) {
+          return Status::Corruption("undecodable batch query body");
+        }
+      }
+      break;
+    }
+    case Verb::kInspect:
+    case Verb::kHealth:
+    case Verb::kReload:
+      break;
+  }
+  if (!r.done()) {
+    return Status::Corruption("trailing bytes after request body");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::uint8_t> EncodeResultReply(
+    const std::vector<WireResult>& results) {
+  std::vector<std::uint8_t> payload;
+  Writer w(&payload);
+  w.U8(static_cast<std::uint8_t>(ReplyStatus::kOk));
+  w.U32(static_cast<std::uint32_t>(results.size()));
+  for (const WireResult& result : results) EncodeResultBody(result, &w);
+  return payload;
+}
+
+std::vector<std::uint8_t> EncodeHealthReply(const HealthInfo& info) {
+  std::vector<std::uint8_t> payload;
+  Writer w(&payload);
+  w.U8(static_cast<std::uint8_t>(ReplyStatus::kOk));
+  w.U64(info.generation);
+  w.U64(info.queries_served);
+  w.U64(info.queries_shed);
+  w.U64(info.queries_in_flight);
+  w.U64(info.reloads);
+  w.U64(info.malformed_frames);
+  w.U8(info.draining);
+  return payload;
+}
+
+std::vector<std::uint8_t> EncodeInspectReply(const InspectInfo& info) {
+  std::vector<std::uint8_t> payload;
+  Writer w(&payload);
+  w.U8(static_cast<std::uint8_t>(ReplyStatus::kOk));
+  w.Str(info.engine);
+  w.Str(info.snapshot);
+  w.U64(info.generation);
+  w.U64(info.num_points);
+  w.U32(info.dim);
+  w.Str(info.last_reload_error);
+  return payload;
+}
+
+std::vector<std::uint8_t> EncodeReloadReply(const ReloadInfo& info) {
+  std::vector<std::uint8_t> payload;
+  Writer w(&payload);
+  w.U8(static_cast<std::uint8_t>(ReplyStatus::kOk));
+  w.U8(info.reloaded);
+  w.U64(info.generation);
+  w.Str(info.error);
+  return payload;
+}
+
+std::vector<std::uint8_t> EncodeStatusReply(ReplyStatus status,
+                                            const std::string& message,
+                                            std::uint32_t retry_after_ms) {
+  std::vector<std::uint8_t> payload;
+  Writer w(&payload);
+  w.U8(static_cast<std::uint8_t>(status));
+  w.U32(retry_after_ms);
+  w.Str(message);
+  return payload;
+}
+
+namespace {
+
+// Bare-status replies are legal wherever a typed reply is expected;
+// this maps one onto a single WireResult so callers see a uniform
+// (status, message, retry hint) surface.
+bool DecodeBareStatus(Reader* r, ReplyStatus status, WireResult* result) {
+  result->status = status;
+  return r->U32(&result->retry_after_ms) && r->Str(&result->message) &&
+         r->done();
+}
+
+}  // namespace
+
+Status DecodeResultReply(const std::vector<std::uint8_t>& payload,
+                         std::vector<WireResult>* results) {
+  Reader r(payload.data(), payload.size());
+  std::uint8_t status = 0;
+  if (!r.U8(&status) || status > 5) {
+    return Status::Corruption("unknown reply status");
+  }
+  results->clear();
+  if (static_cast<ReplyStatus>(status) != ReplyStatus::kOk) {
+    WireResult result;
+    if (!DecodeBareStatus(&r, static_cast<ReplyStatus>(status), &result)) {
+      return Status::Corruption("undecodable status reply");
+    }
+    results->push_back(std::move(result));
+    return Status::Ok();
+  }
+  std::uint32_t count = 0;
+  if (!r.U32(&count) || count > kMaxBatchQueries) {
+    return Status::Corruption("reply result count out of range");
+  }
+  results->resize(count);
+  for (WireResult& result : *results) {
+    if (!DecodeResultBody(&r, &result)) {
+      return Status::Corruption("undecodable result body");
+    }
+  }
+  if (!r.done()) return Status::Corruption("trailing bytes after reply");
+  return Status::Ok();
+}
+
+Status DecodeHealthReply(const std::vector<std::uint8_t>& payload,
+                         HealthInfo* info) {
+  Reader r(payload.data(), payload.size());
+  std::uint8_t status = 0;
+  if (!r.U8(&status) || static_cast<ReplyStatus>(status) != ReplyStatus::kOk) {
+    return Status::Corruption("health reply carries a non-ok status");
+  }
+  if (!r.U64(&info->generation) || !r.U64(&info->queries_served) ||
+      !r.U64(&info->queries_shed) || !r.U64(&info->queries_in_flight) ||
+      !r.U64(&info->reloads) || !r.U64(&info->malformed_frames) ||
+      !r.U8(&info->draining) || !r.done()) {
+    return Status::Corruption("undecodable health reply");
+  }
+  return Status::Ok();
+}
+
+Status DecodeInspectReply(const std::vector<std::uint8_t>& payload,
+                          InspectInfo* info) {
+  Reader r(payload.data(), payload.size());
+  std::uint8_t status = 0;
+  if (!r.U8(&status) || static_cast<ReplyStatus>(status) != ReplyStatus::kOk) {
+    return Status::Corruption("inspect reply carries a non-ok status");
+  }
+  if (!r.Str(&info->engine) || !r.Str(&info->snapshot) ||
+      !r.U64(&info->generation) || !r.U64(&info->num_points) ||
+      !r.U32(&info->dim) || !r.Str(&info->last_reload_error) || !r.done()) {
+    return Status::Corruption("undecodable inspect reply");
+  }
+  return Status::Ok();
+}
+
+Status DecodeReloadReply(const std::vector<std::uint8_t>& payload,
+                         ReloadInfo* info) {
+  Reader r(payload.data(), payload.size());
+  std::uint8_t status = 0;
+  if (!r.U8(&status) || static_cast<ReplyStatus>(status) != ReplyStatus::kOk) {
+    return Status::Corruption("reload reply carries a non-ok status");
+  }
+  if (!r.U8(&info->reloaded) || !r.U64(&info->generation) ||
+      !r.Str(&info->error) || !r.done()) {
+    return Status::Corruption("undecodable reload reply");
+  }
+  return Status::Ok();
+}
+
+}  // namespace wire
+}  // namespace drli

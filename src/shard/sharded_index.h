@@ -136,7 +136,7 @@ class ShardedDualLayerIndex final : public TopKIndex {
 
   // --- introspection (tests, serialization, bench) ---
   std::size_t num_shards() const { return shards_.size(); }
-  std::size_t dim() const { return dim_; }
+  std::size_t dim() const override { return dim_; }
   const DualLayerIndex& shard(std::size_t s) const { return shards_[s]; }
   const std::vector<TupleId>& shard_members(std::size_t s) const {
     return members_[s];

@@ -38,6 +38,42 @@ StatusOr<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
   return std::shared_ptr<MmapFile>(new MmapFile(data, size));
 }
 
+StatusOr<std::vector<std::uint8_t>> MmapFile::ReadFileContents(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("fstat(" + path + "): " + err);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::read(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted: retry the read
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("read(" + path + ") at offset " +
+                             std::to_string(done) + ": " + err);
+    }
+    if (n == 0) {
+      // Premature EOF: the file shrank between fstat and the read.
+      ::close(fd);
+      return Status::IoError("read(" + path + "): unexpected EOF at offset " +
+                             std::to_string(done) + " of " +
+                             std::to_string(bytes.size()) + " bytes");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
 MmapFile::~MmapFile() {
   if (data_ != nullptr) {
     ::munmap(const_cast<std::uint8_t*>(data_), size_);

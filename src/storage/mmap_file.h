@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -22,6 +23,14 @@ class MmapFile {
   // Maps `path` read-only (MAP_PRIVATE). An empty file maps to
   // data() == nullptr, size() == 0.
   static StatusOr<std::shared_ptr<MmapFile>> Open(const std::string& path);
+
+  // Owning-read fallback for callers that cannot (or chose not to) map:
+  // reads the whole file through plain read(2), retrying interrupted
+  // and short reads (EINTR, signal-truncated transfers) until EOF.
+  // Errors carry the failing call and errno detail in the Status
+  // message -- never a bare kIoError.
+  static StatusOr<std::vector<std::uint8_t>> ReadFileContents(
+      const std::string& path);
 
   ~MmapFile();
   MmapFile(const MmapFile&) = delete;

@@ -318,6 +318,13 @@ class TopKIndex {
   // Number of tuples in the indexed relation.
   virtual std::size_t size() const = 0;
 
+  // Dimensionality of the indexed relation when the family can report
+  // it; 0 = unknown. The admission-control QueryBatch uses this to
+  // validate queries before the shed decision (a malformed query must
+  // not consume an in-flight slot); for a family reporting 0 that
+  // validation is skipped and Query itself remains the arbiter.
+  virtual std::size_t dim() const { return 0; }
+
   // Answers `query`; thread-compatible (const, no shared mutable state).
   // Never throws or aborts on malformed input: budget expiry yields a
   // certified partial result, bad queries a kInvalidQuery result.

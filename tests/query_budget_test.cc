@@ -377,6 +377,41 @@ TEST(BatchSheddingTest, QueriesBeyondTheInFlightLimitAreShed) {
   }
 }
 
+// Validation happens BEFORE the shed decision: a malformed query is a
+// kInvalidQuery rejection that consumes no in-flight slot, so it can
+// never crowd out a well-formed query under admission pressure.
+TEST(BatchSheddingTest, MalformedQueriesDoNotConsumeInFlightSlots) {
+  const PointSet points = GenerateAnticorrelated(300, 3, 37);
+  const DualLayerIndex index = DualLayerIndex::Build(points);
+
+  std::vector<TopKQuery> queries =
+      testing_util::RandomQueries(3, /*k=*/5, /*count=*/4, /*seed=*/9);
+  queries[0].weights = {0.5, 0.5};           // wrong arity
+  queries[2].weights = {-0.2, 0.6, 0.6};     // negative component
+
+  BatchOptions options;
+  options.max_in_flight = 2;  // exactly the number of valid queries
+  const std::vector<TopKResult> results = index.QueryBatch(queries, options);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].termination, Termination::kInvalidQuery);
+  EXPECT_EQ(results[2].termination, Termination::kInvalidQuery);
+  // Both valid queries were admitted: with validate-after-shed the
+  // malformed slots would have eaten the cap and slot 3 would be shed.
+  EXPECT_TRUE(results[1].complete());
+  EXPECT_TRUE(results[3].complete());
+  ExpectSameOutcome(index.Query(queries[1]), results[1]);
+  ExpectSameOutcome(index.Query(queries[3]), results[3]);
+
+  // With a cap of 1 the second valid query is the one shed -- the
+  // malformed ones still reject as invalid, never as overload.
+  options.max_in_flight = 1;
+  const std::vector<TopKResult> tight = index.QueryBatch(queries, options);
+  EXPECT_EQ(tight[0].termination, Termination::kInvalidQuery);
+  EXPECT_EQ(tight[2].termination, Termination::kInvalidQuery);
+  EXPECT_TRUE(tight[1].complete());
+  EXPECT_EQ(tight[3].termination, Termination::kShed);
+}
+
 TEST(BatchSheddingTest, UnlimitedInFlightAdmitsEverything) {
   const PointSet points = GenerateIndependent(100, 2, 41);
   const DualLayerIndex index = DualLayerIndex::Build(points);

@@ -1,0 +1,487 @@
+// Serving front end (DESIGN.md §10): wire protocol units, the server
+// end to end over a loopback socket, overload shedding, graceful
+// drain, and the headline hot-reload soak -- >= 10k queries across
+// >= 20 generation bumps with zero errors, every answer exactly the
+// one its generation's snapshot produces.
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "gtest/gtest.h"
+
+#include "core/dual_layer.h"
+#include "core/serialization.h"
+#include "data/generator.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/serving_engine.h"
+#include "test_util.h"
+
+namespace drli {
+namespace {
+
+using server::DrliClient;
+using server::ServerOptions;
+using server::TopKServer;
+
+// --- protocol units ---
+
+TEST(WireProtocolTest, FrameRoundTrip) {
+  wire::Request request;
+  request.verb = wire::Verb::kQuery;
+  wire::WireQuery query;
+  query.weights = {0.25, 0.75};
+  query.k = 7;
+  query.deadline_ms = 1.5;
+  query.max_evals = 123;
+  request.queries.push_back(query);
+
+  std::vector<std::uint8_t> buf;
+  wire::AppendFrame(42, wire::EncodeRequest(request), &buf);
+
+  std::size_t pos = 0;
+  wire::Frame frame;
+  std::string error;
+  ASSERT_EQ(wire::ScanFrame(buf, &pos, &frame, &error),
+            wire::FrameScan::kFrame);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(pos, buf.size());
+
+  wire::Request decoded;
+  ASSERT_TRUE(wire::DecodeRequest(frame.payload, &decoded).ok());
+  EXPECT_EQ(decoded.verb, wire::Verb::kQuery);
+  ASSERT_EQ(decoded.queries.size(), 1u);
+  EXPECT_EQ(decoded.queries[0].weights, query.weights);
+  EXPECT_EQ(decoded.queries[0].k, 7u);
+  EXPECT_EQ(decoded.queries[0].deadline_ms, 1.5);
+  EXPECT_EQ(decoded.queries[0].max_evals, 123u);
+}
+
+TEST(WireProtocolTest, PartialFrameNeedsMore) {
+  wire::Request request;
+  request.queries.emplace_back();
+  request.queries[0].weights = {1.0};
+  std::vector<std::uint8_t> buf;
+  wire::AppendFrame(1, wire::EncodeRequest(request), &buf);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(buf.begin(), buf.begin() + cut);
+    std::size_t pos = 0;
+    wire::Frame frame;
+    std::string error;
+    EXPECT_EQ(wire::ScanFrame(prefix, &pos, &frame, &error),
+              wire::FrameScan::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(pos, 0u);
+  }
+}
+
+TEST(WireProtocolTest, CorruptionIsDetectedNotTrusted) {
+  wire::Request request;
+  request.queries.emplace_back();
+  request.queries[0].weights = {0.5, 0.5};
+  std::vector<std::uint8_t> good;
+  wire::AppendFrame(9, wire::EncodeRequest(request), &good);
+
+  // Bad magic.
+  std::vector<std::uint8_t> bad = good;
+  bad[0] ^= 0xff;
+  std::size_t pos = 0;
+  wire::Frame frame;
+  std::string error;
+  EXPECT_EQ(wire::ScanFrame(bad, &pos, &frame, &error),
+            wire::FrameScan::kCorrupt);
+  EXPECT_NE(error.find("magic"), std::string::npos);
+
+  // Payload bit flip breaks the CRC.
+  bad = good;
+  bad[wire::kFrameHeaderBytes + 3] ^= 0x10;
+  pos = 0;
+  EXPECT_EQ(wire::ScanFrame(bad, &pos, &frame, &error),
+            wire::FrameScan::kCorrupt);
+  EXPECT_NE(error.find("CRC"), std::string::npos);
+
+  // A hostile length can never drive an allocation.
+  bad = good;
+  const std::uint32_t huge = 0x7fffffff;
+  std::memcpy(bad.data() + 4, &huge, sizeof(huge));
+  pos = 0;
+  EXPECT_EQ(wire::ScanFrame(bad, &pos, &frame, &error),
+            wire::FrameScan::kCorrupt);
+}
+
+TEST(WireProtocolTest, ResultReplyRoundTrip) {
+  std::vector<wire::WireResult> results(2);
+  results[0].status = wire::ReplyStatus::kOk;
+  results[0].termination = 1;  // kDeadline
+  results[0].certified_prefix = 2;
+  results[0].frontier_bound = 0.125;
+  results[0].items = {{7, 0.5, 0.5}, {9, 0.625, 0.625}, {4, 0.75, 0.75}};
+  results[0].tuples_evaluated = 31;
+  results[0].generation = 5;
+  results[1].status = wire::ReplyStatus::kOverloaded;
+  results[1].retry_after_ms = 40;
+  results[1].message = "shed";
+
+  std::vector<wire::WireResult> decoded;
+  ASSERT_TRUE(
+      wire::DecodeResultReply(wire::EncodeResultReply(results), &decoded)
+          .ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].termination, 1);
+  EXPECT_EQ(decoded[0].certified_prefix, 2u);
+  EXPECT_EQ(decoded[0].frontier_bound, 0.125);
+  ASSERT_EQ(decoded[0].items.size(), 3u);
+  EXPECT_EQ(decoded[0].items[1].id, 9u);
+  EXPECT_EQ(decoded[0].items[1].score, 0.625);
+  EXPECT_EQ(decoded[0].generation, 5u);
+  EXPECT_EQ(decoded[1].status, wire::ReplyStatus::kOverloaded);
+  EXPECT_EQ(decoded[1].retry_after_ms, 40u);
+  EXPECT_EQ(decoded[1].message, "shed");
+}
+
+TEST(WireProtocolTest, TruncatedPayloadsDecodeToErrorsNotOverReads) {
+  wire::Request request;
+  request.verb = wire::Verb::kBatch;
+  request.queries.resize(3);
+  for (auto& query : request.queries) query.weights = {0.3, 0.3, 0.4};
+  const std::vector<std::uint8_t> payload = wire::EncodeRequest(request);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(payload.begin(),
+                                           payload.begin() + cut);
+    wire::Request decoded;
+    EXPECT_FALSE(wire::DecodeRequest(prefix, &decoded).ok())
+        << "cut at " << cut;
+  }
+}
+
+// --- server end to end ---
+
+struct ServingDir {
+  std::string dir;
+  explicit ServingDir(const std::string& name) {
+    dir = (std::filesystem::temp_directory_path() /
+           (name + "_" + std::to_string(::getpid())))
+              .string();
+    std::filesystem::create_directories(dir);
+  }
+  ~ServingDir() { std::filesystem::remove_all(dir); }
+};
+
+DualLayerIndex BuildAndPublish(const ServingDir& serving,
+                               const std::string& name, std::uint64_t seed) {
+  DualLayerIndex index =
+      DualLayerIndex::Build(GenerateAnticorrelated(300, 3, seed));
+  EXPECT_TRUE(SaveDualLayerIndex(index, serving.dir + "/" + name).ok());
+  EXPECT_TRUE(server::PublishSnapshot(serving.dir, name).ok());
+  return index;
+}
+
+TEST(ServerTest, AnswersMatchTheLocalIndexExactly) {
+  ServingDir serving("drli_server_e2e");
+  const DualLayerIndex local = BuildAndPublish(serving, "gen-1.v2", 11);
+
+  TopKServer server;
+  ASSERT_TRUE(server.Start(serving.dir, ServerOptions{}).ok());
+  DrliClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  for (const TopKQuery& query :
+       testing_util::RandomQueries(3, /*k=*/6, /*count=*/32, /*seed=*/3)) {
+    wire::WireQuery wq;
+    wq.weights = query.weights;
+    wq.k = query.k;
+    auto result = client.Query(wq);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.value().status, wire::ReplyStatus::kOk);
+    const TopKResult expected = local.Query(query);
+    ASSERT_EQ(result.value().items.size(), expected.items.size());
+    for (std::size_t r = 0; r < expected.items.size(); ++r) {
+      EXPECT_EQ(result.value().items[r].id, expected.items[r].id);
+      EXPECT_EQ(result.value().items[r].score, expected.items[r].score);
+    }
+    EXPECT_EQ(result.value().tuples_evaluated,
+              expected.stats.tuples_evaluated);
+  }
+
+  // Batch over one connection matches too, slot for slot.
+  std::vector<wire::WireQuery> batch;
+  const auto queries = testing_util::RandomQueries(3, 4, 16, 5);
+  for (const TopKQuery& query : queries) {
+    wire::WireQuery wq;
+    wq.weights = query.weights;
+    wq.k = query.k;
+    batch.push_back(wq);
+  }
+  auto results = client.Batch(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results.value().size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const TopKResult expected = local.Query(queries[i]);
+    ASSERT_EQ(results.value()[i].items.size(), expected.items.size()) << i;
+    for (std::size_t r = 0; r < expected.items.size(); ++r) {
+      EXPECT_EQ(results.value()[i].items[r].id, expected.items[r].id);
+    }
+  }
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().generation, 1u);
+  EXPECT_GE(health.value().queries_served, 32u);
+  EXPECT_EQ(health.value().draining, 0);
+
+  auto inspect = client.Inspect();
+  ASSERT_TRUE(inspect.ok());
+  EXPECT_EQ(inspect.value().snapshot, "gen-1.v2");
+  EXPECT_EQ(inspect.value().num_points, 300u);
+  EXPECT_EQ(inspect.value().dim, 3u);
+  server.Shutdown();
+}
+
+TEST(ServerTest, MalformedPayloadUnderIntactFrameKeepsConnection) {
+  ServingDir serving("drli_server_malformed");
+  BuildAndPublish(serving, "gen-1.v2", 13);
+  TopKServer server;
+  ASSERT_TRUE(server.Start(serving.dir, ServerOptions{}).ok());
+  DrliClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // A well-framed payload with an out-of-range verb decodes to a
+  // kMalformed reply -- and the connection survives for the next query.
+  std::vector<std::uint8_t> frame;
+  wire::AppendFrame(77, {0xee, 0x01, 0x02}, &frame);
+  ASSERT_TRUE(client.SendRaw(frame).ok());
+  auto reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().request_id, 77u);
+  std::vector<wire::WireResult> results;
+  ASSERT_TRUE(wire::DecodeResultReply(reply.value().payload, &results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, wire::ReplyStatus::kMalformed);
+
+  wire::WireQuery query;
+  query.weights = {0.2, 0.3, 0.5};
+  query.k = 3;
+  auto answer = client.Query(query);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer.value().status, wire::ReplyStatus::kOk);
+  EXPECT_EQ(server.counters().malformed_frames, 1u);
+  server.Shutdown();
+}
+
+TEST(ServerTest, OverloadShedsWithRetryAfterNotCollapse) {
+  ServingDir serving("drli_server_shed");
+  BuildAndPublish(serving, "gen-1.v2", 17);
+  ServerOptions options;
+  options.max_in_flight = 1;
+  options.num_workers = 1;
+  options.test_worker_delay_ms = 40.0;  // park the one admitted query
+  options.retry_after_ms = 35;
+  TopKServer server;
+  ASSERT_TRUE(server.Start(serving.dir, options).ok());
+
+  constexpr std::size_t kClients = 6;
+  std::atomic<std::size_t> ok_count{0}, shed_count{0}, errors{0};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      DrliClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      wire::WireQuery query;
+      query.weights = {0.2 + 0.1 * static_cast<double>(c % 3), 0.3, 0.5};
+      query.k = 4;
+      auto result = client.Query(query);
+      if (!result.ok()) {
+        errors.fetch_add(1);
+      } else if (result.value().status == wire::ReplyStatus::kOk) {
+        ok_count.fetch_add(1);
+      } else if (result.value().status == wire::ReplyStatus::kOverloaded) {
+        // The shed is explicit and actionable, not a dropped socket.
+        if (result.value().retry_after_ms != 35) errors.fetch_add(1);
+        shed_count.fetch_add(1);
+      } else {
+        errors.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(ok_count.load() + shed_count.load(), kClients);
+  EXPECT_GE(ok_count.load(), 1u);   // the admitted query completed
+  EXPECT_GE(shed_count.load(), 1u); // and overload was actually hit
+  EXPECT_EQ(server.counters().queries_shed, shed_count.load());
+  server.Shutdown();
+}
+
+TEST(ServerTest, GracefulDrainAnswersInFlightWork) {
+  ServingDir serving("drli_server_drain");
+  BuildAndPublish(serving, "gen-1.v2", 19);
+  ServerOptions options;
+  options.test_worker_delay_ms = 30.0;  // widen the drain window
+  TopKServer server;
+  ASSERT_TRUE(server.Start(serving.dir, options).ok());
+  DrliClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  wire::WireQuery query;
+  query.weights = {0.2, 0.3, 0.5};
+  query.k = 4;
+  std::uint32_t id = 0;
+  {
+    wire::Request request;
+    request.verb = wire::Verb::kQuery;
+    request.queries.push_back(query);
+    std::vector<std::uint8_t> frame;
+    wire::AppendFrame(5, wire::EncodeRequest(request), &frame);
+    id = 5;
+    ASSERT_TRUE(client.SendRaw(frame).ok());
+  }
+  std::thread shutdown([&] { server.Shutdown(); });
+  // The in-flight query is answered, not dropped, while the server
+  // drains underneath it.
+  auto reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().request_id, id);
+  std::vector<wire::WireResult> results;
+  ASSERT_TRUE(wire::DecodeResultReply(reply.value().payload, &results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, wire::ReplyStatus::kOk);
+  EXPECT_EQ(results[0].items.size(), 4u);
+  shutdown.join();
+  EXPECT_TRUE(server.draining());
+
+  // New work after the drain is refused explicitly or the socket is
+  // gone -- never a hang.
+  DrliClient late;
+  if (late.Connect("127.0.0.1", server.port(), 0.5).ok()) {
+    auto refused = late.Query(query);
+    if (refused.ok()) {
+      EXPECT_EQ(refused.value().status, wire::ReplyStatus::kShuttingDown);
+    }
+  }
+}
+
+// The headline soak: >= 20 generation bumps under a live query load of
+// >= 10k queries, every reply kOk and exactly equal to what the
+// snapshot of its generation answers locally. Generation sequence s
+// serves snapshot gen-(s-1).v2 because publishes are acknowledged (via
+// the reloads counter) before the next one goes out.
+TEST(ServerSoakTest, HotReloadServesTenThousandQueriesAcrossTwentyBumps) {
+  constexpr std::size_t kGenerations = 21;  // initial + 20 bumps
+  constexpr std::size_t kReaders = 4;
+  constexpr std::size_t kQueriesPerReader = 2600;  // 10400 total
+
+  ServingDir serving("drli_server_soak");
+  const std::vector<TopKQuery> queries =
+      testing_util::RandomQueries(3, /*k=*/5, /*count=*/8, /*seed=*/29);
+
+  // Build every generation up front and precompute its exact answers.
+  std::vector<std::vector<TopKResult>> expected(kGenerations);
+  for (std::size_t g = 0; g < kGenerations; ++g) {
+    const DualLayerIndex index = DualLayerIndex::Build(
+        GenerateAnticorrelated(250, 3, 1000 + g));
+    ASSERT_TRUE(SaveDualLayerIndex(index, serving.dir + "/gen-" +
+                                              std::to_string(g) + ".v2")
+                    .ok());
+    for (const TopKQuery& query : queries) {
+      expected[g].push_back(index.Query(query));
+    }
+  }
+  ASSERT_TRUE(server::PublishSnapshot(serving.dir, "gen-0.v2").ok());
+
+  ServerOptions options;
+  options.reload_poll_seconds = 0.002;
+  TopKServer server;
+  ASSERT_TRUE(server.Start(serving.dir, options).ok());
+
+  std::atomic<bool> published_all{false};
+  std::atomic<std::size_t> soak_errors{0};
+  std::atomic<std::size_t> queries_answered{0};
+
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      DrliClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        soak_errors.fetch_add(1);
+        return;
+      }
+      std::uint64_t last_generation = 0;
+      // The load outlives the publisher: at least kQueriesPerReader
+      // round trips, and never stopping while bumps are still landing.
+      for (std::size_t q = 0;
+           q < kQueriesPerReader || !published_all.load(); ++q) {
+        const std::size_t slot = (q + r) % queries.size();
+        wire::WireQuery wq;
+        wq.weights = queries[slot].weights;
+        wq.k = queries[slot].k;
+        auto result = client.Query(wq);
+        if (!result.ok() ||
+            result.value().status != wire::ReplyStatus::kOk) {
+          soak_errors.fetch_add(1);
+          continue;
+        }
+        const wire::WireResult& got = result.value();
+        // Generations only move forward under a sequential client.
+        if (got.generation < last_generation ||
+            got.generation < 1 || got.generation > kGenerations) {
+          soak_errors.fetch_add(1);
+          continue;
+        }
+        last_generation = got.generation;
+        const TopKResult& want = expected[got.generation - 1][slot];
+        bool match = got.items.size() == want.items.size();
+        for (std::size_t i = 0; match && i < want.items.size(); ++i) {
+          match = got.items[i].id == want.items[i].id &&
+                  got.items[i].score == want.items[i].score;
+        }
+        if (!match) soak_errors.fetch_add(1);
+        queries_answered.fetch_add(1);
+      }
+    });
+  }
+
+  // Publisher: bump CURRENT through every generation under the load,
+  // waiting for each swap to be observed before the next publish so
+  // the sequence -> snapshot mapping stays exact.
+  std::thread publisher([&] {
+    for (std::size_t g = 1; g < kGenerations; ++g) {
+      ASSERT_TRUE(server::PublishSnapshot(serving.dir,
+                                          "gen-" + std::to_string(g) + ".v2")
+                      .ok());
+      while (server.counters().reloads < g) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+
+  publisher.join();
+  published_all.store(true);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(soak_errors.load(), 0u);
+  EXPECT_GE(queries_answered.load(), 10000u);
+  EXPECT_EQ(server.counters().reloads, kGenerations - 1);
+  // Every generation really served: the last reply of each reader came
+  // from the final generation only after all 20 swaps happened live.
+  DrliClient inspect_client;
+  ASSERT_TRUE(inspect_client.Connect("127.0.0.1", server.port()).ok());
+  auto inspect = inspect_client.Inspect();
+  ASSERT_TRUE(inspect.ok());
+  EXPECT_EQ(inspect.value().snapshot,
+            "gen-" + std::to_string(kGenerations - 1) + ".v2");
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace drli

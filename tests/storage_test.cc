@@ -1,15 +1,63 @@
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <numeric>
+#include <string>
 
 #include "gtest/gtest.h"
 
 #include "baselines/dominant_graph.h"
 #include "core/dual_layer.h"
 #include "data/generator.h"
+#include "storage/mmap_file.h"
 #include "storage/page_layout.h"
 #include "test_util.h"
 
 namespace drli {
 namespace {
+
+TEST(ReadFileContentsTest, RoundTripsBytes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "drli_read_contents.bin")
+          .string();
+  const std::string payload("dual\0resolution\nlayer\xff", 22);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+
+  auto bytes = MmapFile::ReadFileContents(path);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  ASSERT_EQ(bytes.value().size(), payload.size());
+  EXPECT_EQ(std::memcmp(bytes.value().data(), payload.data(), payload.size()),
+            0);
+  std::filesystem::remove(path);
+}
+
+TEST(ReadFileContentsTest, EmptyFileYieldsEmptyVector) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "drli_read_empty.bin")
+          .string();
+  std::fclose(std::fopen(path.c_str(), "wb"));
+  auto bytes = MmapFile::ReadFileContents(path);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_TRUE(bytes.value().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(ReadFileContentsTest, MissingFileCarriesPathAndErrnoDetail) {
+  auto bytes = MmapFile::ReadFileContents("/nonexistent/drli_nope.bin");
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kIoError);
+  // The Status names the failing syscall, the path, and the errno text
+  // so a serving-directory misconfiguration is diagnosable from the
+  // error alone.
+  EXPECT_NE(bytes.status().message().find("open("), std::string::npos);
+  EXPECT_NE(bytes.status().message().find("/nonexistent/drli_nope.bin"),
+            std::string::npos);
+  EXPECT_NE(bytes.status().message().find("No such file"),
+            std::string::npos);
+}
 
 TEST(PageLayoutTest, PacksGroupsIntoPages) {
   // Two groups of 5 and 3 tuples, 2 per page: pages 0,0,1,1,2 | 3,3,4.

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the drli CLI: generate -> build -> stats ->
-# query -> compare, asserting exit codes and key output fragments.
+# query -> compare -> serve, asserting exit codes and key output
+# fragments. $2 is the drli_client binary for the serving case.
 set -euo pipefail
 
 CLI="$1"
+CLIENT="${2:-}"
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+SERVER_PID=""
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
 
 "$CLI" generate --dist=ant --n=2000 --d=3 --seed=9 --out="$WORK/data.csv" \
   | grep -q "wrote 2000 x 3 ant tuples"
@@ -176,5 +179,58 @@ if "$CLI" query --index="$WORK/index.bin" --weights=-0.2,0.6,0.6 --k=3 \
   exit 1
 fi
 grep -q "invalid-query" "$WORK/err.txt"
+
+# Serving front end: serve a directory, query over the socket, hot-swap
+# the generation with `publish`, and drain on SIGTERM.
+if [ -n "$CLIENT" ]; then
+  mkdir "$WORK/srv"
+  cp "$WORK/index.bin" "$WORK/srv/gen-1.v2"
+  "$CLI" generate --dist=ind --n=2000 --d=3 --seed=17 --out="$WORK/data3.csv" \
+    >/dev/null
+  "$CLI" build --input="$WORK/data3.csv" --kind=dl+ \
+    --out="$WORK/srv/gen-2.v2" >/dev/null
+  "$CLI" publish --dir="$WORK/srv" --snapshot=gen-1.v2 \
+    | grep -q "published"
+  "$CLI" serve --dir="$WORK/srv" --port=0 --port-file="$WORK/port.txt" \
+    --reload-poll=0.05 >"$WORK/serve.log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$WORK/port.txt" ] && break
+    sleep 0.1
+  done
+  [ -s "$WORK/port.txt" ]
+  PORT="$(cat "$WORK/port.txt")"
+  "$CLIENT" health --port="$PORT" | grep -q "^serving generation=1"
+  # The wire answer is bit-identical to the local one.
+  "$CLIENT" query --port="$PORT" --weights=0.2,0.3,0.5 --k=5 \
+    | tee "$WORK/wire.txt" | grep -q "generation 1"
+  grep "tuple " "$WORK/wire.txt" >"$WORK/wire_items.txt"
+  diff "$WORK/simd_items.txt" "$WORK/wire_items.txt"
+  # Scenario routing and budget propagation over the wire.
+  "$CLIENT" query --port="$PORT" --weights=0.2,0.3,0.5 --k=5 \
+    --box=0.1:0.9,:0.8,0.2: | grep -q "tuple "
+  "$CLIENT" query --port="$PORT" --weights=0.2,0.3,0.5 --k=5 --max-evals=7 \
+    | grep -q "partial result"
+  # A malformed query is a recoverable wire rejection, not a crash.
+  if "$CLIENT" query --port="$PORT" --weights=0.5,0.5 --k=5 2>"$WORK/err.txt"
+  then
+    echo "expected wire rejection for 2-d weights on 3-d index" >&2
+    exit 1
+  fi
+  grep -q "dimensionality mismatch" "$WORK/err.txt"
+  # Hot reload: publish gen-2, force a poll, and re-query -- the swap
+  # happens with the server up and the old connection draining.
+  "$CLI" publish --dir="$WORK/srv" --snapshot=gen-2.v2 >/dev/null
+  "$CLIENT" reload --port="$PORT" | grep -qE "^(swapped|unchanged)"
+  "$CLIENT" inspect --port="$PORT" | grep -q "snapshot gen-2.v2"
+  "$CLIENT" query --port="$PORT" --weights=0.2,0.3,0.5 --k=5 \
+    | grep -q "generation 2"
+  # Graceful drain: SIGTERM answers in-flight work, then exits 0.
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  grep -q "draining" "$WORK/serve.log"
+  grep -qE "served [0-9]+ queries" "$WORK/serve.log"
+fi
 
 echo "CLI smoke test passed"

@@ -15,6 +15,18 @@
 //   drli check    --index=index.bin
 //   drli check    --input=data.csv --kind=dl+ --samples=32
 //
+// Serving front end (DESIGN.md §10): `serve` answers queries over a
+// loopback/TCP socket from a serving directory whose CURRENT file
+// names the generation to serve; `publish` atomically repoints
+// CURRENT (the running server picks the new generation up without
+// dropping in-flight queries). SIGTERM/SIGINT drain gracefully.
+//
+//   drli serve    --dir=/srv/drli --port=7071
+//                 [--port-file=port.txt]     # written once bound
+//                 [--max-in-flight=256] [--deadline-ms=50]
+//                 [--loops=2] [--workers=4]
+//   drli publish  --dir=/srv/drli --snapshot=gen-000002.v2
+//
 // Query scenarios (DESIGN.md "Query scenarios"):
 //
 //   drli query    --index=index.bin --weights=0.5,0.5 --k=10
@@ -58,6 +70,8 @@
 // the DRLI_NO_SIMD environment variable; `query` and `inspect` report
 // the active kernel dispatch target.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,6 +80,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -81,6 +96,8 @@
 #include "scenarios/constrained.h"
 #include "scenarios/diversified.h"
 #include "scenarios/reverse_topk.h"
+#include "server/server.h"
+#include "server/serving_engine.h"
 #include "shard/shard_io.h"
 #include "shard/sharded_index.h"
 #include "storage/tiered_io.h"
@@ -134,8 +151,8 @@ std::vector<std::string> SplitComma(const std::string& value) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: drli "
-               "<generate|build|stats|inspect|query|compare|sweep|check>"
+               "usage: drli <generate|build|stats|inspect|query|compare|"
+               "sweep|check|serve|publish>"
                " [--flags]\n"
                "see the header of tools/drli_cli.cc for examples\n");
   return 2;
@@ -929,6 +946,97 @@ int CmdCheck(const Flags& flags) {
   return 1;
 }
 
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+void HandleStopSignal(int) { g_stop_serving = 1; }
+
+double GetDoubleFlag(const Flags& flags, const std::string& key,
+                     double fallback) {
+  const std::string value = GetFlag(flags, key);
+  return value.empty() ? fallback : std::strtod(value.c_str(), nullptr);
+}
+
+int CmdServe(const Flags& flags) {
+  const std::string dir = GetFlag(flags, "dir");
+  if (dir.empty()) {
+    std::fprintf(stderr, "--dir=<serving directory> is required\n");
+    return 2;
+  }
+  server::ServerOptions options;
+  options.host = GetFlag(flags, "host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(GetSizeFlag(flags, "port", 0));
+  options.num_loops = GetSizeFlag(flags, "loops", 0);
+  options.num_workers = GetSizeFlag(flags, "workers", 0);
+  options.max_in_flight = GetSizeFlag(flags, "max-in-flight", 0);
+  options.default_deadline_ms = GetDoubleFlag(flags, "deadline-ms", 0.0);
+  options.idle_timeout_seconds =
+      GetDoubleFlag(flags, "idle-timeout", options.idle_timeout_seconds);
+  options.reload_poll_seconds =
+      GetDoubleFlag(flags, "reload-poll", options.reload_poll_seconds);
+
+  server::TopKServer server;
+  if (const Status status = server.Start(dir, options); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const auto generation = server.engine().Acquire();
+  std::printf("serving %s (%s, n=%zu d=%zu) on %s:%u\n", dir.c_str(),
+              generation->snapshot.c_str(), generation->index->size(),
+              generation->dim, options.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  // Smoke tests bind port 0 and discover the real port from this file.
+  const std::string port_file = GetFlag(flags, "port-file");
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  while (g_stop_serving == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  const server::ServerCounters counters = server.counters();
+  std::printf("served %llu queries (%llu shed, %llu malformed frames, "
+              "%llu connections, %llu reloads)\n",
+              static_cast<unsigned long long>(counters.queries_served),
+              static_cast<unsigned long long>(counters.queries_shed),
+              static_cast<unsigned long long>(counters.malformed_frames),
+              static_cast<unsigned long long>(counters.connections_opened),
+              static_cast<unsigned long long>(counters.reloads));
+  return 0;
+}
+
+int CmdPublish(const Flags& flags) {
+  const std::string dir = GetFlag(flags, "dir");
+  const std::string snapshot = GetFlag(flags, "snapshot");
+  if (dir.empty() || snapshot.empty()) {
+    std::fprintf(stderr,
+                 "--dir=<serving directory> and --snapshot=<name> are "
+                 "required\n");
+    return 2;
+  }
+  if (const Status status = server::PublishSnapshot(dir, snapshot);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("published %s/CURRENT -> %s\n", dir.c_str(), snapshot.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -942,6 +1050,8 @@ int Main(int argc, char** argv) {
   if (command == "compare") return CmdCompare(flags);
   if (command == "sweep") return CmdSweep(flags);
   if (command == "check") return CmdCheck(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "publish") return CmdPublish(flags);
   return Usage();
 }
 

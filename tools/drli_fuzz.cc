@@ -15,6 +15,11 @@
 //                                         # fault sweep (every step index
 //                                         # of every family, step budget
 //                                         # and cancellation)
+//   drli_fuzz --server-faults --cases=3 --seed=5
+//                                         # serving front end under fire:
+//                                         # corrupt frames, disconnects,
+//                                         # reload races, deadline storms,
+//                                         # overload (one sweep per seed)
 //
 // Every case builds a fresh adversarial dataset from its seed (exact
 // duplicates, grid-snapped coordinates, coplanar rows, d in 2..5, tiny
@@ -40,6 +45,7 @@
 #include "data/generator.h"
 #include "testing/fault_inject.h"
 #include "testing/fuzz.h"
+#include "testing/server_faults.h"
 
 namespace drli {
 namespace {
@@ -50,7 +56,8 @@ int Usage() {
                "                 [--dynamic=0|1] [--max-n=N]\n"
                "       drli_fuzz --mixed-rw [--cases=N] [--seed=S]\n"
                "       drli_fuzz --snapshot-faults [--flips=N] [--seed=S]\n"
-               "       drli_fuzz --budget-faults [--cases=N] [--seed=S]\n");
+               "       drli_fuzz --budget-faults [--cases=N] [--seed=S]\n"
+               "       drli_fuzz --server-faults [--cases=N] [--seed=S]\n");
   return 2;
 }
 
@@ -207,6 +214,31 @@ int RunSnapshotFaults(std::size_t flips, std::uint64_t seed) {
   return ok ? 0 : 1;
 }
 
+// Serving-front-end fault sweep: each case stands up a real server on
+// a loopback socket and runs the full attack matrix (corrupt frames,
+// mid-request disconnects, reload-during-query races, deadline storms,
+// overload). The nightly ASan/UBSan job runs this as a soak.
+int RunServerFaults(std::size_t cases, std::uint64_t first_seed) {
+  const std::string base =
+      "/tmp/drli_server_faults_" + std::to_string(getpid()) + "_";
+  bool ok = true;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    testing::ServerFaultOptions sweep;
+    sweep.seed = seed;
+    const testing::ServerFaultReport report = testing::RunServerFaultSweep(
+        base + std::to_string(seed), sweep);
+    std::printf("seed=%llu: %s\n", static_cast<unsigned long long>(seed),
+                report.ToString().c_str());
+    if (!report.ok()) {
+      ok = false;
+      std::printf("FAIL seed=%llu\n", static_cast<unsigned long long>(seed));
+    }
+  }
+  std::printf(ok ? "server fault sweep ok\n" : "server fault sweep FAILED\n");
+  return ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   std::size_t cases = 100;
   std::uint64_t first_seed = 1;
@@ -214,6 +246,7 @@ int Main(int argc, char** argv) {
   bool snapshot_faults = false;
   bool budget_faults = false;
   bool mixed_rw = false;
+  bool server_faults = false;
   // DRLI_FAULT_FLIPS pre-sets the flip budget (the nightly job raises
   // it); --flips= wins over the environment.
   std::size_t flips = 1000;
@@ -232,6 +265,8 @@ int Main(int argc, char** argv) {
       budget_faults = true;
     } else if (arg == "--mixed-rw") {
       mixed_rw = true;
+    } else if (arg == "--server-faults") {
+      server_faults = true;
     } else if (arg.rfind("--flips=", 0) == 0) {
       flips = std::strtoul(value("--flips="), nullptr, 10);
     } else if (arg.rfind("--cases=", 0) == 0) {
@@ -253,6 +288,7 @@ int Main(int argc, char** argv) {
   if (snapshot_faults) return RunSnapshotFaults(flips, first_seed);
   if (budget_faults) return RunBudgetFaults(cases, first_seed);
   if (mixed_rw) return RunMixedTraces(cases, first_seed);
+  if (server_faults) return RunServerFaults(cases, first_seed);
 
   std::size_t failed = 0;
   for (std::size_t i = 0; i < cases; ++i) {
