@@ -231,7 +231,7 @@ void RunOpenLoopConnection(std::uint16_t port, double rate, double seconds,
         std::lock_guard<std::mutex> lock(inflight_mu);
         inflight.emplace(id, Clock::now());
       }
-      wire::AppendFrame(id, wire::EncodeRequest(request), &frame);
+      (void)wire::AppendFrame(id, wire::EncodeRequest(request), &frame);
       if (!client.SendRaw(frame).ok()) {
         errors->fetch_add(1);
         std::lock_guard<std::mutex> lock(inflight_mu);

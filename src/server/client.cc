@@ -121,7 +121,10 @@ Status DrliClient::SendRequest(const wire::Request& request,
   *id = next_request_id_++;
   if (next_request_id_ == 0) next_request_id_ = 1;
   std::vector<std::uint8_t> frame;
-  wire::AppendFrame(*id, wire::EncodeRequest(request), &frame);
+  if (!wire::AppendFrame(*id, wire::EncodeRequest(request), &frame)) {
+    return Status::InvalidArgument(
+        "encoded request exceeds the frame payload cap; split the batch");
+  }
   return SendRaw(frame);
 }
 

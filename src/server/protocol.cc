@@ -151,7 +151,9 @@ void EncodeResultBody(const WireResult& result, Writer* w) {
   w->U64(result.tuples_evaluated);
   w->U64(result.generation);
   w->U32(result.retry_after_ms);
-  w->Str(result.message);
+  // Truncated so per-result encoded size never exceeds the
+  // kWireResultOverheadBytes + items/intervals budget ReplyFits uses.
+  w->Str(result.message.substr(0, kMaxWireMessageBytes));
   w->U32(static_cast<std::uint32_t>(result.items.size()));
   for (const WireItem& item : result.items) {
     w->U32(item.id);
@@ -217,17 +219,17 @@ const char* ReplyStatusName(ReplyStatus status) {
   return "unknown";
 }
 
-void AppendFrame(std::uint32_t request_id,
+bool AppendFrame(std::uint32_t request_id,
                  const std::vector<std::uint8_t>& payload,
                  std::vector<std::uint8_t>* out) {
-  DRLI_CHECK(payload.size() <= kMaxFramePayload)
-      << "frame payload " << payload.size() << " over the wire cap";
+  if (payload.size() > kMaxFramePayload) return false;
   Writer w(out);
   w.U32(kFrameMagic);
   w.U32(static_cast<std::uint32_t>(payload.size()));
   w.U32(Crc32c(payload.data(), payload.size()));
   w.U32(request_id);
   out->insert(out->end(), payload.begin(), payload.end());
+  return true;
 }
 
 FrameScan ScanFrame(const std::vector<std::uint8_t>& buf, std::size_t* pos,

@@ -53,17 +53,51 @@ namespace wire {
 
 inline constexpr std::uint32_t kFrameMagic = 0x574c5244;  // "DRLW" LE
 inline constexpr std::size_t kFrameHeaderBytes = 16;
-// Upper bound on one frame's payload; covers a full batch reply over
-// the largest supported batch at the largest supported k.
+// Upper bound on one frame's payload. Every reply the server can emit
+// must fit it, so request admission validates the worst-case encoded
+// reply against this cap (see ReplyFits) instead of discovering the
+// overflow at encode time.
 inline constexpr std::size_t kMaxFramePayload = 4u << 20;
 // Queries per kBatch frame.
 inline constexpr std::size_t kMaxBatchQueries = 512;
 // Weight-vector arity bound (the library tops out far below this; the
 // bound exists so a hostile dim can never drive an allocation).
 inline constexpr std::size_t kMaxWireDim = 4096;
-// Items/intervals a reply may carry (bounds hostile reply decodes in
-// the client the same way request decodes are bounded in the server).
-inline constexpr std::size_t kMaxWireItems = 1u << 20;
+// Items/intervals one result may carry, sized so a single full reply
+// always fits kMaxFramePayload (bounds hostile reply decodes in the
+// client the same way request decodes are bounded in the server).
+inline constexpr std::size_t kMaxWireItems = 200000;
+
+// Encoded sizes of one reply's parts, used by ReplyFits: a reply is a
+// status byte + u32 result count, then per result ~50 fixed bytes plus
+// a message (truncated at encode time to kMaxWireMessageBytes) plus
+// 20 bytes per item / 16 per interval.
+inline constexpr std::size_t kResultReplyHeaderBytes = 5;
+inline constexpr std::size_t kWireItemBytes = 20;
+inline constexpr std::size_t kWireIntervalBytes = 16;
+inline constexpr std::size_t kMaxWireMessageBytes = 206;
+inline constexpr std::size_t kWireResultOverheadBytes =
+    50 + kMaxWireMessageBytes;  // == 256
+
+// True when a reply of `results` result slots carrying `items` total
+// items-or-intervals is guaranteed to encode within kMaxFramePayload.
+// The server evaluates this per request before admitting it, with
+// `items` the saturated worst case across the request's queries.
+inline constexpr bool ReplyFits(std::uint64_t results, std::uint64_t items) {
+  return results <= kMaxBatchQueries && items <= kMaxWireItems &&
+         kResultReplyHeaderBytes + results * kWireResultOverheadBytes +
+                 items * kWireItemBytes <=
+             kMaxFramePayload;
+}
+
+// The bounds above must be mutually consistent: the largest admissible
+// single result and the largest admissible batch both fit one frame.
+static_assert(ReplyFits(1, kMaxWireItems),
+              "one full result must fit a frame");
+static_assert(ReplyFits(kMaxBatchQueries, kMaxWireItems),
+              "a full batch reply must fit a frame");
+static_assert(kWireIntervalBytes <= kWireItemBytes,
+              "ReplyFits budgets intervals at the item rate");
 
 enum class Verb : std::uint8_t {
   kQuery = 1,
@@ -172,10 +206,13 @@ struct ReloadInfo {
 
 // --- framing ---
 
-// Appends one complete frame (header + payload) to `out`.
-void AppendFrame(std::uint32_t request_id,
-                 const std::vector<std::uint8_t>& payload,
-                 std::vector<std::uint8_t>* out);
+// Appends one complete frame (header + payload) to `out`. Returns
+// false -- appending nothing -- when the payload exceeds
+// kMaxFramePayload; the caller degrades (e.g. to a bare kError reply)
+// instead of ever putting an untransmittable frame on the wire.
+[[nodiscard]] bool AppendFrame(std::uint32_t request_id,
+                               const std::vector<std::uint8_t>& payload,
+                               std::vector<std::uint8_t>* out);
 
 // Result of scanning a receive buffer for one frame.
 enum class FrameScan : std::uint8_t {

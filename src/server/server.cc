@@ -22,6 +22,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 
 namespace drli {
@@ -31,6 +32,11 @@ namespace {
 
 // One frame's worth of socket reads per EPOLLIN burst iteration.
 constexpr std::size_t kReadChunk = 64 * 1024;
+// Cap on bytes drained per EPOLLIN event: epoll is level-triggered,
+// so whatever is left re-arms immediately, and a firehose client can
+// neither pin its loop thread nor grow inbuf without bound while
+// other connections wait.
+constexpr std::size_t kMaxReadBurst = 4 * kReadChunk;
 constexpr int kEpollWaitMs = 50;
 constexpr int kListenBacklog = 128;
 
@@ -300,11 +306,16 @@ void TopKServer::Impl::LoopMain(std::size_t loop_index) {
     ScanTimeouts(loop);
     if (stop.load()) break;
   }
-  // Hard stop: close everything this loop owns.
+  // Hard stop: close the sockets this loop owns. wake_fd and epoll_fd
+  // stay open -- workers and WakeLoop may still write to wake_fd until
+  // they are joined, and closing here could hand the fd number to an
+  // unrelated descriptor mid-write. ShutdownNow closes both after
+  // every thread that can touch them has been joined.
   for (auto& conn : loop.Snapshot()) CloseConn(loop, conn->fd);
-  if (loop.listen_fd >= 0) ::close(loop.listen_fd);
-  ::close(loop.wake_fd);
-  ::close(loop.epoll_fd);
+  if (loop.listen_fd >= 0) {
+    ::close(loop.listen_fd);
+    loop.listen_fd = -1;
+  }
 }
 
 void TopKServer::Impl::AcceptAll(EventLoop& loop) {
@@ -339,7 +350,8 @@ void TopKServer::Impl::AcceptAll(EventLoop& loop) {
 void TopKServer::Impl::ReadConn(EventLoop& loop,
                                 const std::shared_ptr<Connection>& conn) {
   bool peer_closed = false;
-  while (true) {
+  std::size_t burst = 0;
+  while (burst < kMaxReadBurst) {
     const std::size_t old_size = conn->inbuf.size();
     conn->inbuf.resize(old_size + kReadChunk);
     const ssize_t n =
@@ -347,6 +359,7 @@ void TopKServer::Impl::ReadConn(EventLoop& loop,
     if (n > 0) {
       conn->inbuf.resize(old_size + static_cast<std::size_t>(n));
       conn->last_activity.Restart();
+      burst += static_cast<std::size_t>(n);
       if (static_cast<std::size_t>(n) < kReadChunk) break;
       continue;
     }
@@ -390,7 +403,7 @@ void TopKServer::Impl::ProcessFrames(EventLoop& loop,
     HandleFrame(conn, std::move(frame));
   }
   // Drop consumed bytes so the buffer never grows beyond one frame
-  // plus one read chunk.
+  // plus one read burst.
   if (conn->inpos > 0) {
     conn->inbuf.erase(conn->inbuf.begin(),
                       conn->inbuf.begin() +
@@ -460,10 +473,41 @@ void TopKServer::Impl::HandleFrame(const std::shared_ptr<Connection>& conn,
     case wire::Verb::kQuery:
     case wire::Verb::kBatch: {
       const std::size_t n = request.queries.size();
-      // Deterministic admission: at the cap, shed the whole request
-      // now -- a clear kOverloaded beats a deadline-blown answer.
-      const std::uint64_t current = in_flight.load();
-      if (current >= options.max_in_flight) {
+      // One reply frame carries every result, so the worst-case
+      // encoded reply is bounded here, before admission: a well-formed
+      // request whose answer could bust the frame cap comes back as an
+      // explicit kInvalidQuery instead of an untransmittable reply.
+      // Reverse results are interval- (data-) bounded, not k-bounded;
+      // non-plain batch slots answer kInvalidQuery and carry no items.
+      std::uint64_t worst_items = 0;
+      for (const wire::WireQuery& q : request.queries) {
+        if (request.verb == wire::Verb::kBatch &&
+            q.scenario != wire::Scenario::kPlain) {
+          continue;
+        }
+        worst_items += q.scenario == wire::Scenario::kReverse
+                           ? wire::kMaxWireItems
+                           : std::min<std::uint64_t>(q.k, wire::kMaxWireItems);
+      }
+      if (!wire::ReplyFits(n, worst_items)) {
+        std::vector<wire::WireResult> results(n);
+        for (auto& r : results) {
+          r.status = wire::ReplyStatus::kInvalidQuery;
+          r.termination =
+              static_cast<std::uint8_t>(Termination::kInvalidQuery);
+          r.message = "worst-case reply exceeds the frame payload cap; "
+                      "lower k or split the batch";
+        }
+        SendReply(conn, frame.request_id, wire::EncodeResultReply(results));
+        return;
+      }
+      // Deterministic admission: increment first, then shed the whole
+      // request on overshoot, so concurrent loop threads can never
+      // admit past the cap -- a clear kOverloaded beats a
+      // deadline-blown answer.
+      const std::uint64_t before = in_flight.fetch_add(n);
+      if (before + n > options.max_in_flight) {
+        in_flight.fetch_sub(n);
         shed.fetch_add(n);
         std::vector<wire::WireResult> results(n);
         for (auto& r : results) {
@@ -476,7 +520,6 @@ void TopKServer::Impl::HandleFrame(const std::shared_ptr<Connection>& conn,
         SendReply(conn, frame.request_id, wire::EncodeResultReply(results));
         return;
       }
-      in_flight.fetch_add(n);
       WorkItem item;
       item.conn = conn;
       item.request = std::move(request);
@@ -668,13 +711,24 @@ void TopKServer::Impl::SendReply(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->closed) return;  // client went away; drop the reply
     if (conn->outbuf.empty()) conn->last_write_progress.Restart();
-    wire::AppendFrame(request_id, payload, &conn->outbuf);
+    if (!wire::AppendFrame(request_id, payload, &conn->outbuf)) {
+      // Admission bounds the worst-case reply, so this is a belt-and-
+      // braces path: degrade to a bare kError the client can parse
+      // rather than ever aborting or emitting a broken frame.
+      const bool sent = wire::AppendFrame(
+          request_id,
+          wire::EncodeStatusReply(wire::ReplyStatus::kError,
+                                  "reply exceeds the frame payload cap"),
+          &conn->outbuf);
+      DRLI_CHECK(sent);  // a bare status reply is a few dozen bytes
+    }
   }
   WakeLoop(conn->loop);
 }
 
 void TopKServer::Impl::WakeLoop(std::size_t loop_index) {
   if (loop_index >= loops.size()) return;
+  if (loops[loop_index]->wake_fd < 0) return;  // already shut down
   const std::uint64_t one = 1;
   [[maybe_unused]] ssize_t n =
       ::write(loops[loop_index]->wake_fd, &one, sizeof(one));
@@ -701,30 +755,49 @@ bool TopKServer::Impl::AllFlushedAndIdle() {
 
 void TopKServer::Impl::ShutdownNow() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu);
-  if (!started.load()) return;
-  draining.store(true);
-  WakeAllLoops();
-  // Drain: let queued work finish and replies flush, bounded.
-  Stopwatch drain;
-  while (drain.ElapsedSeconds() < options.drain_timeout_seconds) {
-    // conns maps belong to live loop threads; AllFlushedAndIdle only
-    // reads them while loops are still running, which they are here.
-    if (AllFlushedAndIdle()) break;
+  if (started.load()) {
+    draining.store(true);
+    WakeAllLoops();
+    // Drain: let queued work finish and replies flush, bounded.
+    Stopwatch drain;
+    while (drain.ElapsedSeconds() < options.drain_timeout_seconds) {
+      // conns maps belong to live loop threads; AllFlushedAndIdle only
+      // reads them while loops are still running, which they are here.
+      if (AllFlushedAndIdle()) break;
+      queue_cv.notify_all();
+      WakeAllLoops();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    stop.store(true);
     queue_cv.notify_all();
     WakeAllLoops();
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    for (auto& worker : workers) {
+      if (worker.joinable()) worker.join();
+    }
+    if (watcher.joinable()) watcher.join();
+    for (auto& loop : loops) {
+      if (loop->thread.joinable()) loop->thread.join();
+    }
+    started.store(false);
   }
-  stop.store(true);
-  queue_cv.notify_all();
-  WakeAllLoops();
-  for (auto& worker : workers) {
-    if (worker.joinable()) worker.join();
-  }
-  if (watcher.joinable()) watcher.join();
+  // Only now -- with every worker and loop thread joined -- is it safe
+  // to close the wake/epoll fds: no stray WakeLoop write can land on a
+  // recycled descriptor. Also runs for a Start that failed partway, so
+  // its half-built loops do not leak fds.
   for (auto& loop : loops) {
-    if (loop->thread.joinable()) loop->thread.join();
+    if (loop->wake_fd >= 0) {
+      ::close(loop->wake_fd);
+      loop->wake_fd = -1;
+    }
+    if (loop->epoll_fd >= 0) {
+      ::close(loop->epoll_fd);
+      loop->epoll_fd = -1;
+    }
+    if (loop->listen_fd >= 0) {
+      ::close(loop->listen_fd);
+      loop->listen_fd = -1;
+    }
   }
-  started.store(false);
 }
 
 // --- public surface ---

@@ -340,6 +340,21 @@ wire::WireResult ExecuteWireQuery(const ServingGeneration& generation,
       q.k = k;
       q.budget = budget;
       ReverseTopKResult result = ReverseTopK2D(*generation.dl, q);
+      if (result.intervals.size() > wire::kMaxWireItems) {
+        // Interval count is bounded by the data, not by k, so it is
+        // only checkable here; an explicit error beats a reply that
+        // cannot fit one frame.
+        wire::WireResult out;
+        out.status = wire::ReplyStatus::kError;
+        out.termination = static_cast<std::uint8_t>(Termination::kError);
+        out.tuples_evaluated = result.stats.tuples_evaluated;
+        out.generation = generation.sequence;
+        out.message = "reverse result carries " +
+                      std::to_string(result.intervals.size()) +
+                      " intervals, over the wire bound (" +
+                      std::to_string(wire::kMaxWireItems) + ")";
+        return out;
+      }
       wire::WireResult out;
       switch (result.termination) {
         case Termination::kInvalidQuery:

@@ -37,7 +37,7 @@ std::vector<std::uint8_t> MakeQueryFrame(const Point& weights,
   query.k = k;
   request.queries.push_back(std::move(query));
   std::vector<std::uint8_t> frame;
-  wire::AppendFrame(request_id, wire::EncodeRequest(request), &frame);
+  (void)wire::AppendFrame(request_id, wire::EncodeRequest(request), &frame);
   return frame;
 }
 
@@ -197,6 +197,40 @@ ServerFaultReport RunServerFaultSweep(const std::string& scratch_dir,
     client.Close();
   }
   probe_alive("disconnect burst");
+
+  // --- oversized reply budgets: well-formed requests whose replies
+  // could not fit one frame must be refused, never abort the process --
+  {
+    server::DrliClient client;
+    if (client.Connect("127.0.0.1", port, 5.0).ok()) {
+      ++report.cases;
+      wire::WireQuery query;
+      query.weights = weights;
+      query.k = wire::kMaxWireItems + 1;
+      auto result = client.Query(query);
+      if (!result.ok() ||
+          result.value().status != wire::ReplyStatus::kInvalidQuery) {
+        report.violations.push_back(
+            "oversized k not rejected with kInvalidQuery");
+      }
+      ++report.cases;
+      std::vector<wire::WireQuery> batch(wire::kMaxBatchQueries);
+      for (auto& wq : batch) {
+        wq.weights = weights;
+        wq.k = 1000;  // modest per query, over the cap combined
+      }
+      auto batch_result = client.Batch(batch);
+      if (!batch_result.ok() || batch_result.value().empty() ||
+          batch_result.value()[0].status !=
+              wire::ReplyStatus::kInvalidQuery) {
+        report.violations.push_back(
+            "oversized batch budget not rejected with kInvalidQuery");
+      }
+    } else {
+      report.violations.push_back("connect failed for reply budget cases");
+    }
+    probe_alive("reply budget");
+  }
 
   // --- reload-during-query races ---
   {

@@ -45,7 +45,7 @@ TEST(WireProtocolTest, FrameRoundTrip) {
   request.queries.push_back(query);
 
   std::vector<std::uint8_t> buf;
-  wire::AppendFrame(42, wire::EncodeRequest(request), &buf);
+  ASSERT_TRUE(wire::AppendFrame(42, wire::EncodeRequest(request), &buf));
 
   std::size_t pos = 0;
   wire::Frame frame;
@@ -70,7 +70,7 @@ TEST(WireProtocolTest, PartialFrameNeedsMore) {
   request.queries.emplace_back();
   request.queries[0].weights = {1.0};
   std::vector<std::uint8_t> buf;
-  wire::AppendFrame(1, wire::EncodeRequest(request), &buf);
+  ASSERT_TRUE(wire::AppendFrame(1, wire::EncodeRequest(request), &buf));
   for (std::size_t cut = 0; cut < buf.size(); ++cut) {
     const std::vector<std::uint8_t> prefix(buf.begin(), buf.begin() + cut);
     std::size_t pos = 0;
@@ -88,7 +88,7 @@ TEST(WireProtocolTest, CorruptionIsDetectedNotTrusted) {
   request.queries.emplace_back();
   request.queries[0].weights = {0.5, 0.5};
   std::vector<std::uint8_t> good;
-  wire::AppendFrame(9, wire::EncodeRequest(request), &good);
+  ASSERT_TRUE(wire::AppendFrame(9, wire::EncodeRequest(request), &good));
 
   // Bad magic.
   std::vector<std::uint8_t> bad = good;
@@ -160,6 +160,45 @@ TEST(WireProtocolTest, TruncatedPayloadsDecodeToErrorsNotOverReads) {
     EXPECT_FALSE(wire::DecodeRequest(prefix, &decoded).ok())
         << "cut at " << cut;
   }
+}
+
+TEST(WireProtocolTest, AppendFrameRefusesOversizedPayloadsNotAborts) {
+  std::vector<std::uint8_t> payload(wire::kMaxFramePayload + 1, 0xab);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(wire::AppendFrame(1, payload, &out));
+  EXPECT_TRUE(out.empty());  // a refused frame appends nothing
+
+  payload.resize(wire::kMaxFramePayload);
+  ASSERT_TRUE(wire::AppendFrame(2, payload, &out));
+  std::size_t pos = 0;
+  wire::Frame frame;
+  std::string error;
+  ASSERT_EQ(wire::ScanFrame(out, &pos, &frame, &error),
+            wire::FrameScan::kFrame);
+  EXPECT_EQ(frame.request_id, 2u);
+  EXPECT_EQ(frame.payload.size(), wire::kMaxFramePayload);
+}
+
+TEST(WireProtocolTest, ReplyBudgetCoversEveryAdmissibleShape) {
+  // The admission predicate and the wire constants stay consistent:
+  // the largest single result and the largest full batch both fit.
+  EXPECT_TRUE(wire::ReplyFits(1, wire::kMaxWireItems));
+  EXPECT_TRUE(wire::ReplyFits(wire::kMaxBatchQueries, wire::kMaxWireItems));
+  EXPECT_FALSE(wire::ReplyFits(1, wire::kMaxWireItems + 1));
+  EXPECT_FALSE(wire::ReplyFits(wire::kMaxBatchQueries + 1, 0));
+
+  // Messages are truncated at encode time, so one worst-case result
+  // really does encode within the overhead + items budget.
+  wire::WireResult result;
+  result.message = std::string(10 * wire::kMaxWireMessageBytes, 'x');
+  result.items.resize(wire::kMaxWireItems);
+  const std::vector<std::uint8_t> payload = wire::EncodeResultReply({result});
+  EXPECT_LE(payload.size(), wire::kMaxFramePayload);
+  std::vector<wire::WireResult> decoded;
+  ASSERT_TRUE(wire::DecodeResultReply(payload, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].items.size(), wire::kMaxWireItems);
+  EXPECT_EQ(decoded[0].message.size(), wire::kMaxWireMessageBytes);
 }
 
 // --- server end to end ---
@@ -256,7 +295,7 @@ TEST(ServerTest, MalformedPayloadUnderIntactFrameKeepsConnection) {
   // A well-framed payload with an out-of-range verb decodes to a
   // kMalformed reply -- and the connection survives for the next query.
   std::vector<std::uint8_t> frame;
-  wire::AppendFrame(77, {0xee, 0x01, 0x02}, &frame);
+  ASSERT_TRUE(wire::AppendFrame(77, {0xee, 0x01, 0x02}, &frame));
   ASSERT_TRUE(client.SendRaw(frame).ok());
   auto reply = client.ReadFrame();
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
@@ -323,6 +362,50 @@ TEST(ServerTest, OverloadShedsWithRetryAfterNotCollapse) {
   server.Shutdown();
 }
 
+// The high-severity DoS pin: a well-formed request whose reply could
+// not fit one frame used to CHECK-abort the whole process inside
+// AppendFrame; it must come back as an explicit kInvalidQuery instead,
+// with the connection (and the server) intact.
+TEST(ServerTest, RepliesThatCannotFitOneFrameAreRejectedUpFront) {
+  ServingDir serving("drli_server_replycap");
+  BuildAndPublish(serving, "gen-1.v2", 23);
+  TopKServer server;
+  ASSERT_TRUE(server.Start(serving.dir, ServerOptions{}).ok());
+  DrliClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Single query with k over the per-frame item bound.
+  wire::WireQuery query;
+  query.weights = {0.2, 0.3, 0.5};
+  query.k = wire::kMaxWireItems + 1;
+  auto huge = client.Query(query);
+  ASSERT_TRUE(huge.ok()) << huge.status().ToString();
+  EXPECT_EQ(huge.value().status, wire::ReplyStatus::kInvalidQuery);
+
+  // A batch whose combined worst case overflows the frame cap even
+  // though every per-query k is individually modest.
+  std::vector<wire::WireQuery> batch(256);
+  for (auto& wq : batch) {
+    wq.weights = {0.2, 0.3, 0.5};
+    wq.k = 1000;
+  }
+  auto results = client.Batch(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results.value().size(), batch.size());
+  for (const wire::WireResult& r : results.value()) {
+    EXPECT_EQ(r.status, wire::ReplyStatus::kInvalidQuery);
+  }
+
+  // The largest admissible k still answers on the same connection --
+  // the server shrugged off both rejections.
+  query.k = wire::kMaxWireItems;
+  auto legal = client.Query(query);
+  ASSERT_TRUE(legal.ok()) << legal.status().ToString();
+  EXPECT_EQ(legal.value().status, wire::ReplyStatus::kOk);
+  EXPECT_EQ(legal.value().items.size(), 300u);  // clamped by the dataset
+  server.Shutdown();
+}
+
 TEST(ServerTest, GracefulDrainAnswersInFlightWork) {
   ServingDir serving("drli_server_drain");
   BuildAndPublish(serving, "gen-1.v2", 19);
@@ -342,7 +425,7 @@ TEST(ServerTest, GracefulDrainAnswersInFlightWork) {
     request.verb = wire::Verb::kQuery;
     request.queries.push_back(query);
     std::vector<std::uint8_t> frame;
-    wire::AppendFrame(5, wire::EncodeRequest(request), &frame);
+    ASSERT_TRUE(wire::AppendFrame(5, wire::EncodeRequest(request), &frame));
     id = 5;
     ASSERT_TRUE(client.SendRaw(frame).ok());
   }
